@@ -1,0 +1,226 @@
+// Ablation of the synchronization primitive's design choices (DESIGN.md):
+//
+//  (a) tree arity — the paper picks max{2, ceil(L/G)}. Narrower trees add
+//      depth; wider trees exceed the capacity constraint and stall. We
+//      sweep the arity and report time + stalls.
+//  (b) CB structure — the paper's d-ary tree vs. the Karp-et-al greedy
+//      schedule pair (reduce_opt + broadcast_opt).
+//  (c) delivery-policy sensitivity — the adversarial Latest schedule vs.
+//      Earliest vs. seeded-random, for the canonical CB.
+#include <iostream>
+
+#include "src/algo/logp_broadcast_opt.h"
+#include "src/algo/logp_collectives.h"
+#include "src/algo/mailbox.h"
+#include "src/bsp/machine.h"
+#include "src/core/rng.h"
+#include "src/core/table.h"
+#include "src/logp/machine.h"
+#include "src/routing/h_relation.h"
+#include "src/xsim/bsp_on_logp.h"
+#include "src/xsim/logp_on_bsp.h"
+
+using namespace bsplogp;
+
+namespace {
+
+struct Run {
+  Time time = 0;
+  std::int64_t stalls = 0;
+};
+
+Run run_cb_arity(ProcId p, const logp::Params& prm, ProcId arity,
+                 logp::Machine::Options opt = {}) {
+  std::vector<logp::ProgramFn> progs;
+  for (ProcId i = 0; i < p; ++i)
+    progs.emplace_back([i, arity](logp::Proc& pr) -> logp::Task<> {
+      algo::Mailbox mb(pr);
+      (void)co_await algo::combine_broadcast_arity(mb, i, algo::ReduceOp::Max,
+                                                   arity);
+    });
+  logp::Machine m(p, prm, opt);
+  const auto st = m.run(progs);
+  return Run{st.finish_time, st.stall_events};
+}
+
+Run run_greedy_pair(ProcId p, const logp::Params& prm) {
+  const algo::BroadcastSchedule sched =
+      algo::optimal_broadcast_schedule(p, prm);
+  std::vector<logp::ProgramFn> progs;
+  for (ProcId i = 0; i < p; ++i)
+    progs.emplace_back([i, &sched](logp::Proc& pr) -> logp::Task<> {
+      algo::Mailbox mb(pr);
+      const Word total =
+          co_await algo::reduce_opt(mb, i, algo::ReduceOp::Max, sched);
+      (void)co_await algo::broadcast_opt(mb, total, sched);
+    });
+  logp::Machine m(p, prm);
+  const auto st = m.run(progs);
+  return Run{st.finish_time, st.stall_events};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation: Combine-and-Broadcast design choices\n\n";
+
+  {
+    std::cout << "(a) tree arity sweep, p=256 (paper's choice: "
+                 "max{2, ceil(L/G)})\n";
+    core::Table table({"L", "G", "cap", "arity", "T_CB", "stalls", "note"});
+    for (const auto& prm : {logp::Params{16, 1, 2}, logp::Params{8, 1, 4}}) {
+      const Time cap = prm.capacity();
+      for (const ProcId arity : {2, 4, 8, 16, 32}) {
+        const Run r = run_cb_arity(256, prm, arity);
+        std::string note;
+        if (arity == std::max<Time>(2, cap)) note = "<- paper's choice";
+        else if (arity > cap) note = "(beyond capacity)";
+        table.add_row({core::fmt(prm.L), core::fmt(prm.G), core::fmt(cap),
+                       core::fmt(static_cast<std::int64_t>(arity)),
+                       core::fmt(r.time), core::fmt(r.stalls), note});
+      }
+    }
+    table.print(std::cout);
+    std::cout << "Reading: widening up to the capacity threshold shrinks "
+                 "depth for free; beyond it\nthe ascend phase stalls and "
+                 "gains flatten or reverse — max{2,ceil(L/G)} is the "
+                 "knee.\n\n";
+  }
+
+  {
+    std::cout << "(b) d-ary tree CB vs greedy reduce+broadcast pair\n";
+    core::Table table({"p", "L", "G", "tree CB", "greedy pair", "ratio"});
+    const logp::Params prm{10, 2, 3};
+    for (const ProcId p : {16, 64, 256, 1024}) {
+      const Run tree = run_cb_arity(p, prm, algo::cb_arity(prm));
+      const Run greedy = run_greedy_pair(p, prm);
+      table.add_row({core::fmt(static_cast<std::int64_t>(p)),
+                     core::fmt(prm.L), core::fmt(prm.G),
+                     core::fmt(tree.time), core::fmt(greedy.time),
+                     core::fmt(static_cast<double>(greedy.time) /
+                                   static_cast<double>(tree.time),
+                               2)});
+    }
+    table.print(std::cout);
+    std::cout << "Reading: both are Theta(L log p / log(1+cap)); the "
+                 "greedy pair's constants win\nwhen capacity is small "
+                 "(deep pipelining), the simple tree is competitive "
+                 "otherwise.\n\n";
+  }
+
+  {
+    std::cout << "(c) delivery-policy sensitivity of CB, p=256\n";
+    core::Table table({"policy", "T_CB"});
+    const logp::Params prm{16, 1, 2};
+    for (const auto& [policy, label] :
+         {std::pair{logp::DeliverySchedule::Latest, "Latest (adversarial)"},
+          {logp::DeliverySchedule::Earliest, "Earliest"},
+          {logp::DeliverySchedule::UniformRandom, "UniformRandom"}}) {
+      logp::Machine::Options opt;
+      opt.delivery = policy;
+      opt.seed = 3;
+      const Run r = run_cb_arity(256, prm, algo::cb_arity(prm), opt);
+      table.add_row({label, core::fmt(r.time)});
+    }
+    table.print(std::cout);
+    std::cout << "Reading: the spread bounds how much of T_CB is the "
+                 "adversarial latency choice\n(at most ~L per level) — "
+                 "the asymptotic shape is policy-independent.\n\n";
+  }
+
+  {
+    std::cout << "(d) Theorem 2's routing cycles: globally clocked vs "
+                 "free-running\n";
+    const logp::Params prm{16, 1, 2};  // capacity 8
+    core::Table table({"p", "workload", "mode", "T_LogP", "stalls"});
+    core::Rng rng(71);
+    for (const ProcId p : {8, 16}) {
+      struct Workload {
+        routing::HRelation rel;
+        std::string label;
+      };
+      const Workload workloads[] = {
+          {routing::random_regular(p, 32, rng), "regular h=32"},
+          {routing::hotspot(p, 0, 8), "fan-in 8(p-1)"},
+      };
+      for (const auto& [rel, label] : workloads) {
+        auto messages =
+            std::make_shared<std::vector<std::vector<Message>>>(
+                static_cast<std::size_t>(p));
+        for (const Message& m : rel.messages())
+          (*messages)[static_cast<std::size_t>(m.src)].push_back(m);
+        auto make = [&] {
+          return bsp::make_programs(p, [messages](bsp::Ctx& c) {
+            if (c.superstep() == 0) {
+              for (const Message& m :
+                   (*messages)[static_cast<std::size_t>(c.pid())])
+                c.send(m.dst, m.payload, m.tag);
+              return true;
+            }
+            return false;
+          });
+        };
+        for (const bool clocked : {true, false}) {
+          auto progs = make();
+          xsim::BspOnLogpOptions opt;
+          opt.clocked_cycles = clocked;
+          xsim::BspOnLogp sim(p, prm, opt);
+          const auto rep = sim.run(progs);
+          table.add_row({core::fmt(static_cast<std::int64_t>(p)), label,
+                         clocked ? "clocked" : "free-running",
+                         core::fmt(rep.logp.finish_time),
+                         core::fmt(rep.logp.stall_events)});
+        }
+      }
+    }
+    table.print(std::cout);
+    std::cout << "Reading: free-running transmission lets destinations "
+                 "collide and stall; the\nglobal G-spaced cycle clock "
+                 "(the paper's rank-mod-h decomposition) is what makes\n"
+                 "Theorem 2's protocol stall-free, at little or no cost "
+                 "in completion time.\n\n";
+  }
+
+  {
+    std::cout << "(e) Theorem 1's cycle length: L/2 vs shorter and longer "
+                 "cycles\n";
+    // The proof of Theorem 1 needs: a stall-free program submits at most
+    // ceil(L/G) messages per destination per cycle, which holds for cycles
+    // of L/2 steps but not for longer ones (up to 2*ceil(L/G) fit in L
+    // steps) — while shorter cycles just pay more barriers.
+    const ProcId p = 16;
+    const logp::Params prm{16, 1, 2};  // capacity 8
+    core::Table table({"cycle", "supersteps", "T_BSP", "per-cycle cap ok",
+                       "max fan-in"});
+    auto make = [&] {
+      std::vector<logp::ProgramFn> progs;
+      for (ProcId i = 0; i < p; ++i)
+        progs.emplace_back([p](logp::Proc& pr) -> logp::Task<> {
+          for (ProcId d = 1; d < p; ++d)
+            co_await pr.send(static_cast<ProcId>((pr.id() + d) % p), d);
+          for (ProcId k = 1; k < p; ++k) (void)co_await pr.recv();
+        });
+      return progs;
+    };
+    for (const Time cycle : {prm.L / 4, prm.L / 2, prm.L, 2 * prm.L}) {
+      xsim::LogpOnBspOptions opt;
+      opt.bsp = bsp::Params{prm.G, prm.L};
+      opt.cycle_length = cycle;
+      xsim::LogpOnBsp sim(p, prm, opt);
+      const auto rep = sim.run(make());
+      std::string label = core::fmt(cycle);
+      if (cycle == prm.L / 2) label += " (= L/2, paper)";
+      table.add_row({label, core::fmt(rep.bsp.supersteps),
+                     core::fmt(rep.bsp.time),
+                     rep.capacity_ok ? "yes" : "NO",
+                     core::fmt(rep.max_cycle_fan_in)});
+    }
+    table.print(std::cout);
+    std::cout << "Reading: short cycles multiply the barrier cost; cycles "
+                 "longer than L/2 let a\nstall-free program exceed "
+                 "ceil(L/G) submissions per destination per cycle\n"
+                 "('cap ok' = NO), voiding the delivery-schedule argument "
+                 "behind Theorem 1 —\nL/2 is the largest safe cycle.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Wall-clock throughput of the simulators themselves (google-benchmark).
+// The experiment harnesses report model time; this binary tells you how
+// fast the engines chew through model events, so you can size sweeps.
+#include <benchmark/benchmark.h>
+
+#include "src/algo/logp_collectives.h"
+#include "src/algo/mailbox.h"
+#include "src/bsp/machine.h"
+#include "src/core/rng.h"
+#include "src/logp/machine.h"
+#include "src/net/packet_sim.h"
+#include "src/routing/bitonic.h"
+#include "src/routing/decompose.h"
+
+using namespace bsplogp;
+
+namespace {
+
+void BM_BspAllToAllSuperstep(benchmark::State& state) {
+  const auto p = static_cast<ProcId>(state.range(0));
+  auto progs = bsp::make_programs(p, [p](bsp::Ctx& c) {
+    if (c.superstep() == 0)
+      for (ProcId d = 0; d < p; ++d)
+        if (d != c.pid()) c.send(d, 1);
+    return c.superstep() < 1;
+  });
+  bsp::Machine machine(p, bsp::Params{2, 8});
+  std::int64_t messages = 0;
+  for (auto _ : state) {
+    const auto st = machine.run(progs);
+    messages += st.messages;
+    benchmark::DoNotOptimize(st.time);
+  }
+  state.SetItemsProcessed(messages);
+}
+BENCHMARK(BM_BspAllToAllSuperstep)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_LogpAllToAll(benchmark::State& state) {
+  const auto p = static_cast<ProcId>(state.range(0));
+  const logp::Params prm{16, 1, 2};
+  logp::Machine machine(p, prm);
+  std::vector<logp::ProgramFn> progs;
+  for (ProcId i = 0; i < p; ++i)
+    progs.emplace_back([p](logp::Proc& pr) -> logp::Task<> {
+      for (ProcId d = 1; d < p; ++d)
+        co_await pr.send(static_cast<ProcId>((pr.id() + d) % p), 1);
+      for (ProcId k = 1; k < p; ++k) (void)co_await pr.recv();
+    });
+  std::int64_t messages = 0;
+  for (auto _ : state) {
+    const auto st = machine.run(progs);
+    messages += st.messages_delivered;
+    benchmark::DoNotOptimize(st.finish_time);
+  }
+  state.SetItemsProcessed(messages);
+}
+BENCHMARK(BM_LogpAllToAll)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_LogpCombineBroadcast(benchmark::State& state) {
+  const auto p = static_cast<ProcId>(state.range(0));
+  const logp::Params prm{16, 1, 2};
+  logp::Machine machine(p, prm);
+  std::vector<logp::ProgramFn> progs;
+  for (ProcId i = 0; i < p; ++i)
+    progs.emplace_back([i](logp::Proc& pr) -> logp::Task<> {
+      algo::Mailbox mb(pr);
+      (void)co_await algo::combine_broadcast(mb, i, algo::ReduceOp::Max);
+    });
+  for (auto _ : state) {
+    const auto st = machine.run(progs);
+    benchmark::DoNotOptimize(st.finish_time);
+  }
+  state.SetItemsProcessed(state.iterations() * p);
+}
+BENCHMARK(BM_LogpCombineBroadcast)->Arg(64)->Arg(512)->Arg(2048);
+
+void BM_PacketSimPermutation(benchmark::State& state) {
+  const auto p = static_cast<ProcId>(state.range(0));
+  const net::PacketSim sim(
+      net::make_topology(net::TopologyKind::Mesh2D, p));
+  core::Rng rng(7);
+  const auto rel = routing::random_regular(sim.topology().nprocs(), 8, rng);
+  std::int64_t hops = 0;
+  for (auto _ : state) {
+    const auto res = sim.route(rel, {});
+    hops += res.total_hops;
+  }
+  state.SetItemsProcessed(hops);
+}
+BENCHMARK(BM_PacketSimPermutation)->Arg(64)->Arg(256);
+
+void BM_BitonicSortBlocks(benchmark::State& state) {
+  const auto p = static_cast<ProcId>(state.range(0));
+  core::Rng rng(11);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<std::vector<Word>> blocks(static_cast<std::size_t>(p));
+    for (auto& b : blocks)
+      for (int j = 0; j < 16; ++j) b.push_back(rng.uniform(0, 1 << 20));
+    state.ResumeTiming();
+    routing::bitonic_sort_blocks(blocks);
+    benchmark::DoNotOptimize(blocks);
+  }
+  state.SetItemsProcessed(state.iterations() * p * 16);
+}
+BENCHMARK(BM_BitonicSortBlocks)->Arg(64)->Arg(256);
+
+void BM_EdgeColoringDecomposition(benchmark::State& state) {
+  const auto p = static_cast<ProcId>(state.range(0));
+  core::Rng rng(13);
+  const auto rel = routing::random_regular(p, 16, rng);
+  for (auto _ : state) {
+    auto layers = routing::decompose_into_1_relations(rel);
+    benchmark::DoNotOptimize(layers);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(rel.size()));
+}
+BENCHMARK(BM_EdgeColoringDecomposition)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

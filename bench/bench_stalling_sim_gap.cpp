@@ -1,0 +1,84 @@
+// E9 (Section 3): simulating *stalling* LogP programs on BSP.
+//
+// Theorem 1's constant-slowdown simulation assumes stall-freeness. For
+// stalling programs the executor emulates the Stalling Rule (senders pause
+// until the hot spot's bandwidth admits them), which keeps results faithful
+// and every superstep's h bounded by O(ceil(L/G)) — but that acceptance
+// schedule is computed by the simulator as an oracle. An implementable BSP
+// program must compute it distributively; the paper's sort/prefix sketch
+// costs O(log p) extra supersteps per stalling cycle, for an overall
+// O(((l+g)/G) log p) slowdown. We report:
+//   * native LogP time (the engine's exact Stalling Rule),
+//   * the oracle-scheduled simulation's BSP time and slowdown,
+//   * the preprocessed (implementable) charged time and slowdown,
+//   * the paper's ((l+g)/G) log p bound.
+#include <cmath>
+#include <iostream>
+
+#include "src/core/table.h"
+#include "src/logp/machine.h"
+#include "src/xsim/logp_on_bsp.h"
+
+using namespace bsplogp;
+
+namespace {
+
+std::vector<logp::ProgramFn> hotspot_program(ProcId p, Time k) {
+  std::vector<logp::ProgramFn> progs;
+  progs.emplace_back([p, k](logp::Proc& pr) -> logp::Task<> {
+    for (Time j = 0; j < static_cast<Time>(p - 1) * k; ++j)
+      (void)co_await pr.recv();
+  });
+  for (ProcId i = 1; i < p; ++i)
+    progs.emplace_back([k](logp::Proc& pr) -> logp::Task<> {
+      for (Time j = 0; j < k; ++j) co_await pr.send(0, j);
+    });
+  return progs;
+}
+
+}  // namespace
+
+int main() {
+  const logp::Params prm{16, 1, 4};  // capacity 4
+  std::cout << "E9 / Section 3: stalling LogP programs on BSP\n"
+               "workload: all-to-one (stalls by design); L=16, o=1, G=4; "
+               "BSP host g=G, l=L\n\n";
+
+  core::Table table({"p", "msgs", "T_LogP", "T_BSP(oracle)", "oracle slow",
+                     "T_BSP(preproc)", "preproc slow", "((l+g)/G)log p",
+                     "stalls", "overloaded steps"});
+  for (const ProcId p : {9, 17, 33, 65}) {
+    const Time k = 2;
+    logp::Machine native(p, prm);
+    const auto nat = native.run(hotspot_program(p, k));
+
+    xsim::LogpOnBspOptions opt;
+    opt.bsp = bsp::Params{prm.G, prm.L};
+    xsim::LogpOnBsp sim(p, prm, opt);
+    const auto rep = sim.run(hotspot_program(p, k));
+
+    const auto tn = static_cast<double>(nat.finish_time);
+    const Time preproc = rep.preprocessed_time(opt.bsp, p, prm.capacity());
+    const double bound = (static_cast<double>(opt.bsp.l + opt.bsp.g) /
+                          static_cast<double>(prm.G)) *
+                         std::log2(static_cast<double>(p));
+    table.add_row({core::fmt(static_cast<std::int64_t>(p)),
+                   core::fmt(static_cast<Time>(p - 1) * k),
+                   core::fmt(nat.finish_time), core::fmt(rep.bsp.time),
+                   core::fmt(static_cast<double>(rep.bsp.time) / tn, 2),
+                   core::fmt(preproc),
+                   core::fmt(static_cast<double>(preproc) / tn, 2),
+                   core::fmt(bound, 1), core::fmt(rep.stall_events),
+                   core::fmt(rep.overloaded_supersteps)});
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nShape check: the oracle-scheduled simulation already pays a "
+         "constant-factor\npremium over native (its acceptance schedule "
+         "is free); the implementable\nvariant — charged per the paper's "
+         "sort/prefix recipe on every overloaded\ncycle — lands near the "
+         "O(((l+g)/G) log p) column. Whether any simulation\ncan do "
+         "better is the open question the paper leaves (a lower bound "
+         "here would\nmean stalling adds computational power to LogP).\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// E7 (Table 1): bandwidth and latency parameters of prominent topologies.
+//
+// For each interconnection and several machine sizes we route random
+// h-relations on the packet simulator, fit T(h) = gamma_hat*h + delta_hat,
+// and print the fitted values next to the paper's analytic gamma(p),
+// delta(p). The claim is about growth *rates*: gamma_hat should scale like
+// the table's gamma column across p within each family (and likewise
+// delta_hat / the diameter).
+#include <iostream>
+
+#include "src/core/table.h"
+#include "src/net/packet_sim.h"
+#include "src/net/topology.h"
+
+using namespace bsplogp;
+
+int main() {
+  std::cout << "E7 / Table 1: empirical (gamma_hat, delta_hat) per "
+               "topology via T(h) fits\n(4 random h-regular relations per "
+               "h in {1,2,4,8,16,32})\n\n";
+  const std::vector<Time> hs{1, 2, 4, 8, 16, 32};
+
+  core::Table table({"topology", "p(procs)", "nodes", "gamma_hat",
+                     "gamma(p) Table1", "delta_hat", "delta(p) Table1",
+                     "diam", "r^2"});
+  for (const auto kind :
+       {net::TopologyKind::Ring, net::TopologyKind::Mesh2D,
+        net::TopologyKind::Mesh3D, net::TopologyKind::HypercubeMulti,
+        net::TopologyKind::HypercubeSingle, net::TopologyKind::Butterfly,
+        net::TopologyKind::CubeConnectedCycles,
+        net::TopologyKind::ShuffleExchange,
+        net::TopologyKind::MeshOfTrees}) {
+    for (const ProcId p : {16, 64, 256}) {
+      const net::Topology topo = net::make_topology(kind, p);
+      const net::PacketSim sim(topo);
+      const auto fit = net::fit_route_params(sim, hs, 4, 777);
+      table.add_row(
+          {net::to_string(kind),
+           core::fmt(static_cast<std::int64_t>(topo.nprocs())),
+           core::fmt(static_cast<std::int64_t>(topo.size())),
+           core::fmt(fit.gamma_hat(), 2),
+           core::fmt(topo.analytic_gamma(), 2),
+           core::fmt(fit.delta_hat(), 2),
+           core::fmt(topo.analytic_delta(), 2),
+           core::fmt(static_cast<std::int64_t>(topo.diameter())),
+           core::fmt(fit.fit.r_squared, 3)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check (within each family, p x16 => ...): ring "
+               "gamma ~ p; 2d mesh ~ sqrt(p);\n3d mesh ~ p^(1/3); "
+               "multi-port hypercube gamma ~ 1 while single-port and the\n"
+               "constant-degree log-diameter networks grow ~ log p; "
+               "mesh-of-trees ~ sqrt(p)\nwith log p latency.\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// E2 (Theorem 2): a BSP superstep with w local work and an h-relation
+// simulates on stall-free LogP in O(w + (Gh + L) * S(L,G,p,h)) time, with
+// S = O(log p) in general and S = O(1) once h is large (h = Omega(p^eps +
+// L log p)).
+//
+// Workload: one-superstep BSP programs routing random h-regular relations.
+// For each (p, h) we report the simulated LogP time, the g=G/l=L BSP
+// reference cost w + G*h + L, and their ratio — the measured S. The
+// paper's shape: S decays from ~log p at small h toward a constant at
+// large h.
+#include <iostream>
+
+#include "src/bsp/machine.h"
+#include "src/core/rng.h"
+#include "src/core/table.h"
+#include "src/routing/h_relation.h"
+#include "src/xsim/bsp_on_logp.h"
+
+using namespace bsplogp;
+
+namespace {
+
+/// One-superstep program: processor i sends its part of `rel`, then reads
+/// its inbox in the next superstep.
+std::vector<std::unique_ptr<bsp::ProcProgram>> relation_program(
+    const routing::HRelation& rel) {
+  auto messages = std::make_shared<std::vector<std::vector<Message>>>(
+      static_cast<std::size_t>(rel.nprocs()));
+  for (const Message& m : rel.messages())
+    (*messages)[static_cast<std::size_t>(m.src)].push_back(m);
+  return bsp::make_programs(rel.nprocs(), [messages](bsp::Ctx& c) {
+    if (c.superstep() == 0) {
+      for (const Message& m :
+           (*messages)[static_cast<std::size_t>(c.pid())])
+        c.send(m.dst, m.payload, m.tag);
+      return true;
+    }
+    return false;
+  });
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E2 / Theorem 2: BSP superstep on stall-free LogP\n"
+               "LogP machine: L=16, o=1, G=2 (capacity 8); workload: random "
+               "h-regular relation\n\n";
+  const logp::Params prm{16, 1, 2};
+  core::Rng rng(4242);
+
+  core::Table table({"p", "h", "r", "s", "cycles", "T_LogP", "w+G*h+L",
+                     "S (slowdown)", "stallfree", "violations"});
+  for (const ProcId p : {4, 8, 16, 64}) {
+    for (const Time h : {1, 4, 16, 64, 256, 1024}) {
+      const auto rel = routing::random_regular(p, h, rng);
+      auto progs = relation_program(rel);
+      xsim::BspOnLogp sim(p, prm);
+      const auto rep = sim.run(progs);
+      // The reference BSP cost of the communication superstep alone.
+      Time ref = 0, tsim = rep.logp.finish_time;
+      for (const auto& st : rep.steps)
+        ref += st.w_max + prm.G * st.h + prm.L;
+      const auto& s0 = rep.steps.front();
+      table.add_row(
+          {core::fmt(static_cast<std::int64_t>(p)), core::fmt(h),
+           core::fmt(s0.r), core::fmt(s0.s), core::fmt(s0.h),
+           core::fmt(tsim), core::fmt(ref),
+           core::fmt(static_cast<double>(tsim) / static_cast<double>(ref),
+                     2),
+           rep.logp.stall_free() ? "yes" : "NO",
+           core::fmt(rep.schedule_violations)});
+    }
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nShape check: for fixed p, S falls as h grows (synchronization "
+         "and sorting\namortize) and flattens once Columnsort takes over "
+         "(r >= 2(p-1)^2): the S=O(1)\nregime. For small h, S grows with "
+         "p like the sort depth — log^2 p here, since\nthe AKS network is "
+         "substituted by bitonic (DESIGN.md); the paper's AKS bound\n"
+         "would give log p. Stall-free must read 'yes' everywhere: that "
+         "is Theorem 2's\nprotocol guarantee.\n";
+  return 0;
+}

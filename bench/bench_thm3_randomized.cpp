@@ -1,0 +1,74 @@
+// E4 (Theorem 3): with the degree h known in advance and capacity
+// ceil(L/G) = Omega(log p), the randomized batch protocol routes an
+// h-relation without stalling in <= beta*G*h time, with failure
+// probability polynomially small in p.
+//
+// We sweep h and the capacity/log p ratio, run many seeds per point, and
+// report the clean-run fraction (no stall, no cleanup leftovers) plus the
+// completion time normalized by G*h.
+#include <cmath>
+#include <iostream>
+
+#include "src/core/rng.h"
+#include "src/core/stats.h"
+#include "src/core/table.h"
+#include "src/xsim/randomized_routing.h"
+
+using namespace bsplogp;
+
+int main() {
+  std::cout << "E4 / Theorem 3: randomized routing of known-degree "
+               "h-relations\n"
+               "oversample = 2 (R = 2h/cap rounds); 20 seeds per point\n\n";
+  const ProcId p = 32;
+  const int seeds = 20;
+  struct Regime {
+    logp::Params prm;
+    const char* label;
+  };
+  // log2(32) = 5: capacities below/at/above the theorem's threshold.
+  const Regime regimes[] = {
+      {{8, 1, 2}, "cap=4  (< log p)"},
+      {{16, 1, 2}, "cap=8  (~ 1.6 log p)"},
+      {{64, 1, 2}, "cap=32 (~ 6 log p)"},
+  };
+  core::Rng rng(9);
+
+  core::Table table({"regime", "h", "clean", "stalls(avg)", "leftover(avg)",
+                     "time/Gh (avg)", "bound/Gh"});
+  for (const auto& [prm, label] : regimes) {
+    for (const Time h : {8, 32, 128}) {
+      int clean = 0;
+      double stalls = 0, leftover = 0;
+      std::vector<double> norm;
+      for (int t = 0; t < seeds; ++t) {
+        const auto rel = routing::random_regular(p, h, rng);
+        xsim::RandomizedRoutingOptions opt;
+        opt.oversample = 2.0;
+        opt.seed = 1000 + static_cast<std::uint64_t>(t);
+        const auto rep = route_randomized(rel, prm, opt);
+        clean += rep.clean();
+        stalls += static_cast<double>(rep.logp.stall_events);
+        leftover += static_cast<double>(rep.leftover);
+        norm.push_back(static_cast<double>(rep.protocol_time()) /
+                       static_cast<double>(prm.G * h));
+      }
+      const double bound =
+          static_cast<double>(
+              xsim::RandomizedRoutingReport::bound(prm, h, 2.0)) /
+          static_cast<double>(prm.G * h);
+      table.add_row({label, core::fmt(h),
+                     std::to_string(clean) + "/" + std::to_string(seeds),
+                     core::fmt(stalls / seeds, 1),
+                     core::fmt(leftover / seeds, 1),
+                     core::fmt(core::mean(norm), 2), core::fmt(bound, 2)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: clean-run fraction rises toward 1 as "
+               "capacity/log p grows (the\ntheorem's hypothesis); "
+               "normalized time stays below the 4(1+delta) bound, i.e.\n"
+               "completion is Theta(Gh) — asymptotically optimal "
+               "bandwidth.\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+#include "src/algo/logp_broadcast_opt.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/core/contracts.h"
+
+namespace bsplogp::algo {
+
+Time BroadcastSchedule::makespan() const {
+  Time m = 0;
+  for (const Time t : informed_at) m = std::max(m, t);
+  return m;
+}
+
+BroadcastSchedule optimal_broadcast_schedule(ProcId p,
+                                             const logp::Params& prm) {
+  BSPLOGP_EXPECTS(p >= 1);
+  BroadcastSchedule s;
+  s.children.resize(static_cast<std::size_t>(p));
+  s.informed_at.assign(static_cast<std::size_t>(p), 0);
+
+  // (next submission time, processor), earliest first; ties by id for
+  // determinism.
+  using Slot = std::pair<Time, ProcId>;
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> ready;
+  ready.emplace(prm.o, ProcId{0});  // root's first submission at t = o
+
+  for (ProcId next = 1; next < p; ++next) {
+    const auto [submit, src] = ready.top();
+    ready.pop();
+    s.children[static_cast<std::size_t>(src)].push_back(next);
+    // Worst-case delivery at submit+L; acquisition costs o; the new
+    // processor's own first submission needs o more.
+    const Time informed = submit + prm.L + prm.o;
+    s.informed_at[static_cast<std::size_t>(next)] = informed;
+    ready.emplace(submit + prm.G, src);      // src's next slot (gap rule)
+    ready.emplace(informed + prm.o, next);   // recruit joins the senders
+  }
+  return s;
+}
+
+logp::Task<Word> reduce_opt(Mailbox& mb, Word local, ReduceOp op,
+                            const BroadcastSchedule& schedule) {
+  logp::Proc& p = mb.proc();
+  const ProcId me = p.id();
+  const logp::Params& prm = p.params();
+  BSPLOGP_EXPECTS(std::cmp_equal(schedule.children.size(),
+                                 static_cast<std::size_t>(p.nprocs())));
+  // Time-reversal: the broadcast message (v -> c) submitted at
+  // sigma = informed_at[c] - L - o becomes a reverse message (c -> v)
+  // submitted at T - sigma - L. T leaves room for the earliest slot.
+  const Time horizon = schedule.makespan() + 2 * (prm.L + prm.o);
+
+  const auto& kids = schedule.children[static_cast<std::size_t>(me)];
+  Word acc = local;
+  for (std::size_t k = 0; k < kids.size(); ++k) {
+    const Message m = co_await mb.recv_channel(Channel::kCbUp);
+    acc = apply(op, acc, m.payload);
+  }
+  if (me != 0) {
+    // Find my parent: the node whose child list contains me.
+    ProcId parent = -1;
+    for (ProcId v = 0; v < p.nprocs(); ++v)
+      for (const ProcId c : schedule.children[static_cast<std::size_t>(v)])
+        if (c == me) parent = v;
+    BSPLOGP_ASSERT(parent >= 0);
+    const Time sigma =
+        schedule.informed_at[static_cast<std::size_t>(me)] - prm.L - prm.o;
+    const Time submit = horizon - sigma - prm.L;
+    co_await p.wait_until(std::max(p.now(), submit - prm.o));
+    co_await p.send(parent, acc, 0, 0, Channel::kCbUp);
+  }
+  co_return acc;
+}
+
+logp::Task<Word> broadcast_opt(Mailbox& mb, Word value,
+                               const BroadcastSchedule& schedule) {
+  logp::Proc& p = mb.proc();
+  const ProcId me = p.id();
+  BSPLOGP_EXPECTS(std::cmp_equal(schedule.children.size(),
+                                 static_cast<std::size_t>(p.nprocs())));
+  Word v = value;
+  if (me != 0) v = (co_await mb.recv_channel(Channel::kBroadcast)).payload;
+  for (const ProcId c : schedule.children[static_cast<std::size_t>(me)])
+    co_await p.send(c, v, 0, 0, Channel::kBroadcast);
+  co_return v;
+}
+
+}  // namespace bsplogp::algo

@@ -1,0 +1,53 @@
+// Optimal-style single-item broadcast for LogP, after Karp, Sahay, Santos,
+// Schauser (SPAA'93), cited by the paper ([17]) as the alternative
+// tree-based CB/broadcast whose time is not in closed form.
+//
+// The idea: every informed processor keeps transmitting to new processors,
+// one submission every G steps; the greedy schedule that always directs the
+// earliest available submission to the earliest still-uninformed slot is
+// optimal in the LogP cost model. The schedule depends only on (p, L, o, G),
+// so it is computed offline and executed as a static tree.
+#pragma once
+
+#include <vector>
+
+#include "src/algo/mailbox.h"
+#include "src/algo/reduce_op.h"
+#include "src/core/types.h"
+#include "src/logp/machine.h"
+#include "src/logp/task.h"
+
+namespace bsplogp::algo {
+
+struct BroadcastSchedule {
+  /// children[i] = destinations processor i transmits to, in send order.
+  std::vector<std::vector<ProcId>> children;
+  /// informed_at[i] = model time the schedule predicts processor i becomes
+  /// ready to act on the value (root: 0). Worst-case (delivery = L).
+  std::vector<Time> informed_at;
+  /// Predicted completion: max over processors of informed_at.
+  [[nodiscard]] Time makespan() const;
+};
+
+/// Builds the greedy broadcast schedule for p processors rooted at 0.
+[[nodiscard]] BroadcastSchedule optimal_broadcast_schedule(
+    ProcId p, const logp::Params& prm);
+
+/// Executes `schedule` to broadcast processor 0's `value`; returns it on
+/// every processor. Stall-free: every processor receives exactly one
+/// message.
+[[nodiscard]] logp::Task<Word> broadcast_opt(Mailbox& mb, Word value,
+                                             const BroadcastSchedule& schedule);
+
+/// Optimal-style reduction: the exact time reversal of `schedule` (Karp et
+/// al.'s observation that summation mirrors broadcast in LogP). Each
+/// message of the broadcast becomes a reverse message with a prescribed
+/// submission slot, so arrivals at every node stay G-spaced — stall-free —
+/// and the makespan mirrors the broadcast's. Returns the reduction of all
+/// `local` values under `op` at processor 0 (other processors return their
+/// subtree's partial).
+[[nodiscard]] logp::Task<Word> reduce_opt(Mailbox& mb, Word local,
+                                          ReduceOp op,
+                                          const BroadcastSchedule& schedule);
+
+}  // namespace bsplogp::algo

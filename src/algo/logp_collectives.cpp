@@ -1,0 +1,151 @@
+#include "src/algo/logp_collectives.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "src/algo/mailbox.h"
+#include "src/algo/tree.h"
+#include "src/core/contracts.h"
+
+namespace bsplogp::algo {
+
+namespace {
+
+/// Smallest S >= earliest with S = k*L and k of the given parity — the
+/// paper's transmission slots for the binary-tree (capacity 1) case.
+Time next_parity_slot(Time earliest, Time L, Time parity) {
+  Time k = ceil_div(earliest, L);
+  if ((k & 1) != parity) ++k;
+  return k * L;
+}
+
+/// Sends to the parent, honoring the parity slot rule when capacity is 1
+/// and the tree is the canonical binary one.
+logp::Task<> send_up(Mailbox& mb, const DAryTree& tree, Word value) {
+  logp::Proc& p = mb.proc();
+  const logp::Params& prm = p.params();
+  if (prm.capacity() == 1 && tree.arity() == 2) {
+    const Time parity = tree.child_index(p.id()) % 2;
+    const Time slot = next_parity_slot(p.earliest_submit(), prm.L, parity);
+    co_await p.wait_until(slot - prm.o);
+  }
+  co_await p.send(tree.parent(p.id()), value, 0, 0, Channel::kCbUp);
+}
+
+}  // namespace
+
+ProcId cb_arity(const logp::Params& prm) {
+  return static_cast<ProcId>(std::max<Time>(2, prm.capacity()));
+}
+
+logp::Task<Word> combine_broadcast(Mailbox& mb, Word local, ReduceOp op) {
+  return combine_broadcast_arity(mb, local, op, cb_arity(mb.proc().params()));
+}
+
+logp::Task<Word> combine_broadcast_arity(Mailbox& mb, Word local, ReduceOp op,
+                                         ProcId arity) {
+  logp::Proc& p = mb.proc();
+  const DAryTree tree(p.nprocs(), arity);
+  const ProcId me = p.id();
+  const std::vector<ProcId> kids = tree.children(me);
+
+  // Ascend: combine the inputs of this node's subtree.
+  Word acc = local;
+  for (std::size_t k = 0; k < kids.size(); ++k) {
+    const Message m = co_await mb.recv_channel(Channel::kCbUp);
+    acc = apply(op, acc, m.payload);
+  }
+  // Forward to the parent and wait for the global result to descend.
+  if (!tree.is_root(me)) {
+    co_await send_up(mb, tree, acc);
+    acc = (co_await mb.recv_channel(Channel::kCbDown)).payload;
+  }
+  // Descend: broadcast the result into the subtree.
+  for (const ProcId c : kids)
+    co_await p.send(c, acc, 0, 0, Channel::kCbDown);
+  co_return acc;
+}
+
+logp::Task<> barrier(Mailbox& mb) {
+  // CB with AND over all-ones: returns (to everyone) only after everyone
+  // joined. The value is 1 by construction; discard it.
+  (void)co_await combine_broadcast(mb, 1, ReduceOp::And);
+}
+
+logp::Task<Word> tree_broadcast(Mailbox& mb, Word value) {
+  logp::Proc& p = mb.proc();
+  const DAryTree tree(p.nprocs(), cb_arity(p.params()));
+  const ProcId me = p.id();
+  Word v = value;
+  if (!tree.is_root(me))
+    v = (co_await mb.recv_channel(Channel::kBroadcast)).payload;
+  for (const ProcId c : tree.children(me))
+    co_await p.send(c, v, 0, 0, Channel::kBroadcast);
+  co_return v;
+}
+
+logp::Task<Word> prefix_scan(Mailbox& mb, Word local, ReduceOp op) {
+  logp::Proc& p = mb.proc();
+  const ProcId np = p.nprocs();
+  const ProcId me = p.id();
+  Word acc = local;  // inclusive prefix of the inputs in (me - 2^k, me]
+  for (std::int32_t k = 0; (ProcId{1} << k) < np; ++k) {
+    const ProcId stride = ProcId{1} << k;
+    if (me + stride < np)
+      co_await p.send(me + stride, acc, k, 0, Channel::kScan);
+    if (me >= stride) {
+      // Rounds are tagged: a fast left neighbor's round-(k+1) message can
+      // overtake a slow one's round-k message in transit.
+      const Message m = co_await mb.recv_channel_tag(Channel::kScan, k);
+      acc = apply(op, m.payload, acc);
+    }
+  }
+  co_return acc;
+}
+
+logp::Task<Word> scatter(Mailbox& mb, std::span<const Word> values) {
+  logp::Proc& p = mb.proc();
+  BSPLOGP_EXPECTS(std::cmp_equal(values.size(), p.nprocs()));
+  if (p.id() == 0) {
+    for (ProcId d = 1; d < p.nprocs(); ++d)
+      co_await p.send(d, values[static_cast<std::size_t>(d)], 0, 0,
+                      Channel::kData);
+    co_return values[0];
+  }
+  co_return (co_await mb.recv_channel(Channel::kData)).payload;
+}
+
+logp::Task<std::vector<Word>> gather(Mailbox& mb, Word local, Time start) {
+  logp::Proc& p = mb.proc();
+  const ProcId np = p.nprocs();
+  if (p.id() != 0) {
+    if (start >= 0) {
+      // G-staggered slots keep the fan-in within the capacity constraint.
+      const Time slot = start + static_cast<Time>(p.id()) * p.params().G;
+      co_await p.wait_until(std::max(p.now(), slot - p.params().o));
+    }
+    co_await p.send(0, local, p.id(), 0, Channel::kData);
+    co_return std::vector<Word>{};
+  }
+  std::vector<Word> out(static_cast<std::size_t>(np), 0);
+  out[0] = local;
+  for (ProcId k = 1; k < np; ++k) {
+    const Message m = co_await mb.recv_channel(Channel::kData);
+    out[static_cast<std::size_t>(m.src)] = m.payload;
+  }
+  co_return out;
+}
+
+Time cb_time_bound(const logp::Params& prm, ProcId p) {
+  const DAryTree tree(p, cb_arity(prm));
+  const Time levels = tree.height();
+  // Each level costs at most one send (o + gap slack) plus one delivery
+  // (L) plus one acquisition (o) in each phase; the paper's constant is 3.
+  Time per_level = 3 * (prm.L + prm.o);
+  // The parity rule can add up to one 2L slot-alignment wait per level.
+  if (prm.capacity() == 1) per_level += 2 * prm.L;
+  return per_level * std::max<Time>(levels, 1) + 4 * (prm.L + prm.o);
+}
+
+}  // namespace bsplogp::algo

@@ -1,0 +1,90 @@
+// LogP collectives from Section 4.1 of the paper, written as composable
+// coroutine sub-tasks: Combine-and-Broadcast (CB), the barrier built on it,
+// tree broadcast, and a prefix scan.
+//
+// CB runs on a complete max{2, ceil(L/G)}-ary tree: with arity equal to the
+// capacity threshold, no more than ceil(L/G) messages are ever in transit
+// to one node, so the algorithm is stall-free by construction. For
+// ceil(L/G) = 1 the tree is binary and the paper's parity rule applies:
+// transmissions to the parent occur only at even multiples of L for left
+// children and odd multiples for right children, keeping at most one
+// message in transit per parent.
+//
+// Running time (Proposition 2): T_CB = O(L log p / log(1 + ceil(L/G))),
+// measured from the joining time of the latest processor — the algorithm is
+// correct when processors join at different times, which is exactly what
+// the superstep synchronization of Theorem 2 needs.
+//
+// All collectives receive through a Mailbox so they compose with other
+// protocol layers running on the same processors (see mailbox.h).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/algo/mailbox.h"
+#include "src/algo/reduce_op.h"
+#include "src/core/types.h"
+#include "src/logp/machine.h"
+#include "src/logp/task.h"
+
+namespace bsplogp::algo {
+
+/// The tree arity CB uses for the given machine parameters:
+/// max{2, ceil(L/G)}.
+[[nodiscard]] ProcId cb_arity(const logp::Params& prm);
+
+/// Combine-and-Broadcast: combines every processor's `local` under `op` and
+/// returns the result to all processors. Stall-free for any join times.
+[[nodiscard]] logp::Task<Word> combine_broadcast(Mailbox& mb, Word local,
+                                                 ReduceOp op);
+
+/// CB on a tree of explicit arity — the ablation hook behind the paper's
+/// max{2, ceil(L/G)} choice. Arities above the capacity threshold can make
+/// the ascend phase stall (that is the experiment); the parity rule is
+/// applied only in the canonical binary/capacity-1 case.
+[[nodiscard]] logp::Task<Word> combine_broadcast_arity(Mailbox& mb,
+                                                       Word local,
+                                                       ReduceOp op,
+                                                       ProcId arity);
+
+/// Barrier synchronization: CB with AND over 1-inputs (Section 4's
+/// superstep synchronization). Completes, on every processor, only after
+/// every processor has joined.
+[[nodiscard]] logp::Task<> barrier(Mailbox& mb);
+
+/// One-to-all broadcast of processor 0's `value` down the CB tree (the
+/// descend phase of CB alone). Returns the broadcast value on every
+/// processor; `value` is ignored on non-roots. Stall-free at any capacity.
+[[nodiscard]] logp::Task<Word> tree_broadcast(Mailbox& mb, Word value);
+
+/// Inclusive prefix scan over processor ids (Hillis–Steele doubling,
+/// ceil(log2 p) rounds, one message sent/received per processor per round).
+/// Out-of-order round arrivals are handled by tagged receives. With
+/// ceil(L/G) = 1, adjacent rounds can transiently stall; prefer capacity
+/// >= 2 machines when stall-freeness matters.
+[[nodiscard]] logp::Task<Word> prefix_scan(Mailbox& mb, Word local,
+                                           ReduceOp op);
+
+/// Closed-form bound on CB completion time used by tests and benches:
+/// the paper's 3(L+o) per level over ceil(log p / log(1+ceil(L/G))) levels,
+/// plus slot-alignment slack for the capacity-1 parity rule.
+[[nodiscard]] Time cb_time_bound(const logp::Params& prm, ProcId p);
+
+/// Scatter: processor 0 holds `values` (one word per processor) and
+/// delivers values[i] to processor i, pipelined at the gap. Returns each
+/// processor's word. Stall-free (distinct destinations).
+[[nodiscard]] logp::Task<Word> scatter(Mailbox& mb,
+                                       std::span<const Word> values);
+
+/// Gather: every processor's `local` word is collected at processor 0,
+/// which returns the vector indexed by source (other processors return an
+/// empty vector). `start` is a common base time for the senders'
+/// G-staggered slots; with one it is stall-free (the fan-in stays within
+/// capacity), without (start = -1) senders transmit immediately and the
+/// Stalling Rule absorbs the burst (same asymptotic time — the Section-2.2
+/// anomaly).
+[[nodiscard]] logp::Task<std::vector<Word>> gather(Mailbox& mb, Word local,
+                                                   Time start = -1);
+
+}  // namespace bsplogp::algo

@@ -1,0 +1,50 @@
+// Associative reduction operators shared by the LogP and BSP collectives.
+// A closed enum (rather than callables) keeps collective frames small and
+// runs reproducible; every operator the paper's algorithms need is here
+// (CB is invoked with AND for barriers, MAX for degree computation, and the
+// lower bound of Proposition 1 is stated for OR).
+#pragma once
+
+#include <limits>
+
+#include "src/core/types.h"
+
+namespace bsplogp::algo {
+
+enum class ReduceOp { Sum, Max, Min, And, Or };
+
+[[nodiscard]] constexpr Word apply(ReduceOp op, Word a, Word b) {
+  switch (op) {
+    case ReduceOp::Sum:
+      return a + b;
+    case ReduceOp::Max:
+      return a > b ? a : b;
+    case ReduceOp::Min:
+      return a < b ? a : b;
+    case ReduceOp::And:
+      return (a != 0 && b != 0) ? 1 : 0;
+    case ReduceOp::Or:
+      return (a != 0 || b != 0) ? 1 : 0;
+  }
+  return 0;
+}
+
+/// Identity element of op (x = apply(op, x, identity(op)) for all inputs
+/// the collectives feed it).
+[[nodiscard]] constexpr Word identity(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::Sum:
+      return 0;
+    case ReduceOp::Max:
+      return std::numeric_limits<Word>::min();
+    case ReduceOp::Min:
+      return std::numeric_limits<Word>::max();
+    case ReduceOp::And:
+      return 1;
+    case ReduceOp::Or:
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace bsplogp::algo

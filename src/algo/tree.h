@@ -1,0 +1,65 @@
+// Complete d-ary tree over processor ids in BFS order: the communication
+// structure of the paper's Combine-and-Broadcast algorithm (Section 4.1),
+// which uses a complete max{2, ceil(L/G)}-ary tree with p nodes.
+#pragma once
+
+#include <vector>
+
+#include "src/core/contracts.h"
+#include "src/core/types.h"
+
+namespace bsplogp::algo {
+
+/// Nodes are 0..p-1; node 0 is the root; node i's children are
+/// d*i+1 .. d*i+d (those < p) and its parent is (i-1)/d.
+class DAryTree {
+ public:
+  DAryTree(ProcId p, ProcId arity) : p_(p), d_(arity) {
+    BSPLOGP_EXPECTS(p >= 1);
+    BSPLOGP_EXPECTS(arity >= 2);
+  }
+
+  [[nodiscard]] ProcId size() const { return p_; }
+  [[nodiscard]] ProcId arity() const { return d_; }
+  [[nodiscard]] bool is_root(ProcId i) const { return i == 0; }
+
+  [[nodiscard]] ProcId parent(ProcId i) const {
+    BSPLOGP_EXPECTS(i > 0 && i < p_);
+    return (i - 1) / d_;
+  }
+
+  /// Position of i among its parent's children, 0-based.
+  [[nodiscard]] ProcId child_index(ProcId i) const {
+    BSPLOGP_EXPECTS(i > 0 && i < p_);
+    return (i - 1) % d_;
+  }
+
+  [[nodiscard]] std::vector<ProcId> children(ProcId i) const {
+    BSPLOGP_EXPECTS(i >= 0 && i < p_);
+    std::vector<ProcId> out;
+    const std::int64_t first = std::int64_t{d_} * i + 1;
+    for (std::int64_t c = first; c < first + d_ && c < p_; ++c)
+      out.push_back(static_cast<ProcId>(c));
+    return out;
+  }
+
+  /// Distance from the root (root has depth 0).
+  [[nodiscard]] int depth(ProcId i) const {
+    BSPLOGP_EXPECTS(i >= 0 && i < p_);
+    int dep = 0;
+    while (i != 0) {
+      i = parent(i);
+      ++dep;
+    }
+    return dep;
+  }
+
+  /// Height of the whole tree: max depth over nodes.
+  [[nodiscard]] int height() const { return p_ > 1 ? depth(p_ - 1) : 0; }
+
+ private:
+  ProcId p_;
+  ProcId d_;
+};
+
+}  // namespace bsplogp::algo

@@ -1,0 +1,109 @@
+#include "src/bsp/machine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/core/contracts.h"
+
+namespace bsplogp::bsp {
+
+void Ctx::send(ProcId dst, Word payload, std::int32_t tag) {
+  send_msg(Message{pid_, dst, payload, tag});
+}
+
+void Ctx::send_msg(Message m) {
+  BSPLOGP_EXPECTS(m.dst >= 0 && m.dst < nprocs_);
+  m.src = pid_;
+  outbox_.push_back(m);
+  work_ += 1;  // inserting into the output pool is a local operation
+}
+
+void Ctx::charge(Time ops) {
+  BSPLOGP_EXPECTS(ops >= 0);
+  work_ += ops;
+}
+
+Machine::Machine(ProcId nprocs, Params params, Options options)
+    : nprocs_(nprocs), params_(params), options_(options) {
+  BSPLOGP_EXPECTS(nprocs >= 1);
+  params_.validate();
+  BSPLOGP_EXPECTS(options_.max_supersteps >= 1);
+}
+
+RunStats Machine::run(std::span<const std::unique_ptr<ProcProgram>> programs) {
+  BSPLOGP_EXPECTS(std::cmp_equal(programs.size(), nprocs_));
+  for (const auto& prog : programs) BSPLOGP_EXPECTS(prog != nullptr);
+
+  const auto np = static_cast<std::size_t>(nprocs_);
+  // inboxes[i]: messages delivered to processor i at the start of the
+  // current superstep; refilled (and the old contents discarded, as the
+  // model prescribes) by each communication phase.
+  std::vector<std::vector<Message>> inboxes(np);
+  std::vector<std::vector<Message>> outboxes(np);
+  core::Rng shuffle_rng(options_.shuffle_seed);
+
+  RunStats stats;
+  for (std::int64_t step = 0;; ++step) {
+    if (step >= options_.max_supersteps) {
+      stats.hit_superstep_limit = true;
+      break;
+    }
+
+    // --- Local computation phase (all processors, any order: they cannot
+    // observe each other within a superstep).
+    SuperstepCost cost;
+    bool any_continue = false;
+    for (ProcId i = 0; i < nprocs_; ++i) {
+      auto& inbox = inboxes[static_cast<std::size_t>(i)];
+      auto& outbox = outboxes[static_cast<std::size_t>(i)];
+      Time work = static_cast<Time>(inbox.size());  // pool extraction cost
+      Ctx ctx(i, nprocs_, step, inbox, outbox, work);
+      const bool wants_more = programs[static_cast<std::size_t>(i)]->step(ctx);
+      any_continue = any_continue || wants_more;
+      cost.w = std::max(cost.w, work);
+    }
+
+    // --- Communication phase: route the h-relation formed by the output
+    // pools. h is the max over processors of messages sent or received.
+    std::vector<Time> received(np, 0);
+    Time sent_max = 0;
+    for (ProcId i = 0; i < nprocs_; ++i) {
+      auto& outbox = outboxes[static_cast<std::size_t>(i)];
+      sent_max = std::max(sent_max, static_cast<Time>(outbox.size()));
+      for (const Message& m : outbox)
+        received[static_cast<std::size_t>(m.dst)] += 1;
+    }
+    Time recv_max = 0;
+    for (Time r : received) recv_max = std::max(recv_max, r);
+    cost.h = std::max(sent_max, recv_max);
+
+    // Deliver: new input pools replace the old ones.
+    for (auto& inbox : inboxes) inbox.clear();
+    for (ProcId i = 0; i < nprocs_; ++i) {
+      auto& outbox = outboxes[static_cast<std::size_t>(i)];
+      for (Message& m : outbox) {
+        stats.messages += 1;
+        inboxes[static_cast<std::size_t>(m.dst)].push_back(m);
+      }
+      outbox.clear();
+    }
+    // Iterating senders in id order already yields SourceOrder pools.
+    if (options_.inbox_order == InboxOrder::Shuffled) {
+      for (auto& inbox : inboxes)
+        std::shuffle(inbox.begin(), inbox.end(), shuffle_rng);
+    }
+
+    stats.time += cost.total(params_);
+    stats.supersteps += 1;
+    stats.trace.push_back(cost);
+
+    if (!any_continue) {
+      // The model delivers the final pools, but no processor will look at
+      // them: every program has halted.
+      break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace bsplogp::bsp

@@ -1,0 +1,49 @@
+// The BSP abstract machine: executes per-processor programs superstep by
+// superstep and accounts the exact model cost  sum_s (w_s + g*h_s + l).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/bsp/params.h"
+#include "src/bsp/program.h"
+#include "src/core/rng.h"
+#include "src/core/types.h"
+
+namespace bsplogp::bsp {
+
+/// Order in which a processor's input pool presents its messages. The model
+/// leaves it unspecified; SourceOrder is deterministic (sorted by sender,
+/// then by insertion order at the sender), Shuffled exercises
+/// order-independence in tests.
+enum class InboxOrder { SourceOrder, Shuffled };
+
+class Machine {
+ public:
+  struct Options {
+    std::int64_t max_supersteps = 1'000'000;
+    InboxOrder inbox_order = InboxOrder::SourceOrder;
+    /// Seed for InboxOrder::Shuffled.
+    std::uint64_t shuffle_seed = 0;
+  };
+
+  Machine(ProcId nprocs, Params params) : Machine(nprocs, params, Options{}) {}
+  Machine(ProcId nprocs, Params params, Options options);
+
+  /// Runs one program per processor to completion (all programs return
+  /// false in the same superstep) or to the superstep limit. The caller
+  /// retains ownership of the programs and can read results out of them
+  /// afterwards.
+  RunStats run(std::span<const std::unique_ptr<ProcProgram>> programs);
+
+  [[nodiscard]] ProcId nprocs() const { return nprocs_; }
+  [[nodiscard]] const Params& params() const { return params_; }
+
+ private:
+  ProcId nprocs_;
+  Params params_;
+  Options options_;
+};
+
+}  // namespace bsplogp::bsp

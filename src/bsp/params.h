@@ -1,0 +1,58 @@
+// BSP cost-model parameters and per-run cost records (paper, Section 2.1).
+//
+// A superstep with at most w local operations per processor and an
+// h-relation costs  T_superstep = w + g*h + l  (Relation (1) in the paper);
+// the cost of a computation is the sum over its supersteps. 1/g is the
+// per-processor bandwidth of the communication medium and l upper-bounds the
+// barrier-synchronization time. The same BSP program runs, and gives the
+// same results, for any (g, l): the parameters price a run, they never steer
+// it — the Machine enforces that separation by keeping them out of the
+// execution path entirely.
+#pragma once
+
+#include <vector>
+
+#include "src/core/contracts.h"
+#include "src/core/types.h"
+
+namespace bsplogp::bsp {
+
+/// Machine parameters: bandwidth gap g and barrier latency l, both in
+/// unit-operation steps.
+struct Params {
+  Time g = 1;
+  Time l = 1;
+
+  void validate() const {
+    BSPLOGP_EXPECTS(g >= 1);
+    BSPLOGP_EXPECTS(l >= 1);
+  }
+};
+
+/// Exact cost breakdown of one superstep.
+struct SuperstepCost {
+  /// max over processors of local operations performed.
+  Time w = 0;
+  /// max over processors of max(messages sent, messages received): the
+  /// degree of the routed h-relation.
+  Time h = 0;
+
+  [[nodiscard]] Time total(const Params& p) const { return w + p.g * h + p.l; }
+};
+
+/// Aggregate result of running a BSP program.
+struct RunStats {
+  /// Total model time: sum of superstep costs.
+  Time time = 0;
+  /// Number of supersteps executed (>= 1 for any program that ran).
+  std::int64_t supersteps = 0;
+  /// Total messages transferred across all supersteps.
+  std::int64_t messages = 0;
+  /// Per-superstep breakdown, in execution order.
+  std::vector<SuperstepCost> trace;
+  /// True if the run stopped because it hit the superstep limit rather than
+  /// because every processor halted.
+  bool hit_superstep_limit = false;
+};
+
+}  // namespace bsplogp::bsp

@@ -1,0 +1,4 @@
+#include "src/core/rng.h"
+
+// Header-only today; the translation unit anchors the library and keeps a
+// home for any future out-of-line distribution helpers.

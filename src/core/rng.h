@@ -1,0 +1,99 @@
+// Deterministic, splittable pseudo-randomness for simulations.
+//
+// Every stochastic piece of the library (randomized routing batches,
+// delivery-time policies, workload generators) draws from an Rng seeded from
+// a single experiment seed, so each experiment is reproducible from the seed
+// its harness prints. SplitMix64 is used for seeding/splitting and
+// xoshiro256** as the bulk generator — both tiny, well-studied, and free of
+// the std::mt19937 cross-platform seeding pitfalls.
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/contracts.h"
+
+namespace bsplogp::core {
+
+/// SplitMix64 step: maps any 64-bit state to a well-mixed output. Used to
+/// derive independent child seeds and to initialize xoshiro state.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator with helpers for the distributions the library
+/// needs. Satisfies UniformRandomBitGenerator, so it also works with <random>
+/// and <algorithm> (e.g. std::shuffle).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection
+  /// method: unbiased without the modulo bias of `() % bound`.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) {
+    BSPLOGP_EXPECTS(bound > 0);
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  [[nodiscard]] std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    BSPLOGP_EXPECTS(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability prob.
+  [[nodiscard]] bool flip(double prob) { return uniform01() < prob; }
+
+  /// Derives an independent child generator; the parent advances once, so
+  /// successive splits are independent of each other too.
+  [[nodiscard]] Rng split() { return Rng((*this)()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace bsplogp::core

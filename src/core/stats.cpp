@@ -1,0 +1,64 @@
+#include "src/core/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/contracts.h"
+
+namespace bsplogp::core {
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  BSPLOGP_EXPECTS(x.size() == y.size());
+  BSPLOGP_EXPECTS(x.size() >= 2);
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  BSPLOGP_EXPECTS(sxx > 0.0);
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+double mean(std::span<const double> v) {
+  BSPLOGP_EXPECTS(!v.empty());
+  double s = 0;
+  for (double d : v) s += d;
+  return s / static_cast<double>(v.size());
+}
+
+double stddev(std::span<const double> v) {
+  BSPLOGP_EXPECTS(v.size() >= 2);
+  const double m = mean(v);
+  double s = 0;
+  for (double d : v) s += (d - m) * (d - m);
+  return std::sqrt(s / static_cast<double>(v.size() - 1));
+}
+
+double quantile(std::span<const double> v, double q) {
+  BSPLOGP_EXPECTS(!v.empty());
+  BSPLOGP_EXPECTS(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(v.begin(), v.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace bsplogp::core

@@ -1,0 +1,32 @@
+// Small statistics helpers used by the benchmark harnesses: the Section-5
+// experiments fit measured routing times T(h) to the affine model
+// T = gamma*h + delta to extract per-topology bandwidth/latency parameters,
+// and several experiments summarize distributions over seeds.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace bsplogp::core {
+
+/// Result of an ordinary least-squares fit of y = slope*x + intercept,
+/// with the coefficient of determination for judging fit quality.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Least-squares fit over paired samples. Requires >= 2 points and
+/// non-constant x.
+[[nodiscard]] LinearFit fit_linear(std::span<const double> x,
+                                   std::span<const double> y);
+
+[[nodiscard]] double mean(std::span<const double> v);
+[[nodiscard]] double stddev(std::span<const double> v);
+
+/// q-quantile (0 <= q <= 1) by linear interpolation of the sorted sample.
+/// Copies and sorts internally; fine at harness scale.
+[[nodiscard]] double quantile(std::span<const double> v, double q);
+
+}  // namespace bsplogp::core

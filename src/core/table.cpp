@@ -1,0 +1,50 @@
+#include "src/core/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "src/core/contracts.h"
+
+namespace bsplogp::core {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  BSPLOGP_EXPECTS(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  BSPLOGP_EXPECTS(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << std::string(widths[c] - row[c].size(), ' ');
+      os << (c + 1 < row.size() ? "  " : "");
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w;
+  os << std::string(total + 2 * (widths.size() - 1), '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt(std::int64_t v) { return std::to_string(v); }
+
+}  // namespace bsplogp::core

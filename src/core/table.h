@@ -1,0 +1,35 @@
+// Plain-text table printer for the benchmark harnesses. Every experiment in
+// EXPERIMENTS.md is regenerated as an aligned table (the paper's Table 1 and
+// the per-theorem sweeps), so the formatting lives in one place.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bsplogp::core {
+
+/// Collects rows of strings and prints them with columns padded to the
+/// widest cell. Numeric formatting is left to the caller (helpers below).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with a header underline and two-space column gaps.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double -> string (default 2 decimals).
+[[nodiscard]] std::string fmt(double v, int precision = 2);
+[[nodiscard]] std::string fmt(std::int64_t v);
+
+}  // namespace bsplogp::core

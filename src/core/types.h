@@ -1,0 +1,75 @@
+// Shared vocabulary types for the BSP and LogP machines.
+//
+// Both models (paper, Section 2) are defined over p serial processors with
+// ids 0..p-1 exchanging point-to-point messages; model time advances in
+// integer steps whose unit is the duration of one local operation. We keep
+// those two quantities as distinct aliases so signatures say which one they
+// mean, and use signed 64-bit throughout: superstep costs are sums of
+// products (w + g*h + l) that can overflow 32 bits in large sweeps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bsplogp {
+
+/// Processor identifier, 0-based, < p.
+using ProcId = std::int32_t;
+
+/// Model time in unit-operation steps (BSP: accumulated superstep cost;
+/// LogP: the global step counter).
+using Time = std::int64_t;
+
+/// Message payload word. The models charge per message, independent of
+/// content, so one machine word is enough for every algorithm in the paper;
+/// algorithms needing records pack them or send several messages.
+using Word = std::int64_t;
+
+/// A point-to-point message, the unit of communication in both models.
+struct Message {
+  ProcId src = -1;
+  ProcId dst = -1;
+  Word payload = 0;
+  /// Algorithm-level tag (e.g. CB round, sort lane). Not charged by either
+  /// cost model; real implementations carry it in the message header.
+  std::int32_t tag = 0;
+  /// Scratch header word for protocols that forward messages through
+  /// intermediaries (e.g. Theorem 2's sort-and-route carries the final BSP
+  /// destination here). Like tag, it models header bits, not payload.
+  Word aux = 0;
+  /// Protocol channel for demultiplexing when independent protocol layers
+  /// (collectives, routing cycles, application data) share a processor's
+  /// input buffer — see algo::Mailbox. Header bits, not charged.
+  std::int32_t channel = 0;
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+/// ceil(a/b) for non-negative a, positive b.
+[[nodiscard]] constexpr std::int64_t ceil_div(std::int64_t a,
+                                              std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// floor(log2(x)) for x >= 1.
+[[nodiscard]] constexpr int floor_log2(std::int64_t x) {
+  int r = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+/// ceil(log2(x)) for x >= 1.
+[[nodiscard]] constexpr int ceil_log2(std::int64_t x) {
+  int r = floor_log2(x);
+  return (std::int64_t{1} << r) == x ? r : r + 1;
+}
+
+/// True iff x is a power of two (x >= 1).
+[[nodiscard]] constexpr bool is_pow2(std::int64_t x) {
+  return x >= 1 && (x & (x - 1)) == 0;
+}
+
+}  // namespace bsplogp

@@ -1,0 +1,279 @@
+#include "src/logp/machine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/core/contracts.h"
+
+namespace bsplogp::logp {
+
+// ---- EngineProc -------------------------------------------------------------
+
+ProcId EngineProc::nprocs() const { return machine_.nprocs(); }
+const Params& EngineProc::params() const { return machine_.params(); }
+
+void EngineProc::issue_wait(Time target, std::coroutine_handle<> frame) {
+  BSPLOGP_EXPECTS(target > clock_);
+  frame_ = frame;
+  status_ = Status::ComputeWait;
+  clock_ = target;
+  machine_.push(target, Machine::Phase::Processor,
+                Machine::EventKind::Resume, id_);
+}
+
+void EngineProc::issue_send(Message m, std::coroutine_handle<> frame) {
+  BSPLOGP_EXPECTS(m.dst >= 0 && m.dst < machine_.nprocs());
+  // The model's messages go to *another* processor; local hand-offs are
+  // local operations, not communication.
+  BSPLOGP_EXPECTS(m.dst != id_);
+  frame_ = frame;
+  status_ = Status::SubmitWait;
+  const Time s = earliest_submit();
+  submit_time_ = s;
+  clock_ = s;  // occupied (prep + gap wait) until the submission step
+  out_ = m;
+  machine_.push(s, Machine::Phase::Processor, Machine::EventKind::Submit, id_);
+}
+
+void EngineProc::issue_recv(std::coroutine_handle<> frame) {
+  frame_ = frame;
+  Time e = clock_;
+  if (has_acquired_) e = std::max(e, last_acquire_ + machine_.params().G);
+  recv_earliest_ = e;
+  status_ = Status::RecvPoll;
+  machine_.push(e, Machine::Phase::Processor, Machine::EventKind::RecvCheck,
+                id_);
+}
+
+// ---- Machine --------------------------------------------------------------
+
+Machine::Machine(ProcId nprocs, Params params, Options options)
+    : nprocs_(nprocs), params_(params), options_(options) {
+  BSPLOGP_EXPECTS(nprocs >= 1);
+  params_.validate();
+  BSPLOGP_EXPECTS(options_.max_time >= 1);
+}
+
+RunStats Machine::run(const ProgramFn& program) {
+  std::vector<ProgramFn> programs(static_cast<std::size_t>(nprocs_), program);
+  return run(std::span<const ProgramFn>(programs));
+}
+
+void Machine::push(Time t, Phase phase, EventKind kind, ProcId proc,
+                   Message msg) {
+  events_.push(Event{t, phase, next_seq_++, kind, proc, msg});
+}
+
+Time Machine::choose_delivery_slot(DstState& dst, Time accept_time) {
+  const Time lo = accept_time + 1;
+  const Time hi = accept_time + params_.L;
+  auto free_slot = [&](Time s) { return dst.delivery_slots.count(s) == 0; };
+  switch (options_.delivery) {
+    case DeliverySchedule::Earliest:
+      for (Time s = lo; s <= hi; ++s)
+        if (free_slot(s)) return s;
+      break;
+    case DeliverySchedule::Latest:
+      for (Time s = hi; s >= lo; --s)
+        if (free_slot(s)) return s;
+      break;
+    case DeliverySchedule::UniformRandom: {
+      // Occupied slots number < capacity <= L, so random probing converges
+      // fast; fall back to an exhaustive scan for tiny windows.
+      for (int tries = 0; tries < 64; ++tries) {
+        const Time s = lo + static_cast<Time>(rng_.below(
+                                 static_cast<std::uint64_t>(hi - lo + 1)));
+        if (free_slot(s)) return s;
+      }
+      std::vector<Time> free;
+      for (Time s = lo; s <= hi; ++s)
+        if (free_slot(s)) free.push_back(s);
+      BSPLOGP_ASSERT(!free.empty());
+      return free[rng_.below(free.size())];
+    }
+  }
+  // The capacity constraint guarantees a free slot exists in the window.
+  BSPLOGP_ASSERT(false && "no free delivery slot");
+  return lo;
+}
+
+void Machine::resume(EngineProc& p) {
+  p.status_ = EngineProc::Status::Running;
+  p.frame_.resume();
+  if (p.root_.done()) {
+    p.status_ = EngineProc::Status::Done;
+    done_count_ += 1;
+    stats_.proc_finish[static_cast<std::size_t>(p.id_)] = p.clock_;
+    p.root_.rethrow_if_failed();
+  }
+}
+
+void Machine::handle_submit(EngineProc& p, Time t) {
+  BSPLOGP_ASSERT(p.status_ == EngineProc::Status::SubmitWait);
+  BSPLOGP_ASSERT(p.submit_time_ == t);
+  p.last_submit_ = t;
+  p.has_submitted_ = true;
+  p.status_ = EngineProc::Status::Stalling;
+  stats_.messages_submitted += 1;
+  dsts_[static_cast<std::size_t>(p.out_.dst)].pending.push_back(
+      PendingSubmission{p.out_, t, next_seq_++});
+  push(t, Phase::Accept, EventKind::Accept, p.out_.dst);
+}
+
+void Machine::handle_accept(ProcId dst_id, Time t) {
+  DstState& dst = dsts_[static_cast<std::size_t>(dst_id)];
+  // Stalling Rule: accept min{k, s} of the k pending submissions, where
+  // s is the number of free capacity slots. Which ones is unspecified by
+  // the model; options_.accept_order decides.
+  while (!dst.pending.empty() && dst.in_transit < params_.capacity()) {
+    std::size_t idx = 0;
+    switch (options_.accept_order) {
+      case AcceptOrder::Fifo:
+        idx = 0;
+        break;
+      case AcceptOrder::Lifo:
+        idx = dst.pending.size() - 1;
+        break;
+      case AcceptOrder::Random:
+        idx = static_cast<std::size_t>(rng_.below(dst.pending.size()));
+        break;
+    }
+    PendingSubmission ps = dst.pending[idx];
+    dst.pending.erase(dst.pending.begin() +
+                      static_cast<std::ptrdiff_t>(idx));
+
+    EngineProc& sender = *procs_[static_cast<std::size_t>(ps.msg.src)];
+    BSPLOGP_ASSERT(sender.status_ == EngineProc::Status::Stalling);
+    if (t > ps.submit_time) {
+      const Time stalled = t - ps.submit_time;
+      stats_.stall_events += 1;
+      stats_.stall_time_total += stalled;
+      stats_.stall_time_max = std::max(stats_.stall_time_max, stalled);
+      sender.stall_time_ += stalled;
+    }
+
+    dst.in_transit += 1;
+    stats_.max_in_transit = std::max(stats_.max_in_transit, dst.in_transit);
+    BSPLOGP_ASSERT(dst.in_transit <= params_.capacity());
+    const Time slot = choose_delivery_slot(dst, t);
+    dst.delivery_slots.insert(slot);
+    push(slot, Phase::Delivery, EventKind::Delivery, dst_id, ps.msg);
+
+    // The sender reverts to the operational state at acceptance.
+    sender.clock_ = t;
+    resume(sender);
+  }
+}
+
+void Machine::handle_delivery(ProcId dst_id, Time t, const Message& msg) {
+  DstState& dst = dsts_[static_cast<std::size_t>(dst_id)];
+  dst.in_transit -= 1;
+  BSPLOGP_ASSERT(dst.in_transit >= 0);
+  dst.delivery_slots.erase(t);
+
+  EngineProc& p = *procs_[static_cast<std::size_t>(dst_id)];
+  p.inbox_.push_back(msg);
+  stats_.messages_delivered += 1;
+  stats_.max_inbox =
+      std::max(stats_.max_inbox, static_cast<std::int64_t>(p.inbox_.size()));
+
+  if (p.status_ == EngineProc::Status::RecvWait) {
+    p.status_ = EngineProc::Status::AcquireWait;
+    push(std::max(t, p.recv_earliest_), Phase::Processor, EventKind::Acquire,
+         dst_id);
+  }
+  // A freed capacity slot can admit a stalled submission at this very step.
+  if (!dst.pending.empty()) push(t, Phase::Accept, EventKind::Accept, dst_id);
+}
+
+void Machine::handle_recv_check(EngineProc& p, Time t) {
+  BSPLOGP_ASSERT(p.status_ == EngineProc::Status::RecvPoll);
+  if (p.inbox_.empty()) {
+    p.status_ = EngineProc::Status::RecvWait;  // parked until a delivery
+    return;
+  }
+  do_acquire(p, t);
+}
+
+void Machine::do_acquire(EngineProc& p, Time t) {
+  BSPLOGP_ASSERT(!p.inbox_.empty());
+  p.acquired_ = p.inbox_.front();
+  p.inbox_.pop_front();
+  p.last_acquire_ = t;
+  p.has_acquired_ = true;
+  p.clock_ = t + params_.o;  // acquisition overhead
+  stats_.messages_acquired += 1;
+  resume(p);
+}
+
+RunStats Machine::run(std::span<const ProgramFn> programs) {
+  BSPLOGP_EXPECTS(std::cmp_equal(programs.size(), nprocs_));
+
+  // Reset per-run state so a Machine can be reused.
+  procs_.clear();
+  dsts_.assign(static_cast<std::size_t>(nprocs_), DstState{});
+  events_ = {};
+  next_seq_ = 0;
+  rng_ = core::Rng(options_.seed);
+  stats_ = RunStats{};
+  stats_.proc_finish.assign(static_cast<std::size_t>(nprocs_), 0);
+  done_count_ = 0;
+
+  procs_.reserve(static_cast<std::size_t>(nprocs_));
+  for (ProcId i = 0; i < nprocs_; ++i) {
+    procs_.push_back(std::unique_ptr<EngineProc>(new EngineProc(*this, i)));
+    EngineProc& p = *procs_.back();
+    p.root_ = programs[static_cast<std::size_t>(i)](p);
+    BSPLOGP_EXPECTS(p.root_.valid());
+    p.frame_ = p.root_.handle();
+    push(0, Phase::Processor, EventKind::Start, i);
+  }
+
+  while (!events_.empty()) {
+    const Event ev = events_.top();
+    events_.pop();
+    if (ev.t > options_.max_time) {
+      stats_.timed_out = true;
+      break;
+    }
+    EngineProc& p = *procs_[static_cast<std::size_t>(ev.proc)];
+    switch (ev.kind) {
+      case EventKind::Start:
+        resume(p);
+        break;
+      case EventKind::Resume:
+        BSPLOGP_ASSERT(p.status_ == EngineProc::Status::ComputeWait);
+        resume(p);
+        break;
+      case EventKind::Delivery:
+        handle_delivery(ev.proc, ev.t, ev.msg);
+        break;
+      case EventKind::Submit:
+        handle_submit(p, ev.t);
+        break;
+      case EventKind::RecvCheck:
+        handle_recv_check(p, ev.t);
+        break;
+      case EventKind::Acquire:
+        BSPLOGP_ASSERT(p.status_ == EngineProc::Status::AcquireWait);
+        do_acquire(p, ev.t);
+        break;
+      case EventKind::Accept:
+        handle_accept(ev.proc, ev.t);
+        break;
+    }
+  }
+
+  Time finish = 0;
+  for (const auto& p : procs_) {
+    if (p->status_ != EngineProc::Status::Done) {
+      stats_.blocked_procs.push_back(p->id());
+    }
+    finish = std::max(finish, p->now());
+  }
+  stats_.finish_time = finish;
+  stats_.deadlock = !stats_.timed_out && !stats_.blocked_procs.empty();
+  return stats_;
+}
+
+}  // namespace bsplogp::logp

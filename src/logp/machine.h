@@ -1,0 +1,184 @@
+// The LogP abstract machine: a step-accurate discrete-event engine
+// implementing the model of Section 2.2 — overhead, gap, latency, the
+// capacity constraint and the Stalling Rule — for coroutine processor
+// programs written against logp::Proc (see proc.h).
+//
+// Model rules implemented (with their source in the paper):
+//  * A processor submits a message after o preparation steps; consecutive
+//    submissions by one processor are >= G apart, and likewise consecutive
+//    acquisitions ("at least G time steps must elapse between consecutive
+//    submissions or consecutive acquisitions by the same processor").
+//  * Between submission and acceptance the sender is stalling and executes
+//    nothing.
+//  * Stalling Rule: at each time t, for each destination i, with
+//    s = capacity() - (messages accepted for i but undelivered) free slots
+//    and k submissions for i awaiting acceptance, exactly min{k, s}
+//    submissions are accepted. Which k they are is unspecified by the
+//    paper; Options::accept_order picks the tie-break.
+//  * An accepted message is delivered at most L steps later; the exact
+//    delivery time is unpredictable (nondeterminism source (i)), chosen by
+//    Options::delivery within [accept+1, accept+L]; the medium delivers at
+//    most one message per destination per step (the paper's G >= 2
+//    discussion relies on exactly this).
+//  * Delivered messages sit in an unbounded input buffer until the owner
+//    acquires them (o steps each, G apart).
+#pragma once
+
+#include <memory>
+#include <queue>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "src/core/rng.h"
+#include "src/core/types.h"
+#include "src/logp/params.h"
+#include "src/logp/proc.h"
+#include "src/logp/stats.h"
+#include "src/logp/task.h"
+
+namespace bsplogp::logp {
+
+class Machine;
+
+/// Acceptance tie-break when the Stalling Rule admits fewer submissions
+/// than are pending: oldest-first, newest-first (adversarial for fairness),
+/// or uniformly random.
+enum class AcceptOrder { Fifo, Lifo, Random };
+
+/// Delivery-time choice within the L-step window: latest admissible slot
+/// (adversarial for latency — the default, since correctness claims in the
+/// paper are worst-case), earliest admissible, or uniformly random.
+enum class DeliverySchedule { Latest, Earliest, UniformRandom };
+
+/// The engine's Proc implementation: scheduling state for the
+/// discrete-event loop.
+class EngineProc final : public Proc {
+ public:
+  [[nodiscard]] ProcId nprocs() const override;
+  [[nodiscard]] const Params& params() const override;
+
+ private:
+  friend class Machine;
+  enum class Status {
+    Running,      // executing / suspended on nothing engine-visible
+    ComputeWait,  // compute/wait_until issued; resume scheduled
+    SubmitWait,   // send issued; waiting for the submission step
+    Stalling,     // submitted; waiting for acceptance
+    RecvPoll,     // recv issued; earliest-acquire check scheduled
+    RecvWait,     // recv issued; input buffer empty, parked
+    AcquireWait,  // arrival seen; acquisition step scheduled
+    Done,
+  };
+
+  EngineProc(Machine& machine, ProcId id) : Proc(id), machine_(machine) {}
+
+  void issue_send(Message m, std::coroutine_handle<> frame) override;
+  void issue_recv(std::coroutine_handle<> frame) override;
+  void issue_wait(Time target, std::coroutine_handle<> frame) override;
+
+  Machine& machine_;
+  Status status_ = Status::Running;
+
+  Task<> root_;
+  std::coroutine_handle<> frame_;  // deepest suspended frame to resume
+
+  Message out_{};           // pending outgoing message
+  Time submit_time_ = 0;    // when out_ is/was submitted
+  Time recv_earliest_ = 0;  // earliest admissible acquisition start
+  Time stall_time_ = 0;
+};
+
+class Machine {
+ public:
+  struct Options {
+    Time max_time = 100'000'000;
+    AcceptOrder accept_order = AcceptOrder::Fifo;
+    DeliverySchedule delivery = DeliverySchedule::Latest;
+    /// Seed for the Random policies.
+    std::uint64_t seed = 0;
+  };
+
+  Machine(ProcId nprocs, Params params) : Machine(nprocs, params, Options{}) {}
+  Machine(ProcId nprocs, Params params, Options options);
+
+  /// Runs `program` on every processor (SPMD) until all complete; returns
+  /// exact model-time statistics. Throws whatever a program throws.
+  RunStats run(const ProgramFn& program);
+  /// Runs a distinct program per processor.
+  RunStats run(std::span<const ProgramFn> programs);
+
+  [[nodiscard]] ProcId nprocs() const { return nprocs_; }
+  [[nodiscard]] const Params& params() const { return params_; }
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  friend class EngineProc;
+
+  // Event phases within one time step: deliveries free capacity slots
+  // before processor actions, and acceptance (the Stalling Rule) runs after
+  // all submissions of the step are in.
+  enum class Phase : int { Delivery = 0, Processor = 1, Accept = 2 };
+  enum class EventKind {
+    Start,
+    Resume,
+    Delivery,
+    Submit,
+    RecvCheck,
+    Acquire,
+    Accept,
+  };
+
+  struct Event {
+    Time t;
+    Phase phase;
+    std::int64_t seq;  // FIFO tie-break for determinism
+    EventKind kind;
+    ProcId proc;  // acting processor, or destination for Delivery/Accept
+    Message msg;  // payload for Delivery
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      if (a.phase != b.phase) return a.phase > b.phase;
+      return a.seq > b.seq;
+    }
+  };
+
+  struct PendingSubmission {
+    Message msg;
+    Time submit_time;
+    std::int64_t seq;
+  };
+
+  struct DstState {
+    std::deque<PendingSubmission> pending;  // submitted, not accepted
+    Time in_transit = 0;                    // accepted, not delivered
+    std::set<Time> delivery_slots;          // scheduled delivery times
+  };
+
+  void push(Time t, Phase phase, EventKind kind, ProcId proc,
+            Message msg = {});
+  void handle_submit(EngineProc& p, Time t);
+  void handle_accept(ProcId dst, Time t);
+  void handle_delivery(ProcId dst, Time t, const Message& msg);
+  void handle_recv_check(EngineProc& p, Time t);
+  void do_acquire(EngineProc& p, Time t);
+  void resume(EngineProc& p);
+  [[nodiscard]] Time choose_delivery_slot(DstState& dst, Time accept_time);
+
+  ProcId nprocs_;
+  Params params_;
+  Options options_;
+
+  // Per-run state (reset by run()).
+  std::vector<std::unique_ptr<EngineProc>> procs_;
+  std::vector<DstState> dsts_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::int64_t next_seq_ = 0;
+  core::Rng rng_{0};
+  RunStats stats_;
+  ProcId done_count_ = 0;
+};
+
+}  // namespace bsplogp::logp

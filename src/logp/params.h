@@ -1,0 +1,47 @@
+// LogP machine parameters (paper, Section 2.2).
+//
+//   L — upper bound on the latency between acceptance and delivery of a
+//       message, provided the system operates within capacity;
+//   o — overhead: processor-occupied steps to prepare a submission or to
+//       acquire a buffered incoming message;
+//   G — gap: minimum spacing between consecutive submissions, and between
+//       consecutive acquisitions, by the same processor (1/G is the
+//       per-processor injection/reception rate). Written G, not g, to avoid
+//       confusion with the BSP bandwidth parameter, as in the paper.
+//
+// The capacity constraint permits at most ceil(L/G) messages in transit to
+// any single destination at any time; submissions that would exceed it are
+// held back by the Stalling Rule, leaving their senders stalled.
+//
+// Following the paper's Section-2.2 analysis we require
+//   max{2, o} <= G <= L:
+// G >= o because the processor spends o per message anyway; G >= 2 because
+// G = 1 makes ceil(L/G) = L and forces the medium to deliver one of L
+// simultaneously-submitted messages after a single step, which no real
+// machine supports; G <= L because otherwise stall-free programs exist that
+// need unbounded input buffers.
+#pragma once
+
+#include "src/core/contracts.h"
+#include "src/core/types.h"
+
+namespace bsplogp::logp {
+
+struct Params {
+  Time L = 8;
+  Time o = 1;
+  Time G = 2;
+
+  /// The capacity threshold ceil(L/G): max messages in transit per
+  /// destination.
+  [[nodiscard]] Time capacity() const { return ceil_div(L, G); }
+
+  void validate() const {
+    BSPLOGP_EXPECTS(o >= 0);
+    BSPLOGP_EXPECTS(G >= 2);
+    BSPLOGP_EXPECTS(G >= o);
+    BSPLOGP_EXPECTS(G <= L);
+  }
+};
+
+}  // namespace bsplogp::logp

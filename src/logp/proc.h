@@ -1,0 +1,166 @@
+// The LogP processor programming interface.
+//
+// A LogP program is a coroutine over an abstract Proc: compute, wait_until,
+// send, recv. Proc is an interface with two implementations:
+//   * logp::Machine's engine processor — the native LogP machine of
+//     Section 2.2 (machine.h), and
+//   * xsim::LogpOnBsp's cycle processor — the Theorem-1 simulation that
+//     executes the same program on a BSP machine in supersteps of L/2 LogP
+//     steps.
+// Programs written against Proc run unmodified on both, which is exactly
+// the sense in which Theorem 1's simulation "executes LogP programs on
+// BSP".
+//
+// Timing state that is defined by the model itself — the local clock, the
+// gap bookkeeping for submissions and acquisitions, the input buffer —
+// lives here; executors implement only the scheduling of the three
+// interaction points (issue_send / issue_recv / issue_wait).
+#pragma once
+
+#include <algorithm>
+#include <coroutine>
+#include <deque>
+#include <functional>
+
+#include "src/core/contracts.h"
+#include "src/core/types.h"
+#include "src/logp/params.h"
+#include "src/logp/task.h"
+
+namespace bsplogp::logp {
+
+class Proc {
+ public:
+  virtual ~Proc() = default;
+  Proc(const Proc&) = delete;
+  Proc& operator=(const Proc&) = delete;
+
+  [[nodiscard]] ProcId id() const { return id_; }
+  [[nodiscard]] virtual ProcId nprocs() const = 0;
+  [[nodiscard]] virtual const Params& params() const = 0;
+  /// The processor's local clock: the model time its program has reached.
+  [[nodiscard]] Time now() const { return clock_; }
+
+  /// Performs n local operations (n >= 0).
+  [[nodiscard]] auto compute(Time n);
+  /// Idles until model time t (no-op if already past). Protocols with
+  /// prescribed transmission slots (the CB parity rule for ceil(L/G) = 1,
+  /// Theorem 2's routing cycles, Theorem 3's rounds) are built on this.
+  [[nodiscard]] auto wait_until(Time t);
+  /// Submits one message: o preparation steps, then submission (>= G after
+  /// the previous one); resumes at acceptance, stalling meanwhile.
+  [[nodiscard]] auto send(ProcId dst, Word payload, std::int32_t tag = 0,
+                          Word aux = 0, std::int32_t channel = 0);
+  /// send() for a pre-built message (src is overwritten with this
+  /// processor's id; dst taken from the message).
+  [[nodiscard]] auto send_msg(Message m);
+  /// Acquires the oldest buffered incoming message (o steps, >= G after the
+  /// previous acquisition), waiting for an arrival if the buffer is empty.
+  [[nodiscard]] auto recv();
+
+  /// Messages currently buffered (delivered, not yet acquired). A free
+  /// peek: real processors know this from their buffer bookkeeping.
+  [[nodiscard]] std::size_t inbox_size() const { return inbox_.size(); }
+
+  /// The earliest model time at which a send issued now would be submitted
+  /// (now + o, pushed later by the gap rule). Protocols that must align
+  /// submissions to prescribed slots use this.
+  [[nodiscard]] Time earliest_submit() const {
+    Time s = clock_ + params().o;
+    if (has_submitted_) s = std::max(s, last_submit_ + params().G);
+    return s;
+  }
+
+  /// The earliest model time at which an acquisition issued now could
+  /// start (now, pushed later by the acquisition gap rule). Used by
+  /// protocols that interleave receives into the slack of a paced send
+  /// pipeline (e.g. off-line routing's 2o + G(h-1) + L schedule).
+  [[nodiscard]] Time earliest_acquire() const {
+    Time a = clock_;
+    if (has_acquired_) a = std::max(a, last_acquire_ + params().G);
+    return a;
+  }
+
+ protected:
+  explicit Proc(ProcId id) : id_(id) {}
+
+  /// Executor hooks: called from the operation awaiters with the coroutine
+  /// frame to resume when the operation resolves.
+  virtual void issue_send(Message m, std::coroutine_handle<> frame) = 0;
+  virtual void issue_recv(std::coroutine_handle<> frame) = 0;
+  virtual void issue_wait(Time target, std::coroutine_handle<> frame) = 0;
+
+  ProcId id_;
+  Time clock_ = 0;
+  Time last_submit_ = 0;   // valid only if has_submitted_
+  Time last_acquire_ = 0;  // valid only if has_acquired_
+  bool has_submitted_ = false;
+  bool has_acquired_ = false;
+  std::deque<Message> inbox_;
+  Message acquired_{};  // message returned by the resolving recv
+};
+
+/// A per-processor program: receives its Proc handle and runs to
+/// completion. Captures of external state (result arrays, parameters) are
+/// how programs produce output.
+using ProgramFn = std::function<Task<>(Proc&)>;
+
+// ---- Operation awaiters ----------------------------------------------------
+
+inline auto Proc::compute(Time n) {
+  struct Awaiter {
+    Proc& p;
+    Time n;
+    bool await_ready() const { return n == 0; }
+    void await_suspend(std::coroutine_handle<> frame) {
+      p.issue_wait(p.clock_ + n, frame);
+    }
+    void await_resume() {}
+  };
+  BSPLOGP_EXPECTS(n >= 0);
+  return Awaiter{*this, n};
+}
+
+inline auto Proc::wait_until(Time t) {
+  struct Awaiter {
+    Proc& p;
+    Time t;
+    bool await_ready() const { return t <= p.clock_; }
+    void await_suspend(std::coroutine_handle<> frame) {
+      p.issue_wait(t, frame);
+    }
+    void await_resume() {}
+  };
+  return Awaiter{*this, t};
+}
+
+inline auto Proc::send_msg(Message m) {
+  struct Awaiter {
+    Proc& p;
+    Message m;
+    bool await_ready() const { return false; }
+    void await_suspend(std::coroutine_handle<> frame) {
+      p.issue_send(m, frame);
+    }
+    void await_resume() {}
+  };
+  m.src = id_;
+  return Awaiter{*this, m};
+}
+
+inline auto Proc::send(ProcId dst, Word payload, std::int32_t tag, Word aux,
+                       std::int32_t channel) {
+  return send_msg(Message{id_, dst, payload, tag, aux, channel});
+}
+
+inline auto Proc::recv() {
+  struct Awaiter {
+    Proc& p;
+    bool await_ready() const { return false; }
+    void await_suspend(std::coroutine_handle<> frame) { p.issue_recv(frame); }
+    Message await_resume() { return p.acquired_; }
+  };
+  return Awaiter{*this};
+}
+
+}  // namespace bsplogp::logp

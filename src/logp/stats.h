@@ -1,0 +1,49 @@
+// Run-level observability for the LogP engine: besides the completion time,
+// the paper's discussion makes three quantities first-class — stalling
+// (Section 2.2's Stalling Rule), in-transit load versus the capacity
+// threshold, and input-buffer occupancy (the G <= L bounded-buffer
+// argument). All are recorded exactly.
+#pragma once
+
+#include <vector>
+
+#include "src/core/types.h"
+
+namespace bsplogp::logp {
+
+struct RunStats {
+  /// Completion time of the computation: max over processors of the model
+  /// time at which its program finished.
+  Time finish_time = 0;
+  /// Per-processor finish times.
+  std::vector<Time> proc_finish;
+
+  /// True if some processors never finished and no event could make
+  /// progress (e.g. a recv with no matching send).
+  bool deadlock = false;
+  /// Ids of processors still blocked when the run ended.
+  std::vector<ProcId> blocked_procs;
+  /// True if the run was cut off at Options::max_time.
+  bool timed_out = false;
+
+  std::int64_t messages_submitted = 0;
+  std::int64_t messages_delivered = 0;
+  std::int64_t messages_acquired = 0;
+
+  /// Number of submissions whose acceptance was delayed (stalls) and the
+  /// total/maximum processor time lost to stalling.
+  std::int64_t stall_events = 0;
+  Time stall_time_total = 0;
+  Time stall_time_max = 0;
+
+  /// High-water marks: messages in transit to one destination (never
+  /// exceeds ceil(L/G) by construction; recorded to show how close runs
+  /// get) and buffered-but-unacquired messages at one processor.
+  Time max_in_transit = 0;
+  std::int64_t max_inbox = 0;
+
+  [[nodiscard]] bool stall_free() const { return stall_events == 0; }
+  [[nodiscard]] bool completed() const { return !deadlock && !timed_out; }
+};
+
+}  // namespace bsplogp::logp

@@ -1,0 +1,195 @@
+#include "src/net/packet_sim.h"
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+
+#include "src/core/contracts.h"
+
+namespace bsplogp::net {
+
+namespace {
+
+struct Packet {
+  ProcId final_dst = 0;     // processor index
+  ProcId via = -1;          // Valiant intermediate (-1: none/already passed)
+  std::uint64_t salt = 0;   // tie-break diversifier
+  std::int64_t hops = 0;
+};
+
+/// Current routing target (processor index) of a packet.
+ProcId target_of(const Packet& pk) {
+  return pk.via >= 0 ? pk.via : pk.final_dst;
+}
+
+}  // namespace
+
+PacketSim::PacketSim(Topology topology) : topo_(std::move(topology)) {
+  BSPLOGP_EXPECTS(topo_.connected());
+  dist_.reserve(static_cast<std::size_t>(topo_.nprocs()));
+  for (const NodeId node : topo_.processors())
+    dist_.push_back(topo_.distances_from(node));
+}
+
+NodeId PacketSim::next_hop(NodeId at, ProcId dst_proc,
+                           std::uint64_t salt) const {
+  const auto& dist = dist_[static_cast<std::size_t>(dst_proc)];
+  const NodeId here = dist[static_cast<std::size_t>(at)];
+  BSPLOGP_ASSERT(here > 0);
+  // All shortest-path neighbors are admissible; pick one by a salted hash
+  // so different packets spread across the equivalent links.
+  const auto& nb = topo_.neighbors(at);
+  std::int64_t candidates = 0;
+  for (const NodeId u : nb)
+    candidates += (dist[static_cast<std::size_t>(u)] == here - 1);
+  BSPLOGP_ASSERT(candidates > 0);
+  std::uint64_t mix = salt ^ (static_cast<std::uint64_t>(at) << 32) ^
+                      static_cast<std::uint64_t>(dst_proc);
+  const auto pick = static_cast<std::int64_t>(
+      core::splitmix64(mix) % static_cast<std::uint64_t>(candidates));
+  std::int64_t seen = 0;
+  for (const NodeId u : nb) {
+    if (dist[static_cast<std::size_t>(u)] == here - 1) {
+      if (seen == pick) return u;
+      ++seen;
+    }
+  }
+  BSPLOGP_ASSERT(false);
+  return nb.front();
+}
+
+PacketSim::Result PacketSim::route(const routing::HRelation& rel,
+                                   Options opt) const {
+  BSPLOGP_EXPECTS(rel.nprocs() == topo_.nprocs());
+  core::Rng rng(opt.seed);
+  Result result;
+  result.packets = static_cast<std::int64_t>(rel.size());
+  if (rel.size() == 0) return result;
+
+  const auto n = static_cast<std::size_t>(topo_.size());
+  // out[v][k]: FIFO queue of packets waiting to cross the k-th link of v.
+  std::vector<std::vector<std::deque<Packet>>> out(n);
+  for (std::size_t v = 0; v < n; ++v)
+    out[v].resize(topo_.neighbors(static_cast<NodeId>(v)).size());
+
+  std::int64_t in_flight = 0;
+
+  // Enqueues pk at node v (delivering it if v is its final node).
+  auto place = [&](NodeId v, Packet pk) {
+    for (;;) {
+      const ProcId tgt = target_of(pk);
+      const NodeId tgt_node =
+          topo_.processors()[static_cast<std::size_t>(tgt)];
+      if (v == tgt_node) {
+        if (pk.via >= 0) {
+          pk.via = -1;  // phase 2 of Valiant: continue to the real target
+          continue;
+        }
+        in_flight -= 1;  // delivered
+        return;
+      }
+      const NodeId nxt = next_hop(v, tgt, pk.salt);
+      const auto& nb = topo_.neighbors(v);
+      const auto k = static_cast<std::size_t>(
+          std::find(nb.begin(), nb.end(), nxt) - nb.begin());
+      out[static_cast<std::size_t>(v)][k].push_back(pk);
+      result.max_queue = std::max(
+          result.max_queue,
+          static_cast<std::int64_t>(out[static_cast<std::size_t>(v)][k]
+                                        .size()));
+      return;
+    }
+  };
+
+  for (const Message& m : rel.messages()) {
+    Packet pk;
+    pk.final_dst = m.dst;
+    pk.salt = rng();
+    if (opt.valiant) {
+      pk.via = static_cast<ProcId>(
+          rng.below(static_cast<std::uint64_t>(topo_.nprocs())));
+      if (pk.via == m.dst) pk.via = -1;
+    }
+    in_flight += 1;
+    place(topo_.processors()[static_cast<std::size_t>(m.src)], pk);
+  }
+
+  // Synchronous steps: move one packet per link (multi-port) or one per
+  // node (single-port). Transfers within a step are staged so a packet
+  // moves at most one hop per step.
+  std::vector<std::pair<NodeId, Packet>> moved;
+  std::vector<std::size_t> rotate(n, 0);  // single-port fairness
+  while (in_flight > 0) {
+    if (result.steps >= opt.max_steps) {
+      result.timed_out = true;
+      break;
+    }
+    result.steps += 1;
+    moved.clear();
+    for (std::size_t v = 0; v < n; ++v) {
+      auto& queues = out[v];
+      if (queues.empty()) continue;
+      if (topo_.single_port()) {
+        // Send the head of one nonempty queue, round robin over links.
+        for (std::size_t probe = 0; probe < queues.size(); ++probe) {
+          const std::size_t k = (rotate[v] + probe) % queues.size();
+          if (!queues[k].empty()) {
+            moved.emplace_back(
+                topo_.neighbors(static_cast<NodeId>(v))[k],
+                queues[k].front());
+            queues[k].pop_front();
+            rotate[v] = (k + 1) % queues.size();
+            break;
+          }
+        }
+      } else {
+        for (std::size_t k = 0; k < queues.size(); ++k) {
+          if (!queues[k].empty()) {
+            moved.emplace_back(
+                topo_.neighbors(static_cast<NodeId>(v))[k],
+                queues[k].front());
+            queues[k].pop_front();
+          }
+        }
+      }
+    }
+    if (moved.empty()) break;  // nothing can move: impossible if in_flight>0
+    for (auto& [node, pk] : moved) {
+      pk.hops += 1;
+      result.total_hops += 1;
+      place(node, pk);
+    }
+  }
+  BSPLOGP_ASSERT(result.timed_out || in_flight == 0);
+  return result;
+}
+
+ParamFit fit_route_params(const PacketSim& sim, std::span<const Time> hs,
+                          int trials, std::uint64_t seed,
+                          PacketSim::Options opt) {
+  BSPLOGP_EXPECTS(hs.size() >= 2);
+  BSPLOGP_EXPECTS(trials >= 1);
+  core::Rng rng(seed);
+  ParamFit out;
+  std::vector<double> xs, ys;
+  for (const Time h : hs) {
+    double total = 0;
+    for (int t = 0; t < trials; ++t) {
+      const auto rel =
+          routing::random_regular(sim.topology().nprocs(), h, rng);
+      PacketSim::Options o = opt;
+      o.seed = rng();
+      const auto res = sim.route(rel, o);
+      BSPLOGP_EXPECTS(!res.timed_out);
+      total += static_cast<double>(res.steps);
+    }
+    const double mean = total / trials;
+    out.samples.emplace_back(h, mean);
+    xs.push_back(static_cast<double>(h));
+    ys.push_back(mean);
+  }
+  out.fit = core::fit_linear(xs, ys);
+  return out;
+}
+
+}  // namespace bsplogp::net

@@ -1,0 +1,91 @@
+// Point-to-point network topologies for the Section-5 analysis: the paper's
+// Table 1 lists, for each prominent interconnection, the bandwidth
+// parameter gamma(p) and diameter delta(p) that govern the best attainable
+// BSP and LogP parameters (g ~ gamma, l ~ delta; G ~ gamma, L ~ gamma +
+// delta). This module builds the graphs and reports their analytic
+// parameters; net/packet_sim.h measures them empirically.
+//
+// Table 1 entries (gamma, delta):
+//   d-dim array:        p^{1/d},  p^{1/d}
+//   hypercube (multi):  1,        log p
+//   hypercube (single): log p,    log p
+//   butterfly/CCC/SE:   log p,    log p
+//   pruned butterfly /
+//   mesh-of-trees:      sqrt(p),  log p
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/types.h"
+
+namespace bsplogp::net {
+
+using NodeId = std::int32_t;
+
+enum class TopologyKind {
+  Ring,              // 1-dim array (wraparound)
+  Mesh2D,            // 2-dim array (torus)
+  Mesh3D,            // 3-dim array (torus)
+  HypercubeMulti,    // hypercube, all dimensions usable per step
+  HypercubeSingle,   // hypercube, one port per node per step
+  Butterfly,         // wrapped butterfly: n*2^n nodes
+  CubeConnectedCycles,
+  ShuffleExchange,
+  MeshOfTrees,       // the pruned-butterfly / mesh-of-trees row
+};
+
+[[nodiscard]] std::string to_string(TopologyKind kind);
+
+/// An undirected point-to-point network. Nodes 0..size-1; a subset of
+/// nodes (the "processor" nodes) carries the p logical endpoints — for most
+/// topologies every node is a processor, but e.g. a mesh-of-trees computes
+/// only at the leaves.
+class Topology {
+ public:
+  Topology(TopologyKind kind, NodeId size,
+           std::vector<std::vector<NodeId>> adjacency,
+           std::vector<NodeId> processors);
+
+  [[nodiscard]] TopologyKind kind() const { return kind_; }
+  [[nodiscard]] NodeId size() const { return size_; }
+  [[nodiscard]] const std::vector<NodeId>& neighbors(NodeId v) const;
+  /// The processor nodes, in logical order: processor i lives at node
+  /// processors()[i].
+  [[nodiscard]] const std::vector<NodeId>& processors() const {
+    return processors_;
+  }
+  [[nodiscard]] ProcId nprocs() const {
+    return static_cast<ProcId>(processors_.size());
+  }
+
+  [[nodiscard]] NodeId max_degree() const;
+  /// Exact graph diameter (BFS from every node; fine at library scale).
+  [[nodiscard]] NodeId diameter() const;
+  /// BFS distances from a single source.
+  [[nodiscard]] std::vector<NodeId> distances_from(NodeId v) const;
+  /// True iff the graph is connected.
+  [[nodiscard]] bool connected() const;
+  /// Whether single-port semantics apply (one message per node per step
+  /// over all links) rather than multi-port (one per link per step).
+  [[nodiscard]] bool single_port() const {
+    return kind_ == TopologyKind::HypercubeSingle;
+  }
+
+  /// Table-1 analytic bandwidth parameter gamma(p) for this instance.
+  [[nodiscard]] double analytic_gamma() const;
+  /// Table-1 analytic latency parameter delta(p) for this instance.
+  [[nodiscard]] double analytic_delta() const;
+
+ private:
+  TopologyKind kind_;
+  NodeId size_;
+  std::vector<std::vector<NodeId>> adj_;
+  std::vector<NodeId> processors_;
+};
+
+/// Factory: builds the topology whose processor count is >= p_request
+/// (rounded up to the kind's natural size: power of two, square, etc.).
+[[nodiscard]] Topology make_topology(TopologyKind kind, ProcId p_request);
+
+}  // namespace bsplogp::net

@@ -1,0 +1,66 @@
+#include "src/routing/bitonic.h"
+
+#include <algorithm>
+
+#include "src/core/contracts.h"
+
+namespace bsplogp::routing {
+
+std::vector<std::vector<CompareExchange>> bitonic_schedule(ProcId p) {
+  BSPLOGP_EXPECTS(is_pow2(p));
+  std::vector<std::vector<CompareExchange>> rounds;
+  const int lg = floor_log2(p);
+  // Stage k (1..lg) merges bitonic sequences of length 2^k; within a stage,
+  // sub-rounds use strides 2^(k-1) .. 1. Direction of a wire is set by bit
+  // k of its low index: 0 => ascending block, 1 => descending.
+  for (int k = 1; k <= lg; ++k) {
+    for (int j = k - 1; j >= 0; --j) {
+      std::vector<CompareExchange> round;
+      const ProcId stride = ProcId{1} << j;
+      for (ProcId i = 0; i < p; ++i) {
+        const ProcId partner = i | stride;
+        if (partner == i || partner >= p) continue;
+        if ((i & stride) != 0) continue;  // enumerate each pair once
+        const bool ascending = ((i >> k) & 1) == 0;
+        round.push_back(CompareExchange{i, partner, ascending});
+      }
+      rounds.push_back(std::move(round));
+    }
+  }
+  return rounds;
+}
+
+int bitonic_depth(ProcId p) {
+  const int lg = floor_log2(p);
+  return lg * (lg + 1) / 2;
+}
+
+void merge_split(std::vector<Word>& lo, std::vector<Word>& hi) {
+  BSPLOGP_EXPECTS(lo.size() == hi.size());
+  std::vector<Word> merged;
+  merged.reserve(lo.size() * 2);
+  std::merge(lo.begin(), lo.end(), hi.begin(), hi.end(),
+             std::back_inserter(merged));
+  const auto b = static_cast<std::ptrdiff_t>(lo.size());
+  lo.assign(merged.begin(), merged.begin() + b);
+  hi.assign(merged.begin() + b, merged.end());
+}
+
+void bitonic_sort_blocks(std::vector<std::vector<Word>>& blocks) {
+  const auto p = static_cast<ProcId>(blocks.size());
+  BSPLOGP_EXPECTS(is_pow2(p));
+  for (auto& b : blocks) std::sort(b.begin(), b.end());
+  for (const auto& round : bitonic_schedule(p)) {
+    for (const CompareExchange& ce : round) {
+      auto& lo = blocks[static_cast<std::size_t>(ce.lo)];
+      auto& hi = blocks[static_cast<std::size_t>(ce.hi)];
+      if (ce.ascending) {
+        merge_split(lo, hi);
+      } else {
+        merge_split(hi, lo);
+      }
+    }
+  }
+}
+
+}  // namespace bsplogp::routing

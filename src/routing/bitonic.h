@@ -1,0 +1,51 @@
+// Batcher's bitonic sorting network, used as the implementable stand-in for
+// the AKS network of Section 4.2 (see DESIGN.md, Substitutions). What the
+// paper's simulation needs from AKS is obliviousness: the network is a fixed
+// sequence of rounds, each a perfect matching of the p processors, known in
+// advance — so on LogP each round's block exchange decomposes into
+// 1-relations routed at full bandwidth. Bitonic has exactly that structure
+// with depth log2(p) * (log2(p)+1) / 2 instead of AKS's O(log p).
+//
+// Extended to r records per processor in the standard way (Knuth, cited as
+// [30] in the paper): presort locally, then replace each compare-exchange
+// by a merge-split of sorted blocks; the network then sorts the pr records
+// globally in block order (the 0-1 principle lifts to blocks).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/core/types.h"
+
+namespace bsplogp::routing {
+
+/// One wire of a sorting-network round: processors lo < hi exchange blocks;
+/// if `ascending`, lo keeps the smaller half, else the larger.
+struct CompareExchange {
+  ProcId lo = 0;
+  ProcId hi = 0;
+  bool ascending = true;
+
+  friend bool operator==(const CompareExchange&,
+                         const CompareExchange&) = default;
+};
+
+/// The bitonic network for p processors (p a power of two) as a sequence of
+/// rounds; each round's pairs form a perfect matching.
+[[nodiscard]] std::vector<std::vector<CompareExchange>> bitonic_schedule(
+    ProcId p);
+
+/// Number of rounds of the schedule: log2(p)(log2(p)+1)/2.
+[[nodiscard]] int bitonic_depth(ProcId p);
+
+/// Host-side reference executor for tests and cost modeling: applies the
+/// schedule to p blocks of equal size (blocks need not be presorted; this
+/// sorts them first, as the LogP execution does). After the call the
+/// concatenation blocks[0] + blocks[1] + ... is globally sorted.
+void bitonic_sort_blocks(std::vector<std::vector<Word>>& blocks);
+
+/// The merge-split primitive: given the two sorted blocks of a pair, puts
+/// the smaller half (of the 2b records) in `lo` and the larger in `hi`.
+void merge_split(std::vector<Word>& lo, std::vector<Word>& hi);
+
+}  // namespace bsplogp::routing

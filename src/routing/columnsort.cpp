@@ -1,0 +1,103 @@
+#include "src/routing/columnsort.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/core/contracts.h"
+
+namespace bsplogp::routing {
+
+bool columnsort_applicable(std::int64_t r, std::int64_t s) {
+  if (s <= 0 || r <= 0) return false;
+  if (s == 1) return true;  // a single column: local sort suffices
+  return r % s == 0 && r >= 2 * (s - 1) * (s - 1);
+}
+
+MatrixPos transpose_pos(std::int64_t r, std::int64_t s, MatrixPos from) {
+  BSPLOGP_EXPECTS(from.col >= 0 && from.col < s);
+  BSPLOGP_EXPECTS(from.row >= 0 && from.row < r);
+  // Column-major reading order of the source...
+  const std::int64_t n = from.col * r + from.row;
+  // ...written in row-major order into the same r x s shape.
+  return MatrixPos{n % s, n / s};
+}
+
+MatrixPos untranspose_pos(std::int64_t r, std::int64_t s, MatrixPos from) {
+  BSPLOGP_EXPECTS(from.col >= 0 && from.col < s);
+  BSPLOGP_EXPECTS(from.row >= 0 && from.row < r);
+  // Row-major reading order of the source...
+  const std::int64_t n = from.row * s + from.col;
+  // ...written in column-major order.
+  return MatrixPos{n / r, n % r};
+}
+
+namespace {
+
+void sort_columns(std::vector<std::vector<Word>>& columns) {
+  for (auto& col : columns) std::sort(col.begin(), col.end());
+}
+
+/// Applies an index map as a full redistribution.
+template <typename PosFn>
+void redistribute(std::vector<std::vector<Word>>& columns, PosFn pos) {
+  const auto s = static_cast<std::int64_t>(columns.size());
+  const auto r = static_cast<std::int64_t>(columns[0].size());
+  std::vector<std::vector<Word>> next(
+      columns.size(), std::vector<Word>(static_cast<std::size_t>(r)));
+  for (std::int64_t c = 0; c < s; ++c)
+    for (std::int64_t i = 0; i < r; ++i) {
+      const MatrixPos to = pos(MatrixPos{c, i});
+      next[static_cast<std::size_t>(to.col)]
+          [static_cast<std::size_t>(to.row)] =
+              columns[static_cast<std::size_t>(c)]
+                     [static_cast<std::size_t>(i)];
+    }
+  columns = std::move(next);
+}
+
+/// Steps 6-8 in boundary-window form: jointly sort bottom half of column c
+/// with top half of column c+1, for every c. Windows are disjoint.
+void sort_boundary_windows(std::vector<std::vector<Word>>& columns) {
+  const auto s = static_cast<std::int64_t>(columns.size());
+  const auto r = static_cast<std::int64_t>(columns[0].size());
+  const auto half = static_cast<std::ptrdiff_t>(r / 2);
+  for (std::int64_t c = 0; c + 1 < s; ++c) {
+    auto& a = columns[static_cast<std::size_t>(c)];
+    auto& b = columns[static_cast<std::size_t>(c + 1)];
+    std::vector<Word> window(a.end() - (static_cast<std::ptrdiff_t>(r) -
+                                        half),
+                             a.end());
+    window.insert(window.end(), b.begin(), b.begin() + half);
+    std::sort(window.begin(), window.end());
+    std::copy(window.begin(),
+              window.begin() + (static_cast<std::ptrdiff_t>(r) - half),
+              a.begin() + half);
+    std::copy(window.begin() + (static_cast<std::ptrdiff_t>(r) - half),
+              window.end(), b.begin());
+  }
+}
+
+}  // namespace
+
+void columnsort(std::vector<std::vector<Word>>& columns) {
+  BSPLOGP_EXPECTS(!columns.empty());
+  const auto s = static_cast<std::int64_t>(columns.size());
+  const auto r = static_cast<std::int64_t>(columns[0].size());
+  for (const auto& col : columns) BSPLOGP_EXPECTS(std::cmp_equal(col.size(), r));
+  BSPLOGP_EXPECTS(columnsort_applicable(r, s));
+  if (s == 1) {
+    sort_columns(columns);
+    return;
+  }
+  sort_columns(columns);                                          // 1
+  redistribute(columns,
+               [r, s](MatrixPos p) { return transpose_pos(r, s, p); });  // 2
+  sort_columns(columns);                                          // 3
+  redistribute(columns, [r, s](MatrixPos p) {
+    return untranspose_pos(r, s, p);
+  });                                                             // 4
+  sort_columns(columns);                                          // 5
+  sort_boundary_windows(columns);                                 // 6-8
+}
+
+}  // namespace bsplogp::routing

@@ -1,0 +1,47 @@
+// Leighton's Columnsort, the implementable stand-in for Cubesort in the
+// large-r regime of Section 4.2 (see DESIGN.md, Substitutions). Sorts an
+// r x s matrix (s columns of r records; column j lives on processor j) into
+// column-major order using a constant number of local sorts and fixed,
+// input-independent redistributions — exactly the structure the paper
+// exploits in Cubesort to reach O(T_seq-sort(r) + Gr + L) time on LogP for
+// r = p^epsilon.
+//
+// Steps (Leighton 1985):
+//   1. sort each column            4. untranspose (inverse of 2)
+//   2. transpose-reshape ("deal")  5. sort each column
+//   3. sort each column            6-8. shift by r/2, sort, unshift
+// Steps 6-8 are realized in their equivalent "boundary window" form: for
+// each adjacent column pair (c, c+1), jointly sort the window made of the
+// bottom half of column c and the top half of column c+1 (the windows are
+// disjoint, so this is one parallel phase). Correct when r >= 2(s-1)^2 and
+// s divides r.
+#pragma once
+
+#include <vector>
+
+#include "src/core/types.h"
+
+namespace bsplogp::routing {
+
+/// Geometry check for the classical correctness guarantee.
+[[nodiscard]] bool columnsort_applicable(std::int64_t r, std::int64_t s);
+
+/// Index map of step 2: records are read in column-major order and laid
+/// down in row-major order. Maps (column, row) to (column', row').
+struct MatrixPos {
+  std::int64_t col = 0;
+  std::int64_t row = 0;
+  friend bool operator==(const MatrixPos&, const MatrixPos&) = default;
+};
+[[nodiscard]] MatrixPos transpose_pos(std::int64_t r, std::int64_t s,
+                                      MatrixPos from);
+/// Index map of step 4 (the inverse of transpose_pos).
+[[nodiscard]] MatrixPos untranspose_pos(std::int64_t r, std::int64_t s,
+                                        MatrixPos from);
+
+/// Host-side reference executor for tests and cost modeling: sorts the
+/// columns so that their concatenation columns[0] + columns[1] + ... is
+/// globally sorted. Requires columnsort_applicable(r, s).
+void columnsort(std::vector<std::vector<Word>>& columns);
+
+}  // namespace bsplogp::routing

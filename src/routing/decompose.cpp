@@ -1,0 +1,105 @@
+#include "src/routing/decompose.h"
+
+#include <algorithm>
+
+#include "src/core/contracts.h"
+
+namespace bsplogp::routing {
+
+std::vector<std::vector<Message>> decompose_into_1_relations(
+    const HRelation& rel) {
+  const auto p = static_cast<std::size_t>(rel.nprocs());
+  const auto h = static_cast<std::size_t>(std::max<Time>(rel.degree(), 0));
+  if (rel.size() == 0) return {};
+
+  constexpr std::int32_t kNone = -1;
+  // color_at_src[u][c] / color_at_dst[v][c]: index of the message colored c
+  // incident to sender u / receiver v, or kNone. A proper coloring keeps
+  // both injective per vertex.
+  std::vector<std::vector<std::int32_t>> at_src(
+      p, std::vector<std::int32_t>(h, kNone));
+  std::vector<std::vector<std::int32_t>> at_dst(
+      p, std::vector<std::int32_t>(h, kNone));
+  const auto& msgs = rel.messages();
+  std::vector<std::size_t> color(msgs.size(), h);  // h = uncolored
+
+  auto free_color = [h](const std::vector<std::int32_t>& used) {
+    for (std::size_t c = 0; c < h; ++c)
+      if (used[c] == kNone) return c;
+    BSPLOGP_ASSERT(false && "vertex has no free color (degree > h?)");
+    return h;
+  };
+
+  for (std::size_t e = 0; e < msgs.size(); ++e) {
+    const auto u = static_cast<std::size_t>(msgs[e].src);
+    const auto v = static_cast<std::size_t>(msgs[e].dst);
+    const std::size_t a = free_color(at_src[u]);  // free at the sender
+    const std::size_t b = free_color(at_dst[v]);  // free at the receiver
+    if (a != b) {
+      // Walk the maximal alternating a/b path starting at v, then flip it.
+      // The path cannot reach u: u-side vertices on it are entered through
+      // a-colored edges, and a is free at u. After the flip, a is free at
+      // both u and v.
+      std::vector<std::size_t> path;
+      std::size_t vert = v;
+      bool vert_is_dst = true;
+      std::size_t want = a;  // color of the edge we walk next
+      while (true) {
+        const std::int32_t edge =
+            (vert_is_dst ? at_dst[vert] : at_src[vert])[want];
+        if (edge == kNone) break;
+        const auto ei = static_cast<std::size_t>(edge);
+        path.push_back(ei);
+        vert = vert_is_dst ? static_cast<std::size_t>(msgs[ei].src)
+                           : static_cast<std::size_t>(msgs[ei].dst);
+        vert_is_dst = !vert_is_dst;
+        want = (want == a) ? b : a;
+      }
+      // Flip: clear all old table entries first, then write the new ones,
+      // so swaps within a shared vertex cannot clobber each other.
+      for (const std::size_t ei : path) {
+        at_src[static_cast<std::size_t>(msgs[ei].src)][color[ei]] = kNone;
+        at_dst[static_cast<std::size_t>(msgs[ei].dst)][color[ei]] = kNone;
+      }
+      for (const std::size_t ei : path) {
+        const std::size_t nc = (color[ei] == a) ? b : a;
+        color[ei] = nc;
+        at_src[static_cast<std::size_t>(msgs[ei].src)][nc] =
+            static_cast<std::int32_t>(ei);
+        at_dst[static_cast<std::size_t>(msgs[ei].dst)][nc] =
+            static_cast<std::int32_t>(ei);
+      }
+    }
+    color[e] = a;
+    at_src[u][a] = static_cast<std::int32_t>(e);
+    BSPLOGP_ASSERT(at_dst[v][a] == kNone);
+    at_dst[v][a] = static_cast<std::int32_t>(e);
+  }
+
+  std::vector<std::vector<Message>> layers(h);
+  for (std::size_t e = 0; e < msgs.size(); ++e) {
+    BSPLOGP_ASSERT(color[e] < h);
+    layers[color[e]].push_back(msgs[e]);
+  }
+  // Drop empty layers (possible when some colors go unused on sparse
+  // relations).
+  layers.erase(std::remove_if(layers.begin(), layers.end(),
+                              [](const auto& l) { return l.empty(); }),
+               layers.end());
+  return layers;
+}
+
+bool is_partial_permutation(ProcId p, const std::vector<Message>& layer) {
+  std::vector<char> src_seen(static_cast<std::size_t>(p), 0);
+  std::vector<char> dst_seen(static_cast<std::size_t>(p), 0);
+  for (const Message& m : layer) {
+    if (m.src < 0 || m.src >= p || m.dst < 0 || m.dst >= p) return false;
+    if (src_seen[static_cast<std::size_t>(m.src)]) return false;
+    if (dst_seen[static_cast<std::size_t>(m.dst)]) return false;
+    src_seen[static_cast<std::size_t>(m.src)] = 1;
+    dst_seen[static_cast<std::size_t>(m.dst)] = 1;
+  }
+  return true;
+}
+
+}  // namespace bsplogp::routing

@@ -1,0 +1,29 @@
+// Off-line decomposition of h-relations into 1-relations (partial
+// permutations), the mechanism Section 4.2 invokes through Hall's theorem:
+// "any h-relation can be decomposed into disjoint 1-relations and,
+// therefore, be routed off-line in optimal 2o + G(h-1) + L time".
+//
+// Constructively, the message multiset is a bipartite multigraph
+// senders x receivers with maximum degree h; König's edge-coloring theorem
+// gives a proper edge coloring with exactly h colors, and each color class
+// is a 1-relation. We implement the classical alternating-path coloring
+// (O(m * h) time), which needs no Euler splits or matching subroutines.
+#pragma once
+
+#include <vector>
+
+#include "src/routing/h_relation.h"
+
+namespace bsplogp::routing {
+
+/// Splits `rel` into at most degree() layers, each a partial permutation
+/// (no two messages in a layer share a source or a destination). The union
+/// of the layers is exactly the input multiset.
+[[nodiscard]] std::vector<std::vector<Message>> decompose_into_1_relations(
+    const HRelation& rel);
+
+/// True iff `layer` is a partial permutation on p processors.
+[[nodiscard]] bool is_partial_permutation(ProcId p,
+                                          const std::vector<Message>& layer);
+
+}  // namespace bsplogp::routing

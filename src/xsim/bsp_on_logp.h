@@ -1,0 +1,110 @@
+// Theorem 2: simulating arbitrary BSP programs on stall-free LogP.
+//
+// A BSP superstep with w local operations per processor and an h-relation
+// is simulated in O(w + (Gh + L) * S(L,G,p,h)) LogP time:
+//
+//   1. Local phase: LogP processor i runs BSP processor i's superstep code,
+//      buffering the generated messages (w operations).
+//   2. Synchronization: Combine-and-Broadcast (Proposition 2) — the CB that
+//      computes the padding target r = max outgoing degree doubles as the
+//      superstep barrier.
+//   3. Routing (Section 4.2): pad every processor to exactly r records
+//      (dummies with destination key p), sort all records globally by
+//      destination (bitonic merge-split for small r, Columnsort for
+//      r = Omega(p^2); both are oblivious, so every exchange is a fixed
+//      relation executed stall-free under global time windows), compute the
+//      maximum receive degree s exactly with a neighbor shift + prefix-max
+//      scan + CB, then deliver in h = max(r, s) globally clocked cycles:
+//      cycle k sends the records of global rank ≡ k (mod h). Sortedness
+//      makes each cycle a partial permutation, and the G-spaced cycle clock
+//      keeps every destination within the capacity constraint — no
+//      stalling.
+//   4. Termination: a final CB (which also ORs the per-processor
+//      continue flags) plus an L-step wait guarantees every data message
+//      has been delivered; each processor then drains its buffer.
+//
+// The BSP programs are the same bsp::ProcProgram objects bsp::Machine runs:
+// the simulation is "BSP executed by LogP", program-for-program.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/bsp/machine.h"
+#include "src/core/types.h"
+#include "src/logp/machine.h"
+
+namespace bsplogp::xsim {
+
+/// Which distributed sort realizes step 2 of the routing protocol.
+enum class SortMethod {
+  /// Columnsort when r is already in its validity regime, else bitonic
+  /// (power-of-two p), else Columnsort with padded r.
+  Auto,
+  /// Batcher bitonic merge-split: O((Gr + L) log^2 p). Requires p = 2^k.
+  Bitonic,
+  /// Leighton Columnsort: O(T_seq-sort(r) + Gr + L) for r >= 2(p-1)^2
+  /// (r is padded up to the validity threshold if needed).
+  Columnsort,
+};
+
+struct BspOnLogpOptions {
+  SortMethod sort = SortMethod::Auto;
+  /// Ablation switch: when false, step 4's routing cycles are not aligned
+  /// to the global G-spaced clock — every processor transmits its sorted
+  /// records as fast as the gap allows. Results stay correct (the Stalling
+  /// Rule resolves collisions), but the stall-freeness guarantee is lost:
+  /// this is precisely what the paper's cycle decomposition buys.
+  bool clocked_cycles = true;
+  /// Engine options for the underlying LogP machine (policies, seed).
+  logp::Machine::Options engine;
+  std::int64_t max_supersteps = 100'000;
+};
+
+struct BspOnLogpReport {
+  /// LogP machine statistics for the whole simulation. stall_events == 0
+  /// certifies the protocol ran stall-free, as Theorem 2 requires.
+  logp::RunStats logp;
+  std::int64_t supersteps = 0;
+
+  struct SuperstepInfo {
+    Time w_max = 0;  // max local operations charged by the BSP programs
+    Time r = 0;      // padded send degree used by the sort
+    Time s = 0;      // exact max receive degree
+    Time h = 0;      // cycles routed = max(r, s)
+    Time messages = 0;
+  };
+  std::vector<SuperstepInfo> steps;
+
+  /// Times a processor missed a prescribed protocol window (0 in a healthy
+  /// run; nonzero means the conservative window bounds were too tight and
+  /// stall-freeness may have been lost, though results stay correct).
+  std::int64_t schedule_violations = 0;
+
+  /// The BSP cost of the same execution under parameters (g, l): the
+  /// baseline against which the simulation's slowdown is measured
+  /// (Theorem 2 compares against g = Theta(G), l = Theta(L)).
+  [[nodiscard]] Time bsp_reference_time(const bsp::Params& prm) const;
+
+  /// Measured slowdown relative to the g = G, l = L BSP baseline.
+  [[nodiscard]] double slowdown(const logp::Params& prm) const;
+};
+
+class BspOnLogp {
+ public:
+  BspOnLogp(ProcId nprocs, logp::Params params, BspOnLogpOptions opt = {});
+
+  /// Runs the BSP programs to completion (all step() functions return
+  /// false in the same superstep) on the LogP machine. Caller retains
+  /// ownership of the programs and reads results from them afterwards.
+  [[nodiscard]] BspOnLogpReport run(
+      std::span<const std::unique_ptr<bsp::ProcProgram>> programs);
+
+ private:
+  ProcId nprocs_;
+  logp::Params params_;
+  BspOnLogpOptions opt_;
+};
+
+}  // namespace bsplogp::xsim

@@ -1,0 +1,332 @@
+#include "src/xsim/logp_on_bsp.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "src/core/contracts.h"
+
+namespace bsplogp::xsim {
+
+namespace {
+
+/// The BSP-backed LogP processor: parks each interaction and lets pump()
+/// resolve it under cycle semantics (submissions insert into the BSP output
+/// pool; arrivals come from the input pool at cycle starts).
+class CycleProc final : public logp::Proc {
+ public:
+  CycleProc(ProcId id, ProcId nprocs, const logp::Params& prm)
+      : Proc(id), nprocs_(nprocs), prm_(prm) {}
+
+  [[nodiscard]] ProcId nprocs() const override { return nprocs_; }
+  [[nodiscard]] const logp::Params& params() const override { return prm_; }
+
+  void start(const logp::ProgramFn& fn) {
+    root_ = fn(*this);
+    BSPLOGP_EXPECTS(root_.valid());
+    frame_ = root_.handle();
+    started_ = false;
+  }
+
+  [[nodiscard]] bool done() const { return root_.done(); }
+
+  /// A message from the BSP input pool: arrived at the cycle boundary.
+  void deliver(const Message& m, Time arrival) {
+    inbox_.push_back(m);
+    arrivals_.push_back(arrival);
+  }
+
+  /// Drives the program while its next interaction resolves before
+  /// cycle_end.
+  ///
+  /// `decide(msg, submit_time) -> Time` implements message acceptance: it
+  /// is called exactly once per submission, at the submission's cycle, and
+  /// returns the acceptance time (== submit_time when the destination has
+  /// a free capacity slot; later when the Stalling Rule defers the
+  /// sender). `transmit(msg)` inserts the accepted message into the BSP
+  /// output pool — in the acceptance's cycle, so it is delivered at the
+  /// start of the next one.
+  template <typename DecideFn, typename TransmitFn>
+  void pump(Time cycle_end, DecideFn&& decide, TransmitFn&& transmit) {
+    while (!done()) {
+      if (!started_) {
+        started_ = true;
+        frame_.resume();  // runs to the first interaction
+        continue;
+      }
+      switch (pending_) {
+        case Op::None:
+          return;  // nothing parked and not done: impossible unless stuck
+        case Op::Wait: {
+          if (wait_target_ >= cycle_end) return;
+          clock_ = wait_target_;
+          break;
+        }
+        case Op::Send: {
+          if (submit_at_ >= cycle_end) return;  // submits in a later cycle
+          if (!accept_decided_) {
+            accept_at_ = decide(out_, submit_at_);
+            BSPLOGP_ASSERT(accept_at_ >= submit_at_);
+            accept_decided_ = true;
+          }
+          if (accept_at_ >= cycle_end) return;  // stalling into later cycle
+          transmit(out_);
+          clock_ = accept_at_;  // operational again at acceptance
+          last_submit_ = submit_at_;
+          has_submitted_ = true;
+          accept_decided_ = false;
+          break;
+        }
+        case Op::Recv: {
+          if (inbox_.empty()) return;  // parked until a later cycle
+          const Time a =
+              std::max(recv_earliest_, arrivals_.front());
+          if (a >= cycle_end) return;
+          acquired_ = inbox_.front();
+          inbox_.pop_front();
+          arrivals_.pop_front();
+          last_acquire_ = a;
+          has_acquired_ = true;
+          clock_ = a + prm_.o;
+          break;
+        }
+      }
+      pending_ = Op::None;
+      frame_.resume();  // runs to the next interaction (or completion)
+    }
+  }
+
+  void rethrow_if_failed() const { root_.rethrow_if_failed(); }
+
+ private:
+  enum class Op { None, Wait, Send, Recv };
+
+  void issue_wait(Time target, std::coroutine_handle<> frame) override {
+    BSPLOGP_EXPECTS(target > clock_);
+    frame_ = frame;
+    pending_ = Op::Wait;
+    wait_target_ = target;
+  }
+  void issue_send(Message m, std::coroutine_handle<> frame) override {
+    BSPLOGP_EXPECTS(m.dst >= 0 && m.dst < nprocs_);
+    BSPLOGP_EXPECTS(m.dst != id_);
+    frame_ = frame;
+    pending_ = Op::Send;
+    out_ = m;
+    submit_at_ = earliest_submit();
+  }
+  void issue_recv(std::coroutine_handle<> frame) override {
+    frame_ = frame;
+    pending_ = Op::Recv;
+    recv_earliest_ = clock_;
+    if (has_acquired_)
+      recv_earliest_ = std::max(recv_earliest_, last_acquire_ + prm_.G);
+  }
+
+  ProcId nprocs_;
+  logp::Params prm_;
+  logp::Task<> root_;
+  std::coroutine_handle<> frame_;
+  bool started_ = false;
+
+  Op pending_ = Op::None;
+  Message out_{};
+  Time submit_at_ = 0;
+  Time accept_at_ = 0;
+  bool accept_decided_ = false;
+  Time wait_target_ = 0;
+  Time recv_earliest_ = 0;
+  std::deque<Time> arrivals_;  // parallel to inbox_
+};
+
+/// Per-destination acceptance limiter emulating the Stalling Rule at cycle
+/// granularity: a burst of capacity() messages is admitted instantly, after
+/// which acceptances mature one per G steps — the hot-spot drain rate the
+/// rule guarantees (paper, Section 2.2).
+class AcceptanceBucket {
+ public:
+  AcceptanceBucket(Time capacity, Time gap) : cap_(capacity), gap_(gap) {}
+
+  /// Returns the acceptance time (>= t) for a submission at time t.
+  [[nodiscard]] Time admit(Time t) {
+    if (!init_) {
+      init_ = true;
+      tokens_ = cap_;
+      next_at_ = t + gap_;
+    }
+    while (tokens_ < cap_ && next_at_ <= t) {
+      tokens_ += 1;
+      next_at_ += gap_;
+    }
+    if (tokens_ > 0) {
+      tokens_ -= 1;
+      if (tokens_ == cap_ - 1) next_at_ = std::max(next_at_, t + gap_);
+      return t;
+    }
+    const Time a = next_at_;
+    next_at_ += gap_;
+    return a;
+  }
+
+ private:
+  Time cap_;
+  Time gap_;
+  Time tokens_ = 0;
+  Time next_at_ = 0;
+  bool init_ = false;
+};
+
+}  // namespace
+
+double predicted_slowdown_thm1(const logp::Params& logp_prm,
+                               const bsp::Params& bsp_prm) {
+  const double g_ratio = static_cast<double>(bsp_prm.g) /
+                         static_cast<double>(logp_prm.G);
+  const double l_ratio = static_cast<double>(bsp_prm.l) /
+                         static_cast<double>(logp_prm.L);
+  return 1.0 + g_ratio + l_ratio;
+}
+
+LogpOnBsp::LogpOnBsp(ProcId nprocs, logp::Params logp_params,
+                     LogpOnBspOptions opt)
+    : nprocs_(nprocs), logp_params_(logp_params), opt_(opt) {
+  BSPLOGP_EXPECTS(nprocs >= 1);
+  logp_params_.validate();
+  opt_.bsp.validate();
+  cycle_ = opt.cycle_length > 0 ? opt.cycle_length
+                                : std::max<Time>(1, logp_params_.L / 2);
+}
+
+LogpOnBspReport LogpOnBsp::run(const logp::ProgramFn& program) {
+  std::vector<logp::ProgramFn> programs(static_cast<std::size_t>(nprocs_),
+                                        program);
+  return run(std::span<const logp::ProgramFn>(programs));
+}
+
+LogpOnBspReport LogpOnBsp::run(std::span<const logp::ProgramFn> programs) {
+  BSPLOGP_EXPECTS(std::cmp_equal(programs.size(), nprocs_));
+
+  std::vector<std::unique_ptr<CycleProc>> cprocs;
+  cprocs.reserve(static_cast<std::size_t>(nprocs_));
+  for (ProcId i = 0; i < nprocs_; ++i) {
+    cprocs.push_back(
+        std::make_unique<CycleProc>(i, nprocs_, logp_params_));
+    cprocs.back()->start(programs[static_cast<std::size_t>(i)]);
+  }
+
+  // Shared executor state: per-cycle capacity accounting and the
+  // Stalling-Rule acceptance buckets. The BSP machine runs processors
+  // sequentially, so plain shared state is safe.
+  struct Shared {
+    std::int64_t cycle = -1;
+    std::vector<Time> fan_in;  // submissions per destination, this cycle
+    Time max_fan_in = 0;
+    // Cycles in which the Stalling Rule was active: where an overload was
+    // submitted and every cycle a delayed acceptance resolved in (those
+    // are the cycles whose schedule the Section-3 preprocessing would
+    // have to compute).
+    std::set<std::int64_t> overloaded_cycles;
+    std::vector<AcceptanceBucket> buckets;
+    std::int64_t stall_events = 0;
+    Time stall_time = 0;
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->fan_in.assign(static_cast<std::size_t>(nprocs_), 0);
+  const Time cap = logp_params_.capacity();
+  shared->buckets.assign(static_cast<std::size_t>(nprocs_),
+                         AcceptanceBucket(cap, logp_params_.G));
+
+  const Time cycle_len = cycle_;
+  bool capacity_ok = true;
+
+  auto step_fn = [&, shared](bsp::Ctx& c) -> bool {
+    if (shared->cycle != c.superstep()) {
+      shared->cycle = c.superstep();
+      std::fill(shared->fan_in.begin(), shared->fan_in.end(), 0);
+    }
+    CycleProc& cp = *cprocs[static_cast<std::size_t>(c.pid())];
+    const Time cycle_start = c.superstep() * cycle_len;
+    const Time cycle_end = cycle_start + cycle_len;
+    for (const Message& m : c.inbox()) cp.deliver(m, cycle_start);
+    // The superstep executes (up to) cycle_len LogP instructions.
+    c.charge(cycle_len);
+    cp.pump(
+        cycle_end,
+        [&](const Message& m, Time submit_time) -> Time {
+          // Per-cycle stall-freeness accounting (Theorem 1's
+          // precondition), judged at the submission's cycle.
+          Time& fan = shared->fan_in[static_cast<std::size_t>(m.dst)];
+          fan += 1;
+          shared->max_fan_in = std::max(shared->max_fan_in, fan);
+          if (fan > cap) {
+            capacity_ok = false;
+            shared->overloaded_cycles.insert(c.superstep());
+          }
+          // Stalling Rule emulation: acceptance when the destination's
+          // bandwidth admits it.
+          const Time accept =
+              shared->buckets[static_cast<std::size_t>(m.dst)].admit(
+                  submit_time);
+          if (accept > submit_time) {
+            shared->stall_events += 1;
+            shared->stall_time += accept - submit_time;
+            // Every cycle between submission and acceptance carries part
+            // of the deferred schedule.
+            for (Time cyc = submit_time / cycle_len;
+                 cyc <= accept / cycle_len; ++cyc)
+              shared->overloaded_cycles.insert(cyc);
+          }
+          return accept;
+        },
+        [&](const Message& m) { c.send_msg(m); });
+    cp.rethrow_if_failed();
+    return !cp.done();
+  };
+
+  std::vector<std::unique_ptr<bsp::ProcProgram>> bsp_programs;
+  for (ProcId i = 0; i < nprocs_; ++i)
+    bsp_programs.push_back(std::make_unique<bsp::FnProgram>(step_fn));
+
+  bsp::Machine::Options bsp_opt;
+  bsp_opt.max_supersteps = opt_.max_supersteps;
+  bsp::Machine machine(nprocs_, opt_.bsp, bsp_opt);
+
+  LogpOnBspReport report;
+  report.bsp = machine.run(bsp_programs);
+  report.cycle_length = cycle_len;
+  report.capacity_ok = capacity_ok;
+  report.max_cycle_fan_in = shared->max_fan_in;
+  report.stall_events = shared->stall_events;
+  report.stall_time_total = shared->stall_time;
+  report.stuck = report.bsp.hit_superstep_limit;
+  report.superstep_overloaded.assign(report.bsp.trace.size(), false);
+  for (const std::int64_t cyc : shared->overloaded_cycles)
+    if (std::cmp_less(cyc, report.superstep_overloaded.size()))
+      report.superstep_overloaded[static_cast<std::size_t>(cyc)] = true;
+  for (const bool over : report.superstep_overloaded)
+    report.overloaded_supersteps += over;
+  Time logical = 0;
+  for (const auto& cp : cprocs) logical = std::max(logical, cp->now());
+  report.logical_finish = logical;
+  return report;
+}
+
+Time LogpOnBspReport::preprocessed_time(const bsp::Params& prm, ProcId p,
+                                        Time capacity) const {
+  // The Section-3 scheme: in a cycle where stalling occurred, the
+  // simulation sorts the cycle's messages and prefix-computes the
+  // acceptance order before routing — O(log p) additional supersteps, each
+  // an h-relation with h <= ceil(L/G) plus O(capacity) local work.
+  Time total = 0;
+  const Time extra = static_cast<Time>(ceil_log2(std::max<ProcId>(p, 2))) *
+                     (prm.l + prm.g * capacity + capacity);
+  for (std::size_t s = 0; s < bsp.trace.size(); ++s) {
+    total += bsp.trace[s].total(prm);
+    if (s < superstep_overloaded.size() && superstep_overloaded[s])
+      total += extra;
+  }
+  return total;
+}
+
+}  // namespace bsplogp::xsim

@@ -1,0 +1,35 @@
+// Section 4.2, first paragraph: "By Hall's Theorem, any h-relation can be
+// decomposed into disjoint 1-relations and, therefore, be routed off-line
+// in optimal 2o + G(h-1) + L time in LogP."
+//
+// This module executes exactly that: the relation is edge-colored into
+// 1-relation layers off-line (routing/decompose.h) and the layers are
+// pipelined with period G — layer k's submissions all happen at slot kG.
+// Each destination receives at most one message per layer, so at most
+// ceil(L/G) are ever in transit per destination: stall-free by
+// construction, and the last delivery lands by o + (h-1)G + L.
+#pragma once
+
+#include "src/core/types.h"
+#include "src/logp/machine.h"
+#include "src/routing/h_relation.h"
+
+namespace bsplogp::xsim {
+
+struct OfflineRoutingReport {
+  logp::RunStats logp;
+  /// Number of 1-relation layers used (<= degree of the relation).
+  Time layers = 0;
+  /// The paper's optimal-time expression for this relation and machine.
+  [[nodiscard]] static Time optimal_bound(const logp::Params& prm, Time h) {
+    return 2 * prm.o + prm.G * (h - 1) + prm.L;
+  }
+};
+
+/// Routes `rel` off-line-scheduled on a LogP machine; receivers acquire
+/// their (known) counts after delivery.
+[[nodiscard]] OfflineRoutingReport route_offline(
+    const routing::HRelation& rel, logp::Params params,
+    logp::Machine::Options engine = {});
+
+}  // namespace bsplogp::xsim

@@ -1,0 +1,67 @@
+// Theorem 3: randomized routing of known-degree h-relations on LogP.
+//
+// When every processor knows the degree h in advance and the capacity
+// threshold is large enough (ceil(L/G) >= c1 log p), an h-relation is
+// realized without stalling in time <= beta*G*h with probability at least
+// 1 - p^{-c2}. The protocol:
+//   1. each processor independently assigns each of its messages a uniform
+//      batch number in [1, R], R = (1+delta) h / ceil(L/G);
+//   2. R rounds of 2(L+o) steps each: in round j, transmit up to ceil(L/G)
+//      messages of batch j, one submission every G steps;
+//   3. any messages left over (a batch overflowed its round quota) are sent
+//      afterwards, one every G steps — stalling is possible here, but only
+//      with polynomially small probability.
+#pragma once
+
+#include "src/core/types.h"
+#include "src/logp/machine.h"
+#include "src/routing/h_relation.h"
+
+namespace bsplogp::xsim {
+
+struct RandomizedRoutingOptions {
+  /// The factor 1 + delta in R = (1+delta) h / ceil(L/G). Larger values
+  /// lower the stall probability at the cost of proportionally more
+  /// rounds.
+  double oversample = 2.0;
+  /// Seed for the batch assignment (split per processor).
+  std::uint64_t seed = 1;
+  logp::Machine::Options engine;
+};
+
+struct RandomizedRoutingReport {
+  logp::RunStats logp;
+  /// Number of rounds R used by step 2.
+  Time rounds = 0;
+  /// Degree h the protocol was told.
+  Time h = 0;
+  /// Messages that missed their round's quota and went through the cleanup
+  /// step (0 in the high-probability case).
+  std::int64_t leftover = 0;
+
+  /// Completion time of the protocol (all messages delivered and
+  /// acquired).
+  [[nodiscard]] Time protocol_time() const { return logp.finish_time; }
+  /// True iff the run realized the theorem's event: no stalling and no
+  /// cleanup traffic.
+  [[nodiscard]] bool clean() const {
+    return logp.stall_free() && leftover == 0;
+  }
+  /// The theorem's time bound 4(1+delta)Gh for the given parameters.
+  [[nodiscard]] static Time bound(const logp::Params& prm, Time h,
+                                  double oversample) {
+    return static_cast<Time>(4.0 * oversample *
+                             static_cast<double>(prm.G) *
+                             static_cast<double>(h)) +
+           4 * (prm.L + prm.o);
+  }
+};
+
+/// Routes `rel` with the Theorem-3 protocol. Every processor is told the
+/// degree h = rel.degree() and its own receive count (both "known in
+/// advance" per the theorem's hypothesis).
+[[nodiscard]] RandomizedRoutingReport route_randomized(
+    const routing::HRelation& rel, logp::Params params,
+    RandomizedRoutingOptions opt = {});
+
+}  // namespace bsplogp::xsim

@@ -1,0 +1,152 @@
+// Tests for the BSP radix sort and sample sort, natively and — the point
+// of the radix workload — through Theorem 2's LogP simulation, where its
+// lopsided per-round relations must still run stall-free.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/algo/bsp_algorithms.h"
+#include "src/core/rng.h"
+#include "src/xsim/bsp_on_logp.h"
+
+namespace bsplogp::algo {
+namespace {
+
+std::vector<std::vector<Word>> random_blocks(ProcId p, std::size_t n,
+                                             Word key_range,
+                                             core::Rng& rng) {
+  std::vector<std::vector<Word>> blocks(static_cast<std::size_t>(p));
+  for (auto& blk : blocks)
+    for (std::size_t j = 0; j < n; ++j)
+      blk.push_back(rng.uniform(0, key_range - 1));
+  return blocks;
+}
+
+std::vector<Word> flatten_sorted(const std::vector<std::vector<Word>>& b) {
+  std::vector<Word> all;
+  for (const auto& blk : b) all.insert(all.end(), blk.begin(), blk.end());
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+void expect_globally_sorted(const std::vector<std::vector<Word>>& out,
+                            const std::vector<Word>& reference) {
+  std::vector<Word> got;
+  for (const auto& blk : out) {
+    EXPECT_TRUE(std::is_sorted(blk.begin(), blk.end()));
+    got.insert(got.end(), blk.begin(), blk.end());
+  }
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+  EXPECT_EQ(got, reference);
+}
+
+TEST(BspRadixSort, SortsRandomKeys) {
+  core::Rng rng(41);
+  for (const ProcId p : {2, 4, 8}) {
+    for (const Word range : {Word{7}, Word{64}, Word{1000}}) {
+      const auto blocks = random_blocks(p, 12, range, rng);
+      std::vector<std::vector<Word>> out;
+      const auto progs = bsp_radix_sort(p, blocks, range, out);
+      bsp::Machine m(p, bsp::Params{1, 1});
+      const auto st = m.run(progs);
+      EXPECT_FALSE(st.hit_superstep_limit);
+      expect_globally_sorted(out, flatten_sorted(blocks));
+    }
+  }
+}
+
+TEST(BspRadixSort, HandlesHeavyDuplication) {
+  core::Rng rng(43);
+  const ProcId p = 4;
+  const auto blocks = random_blocks(p, 30, 3, rng);  // keys in {0,1,2}
+  std::vector<std::vector<Word>> out;
+  const auto progs = bsp_radix_sort(p, blocks, 3, out);
+  bsp::Machine m(p, bsp::Params{1, 1});
+  (void)m.run(progs);
+  expect_globally_sorted(out, flatten_sorted(blocks));
+  // All equal keys land on one processor: extremely lopsided buckets.
+  std::size_t max_bucket = 0;
+  for (const auto& blk : out) max_bucket = std::max(max_bucket, blk.size());
+  EXPECT_GT(max_bucket, 30u);
+}
+
+TEST(BspRadixSort, RunsStallFreeUnderTheorem2) {
+  // Section 6's remark: LogP Radixsort's relations can violate the
+  // capacity constraint; routed through Theorem 2's protocol they must
+  // not stall.
+  core::Rng rng(47);
+  const ProcId p = 8;
+  const auto blocks = random_blocks(p, 10, 16, rng);
+  std::vector<std::vector<Word>> out;
+  const auto progs = bsp_radix_sort(p, blocks, 16, out);
+  xsim::BspOnLogp sim(p, logp::Params{8, 1, 2});
+  const auto rep = sim.run(progs);
+  EXPECT_TRUE(rep.logp.completed());
+  EXPECT_TRUE(rep.logp.stall_free());
+  EXPECT_EQ(rep.schedule_violations, 0);
+  expect_globally_sorted(out, flatten_sorted(blocks));
+}
+
+TEST(BspSampleSort, SortsRandomKeys) {
+  core::Rng rng(53);
+  for (const ProcId p : {2, 4, 8, 16}) {
+    const auto blocks = random_blocks(p, 24, 100000, rng);
+    std::vector<std::vector<Word>> out;
+    const auto progs = bsp_sample_sort(p, blocks, out);
+    bsp::Machine m(p, bsp::Params{1, 1});
+    const auto st = m.run(progs);
+    EXPECT_FALSE(st.hit_superstep_limit);
+    EXPECT_LE(st.supersteps, 5);  // O(1) supersteps: the "direct" style
+    expect_globally_sorted(out, flatten_sorted(blocks));
+  }
+}
+
+TEST(BspSampleSort, BalancedBucketsOnUniformInput) {
+  core::Rng rng(59);
+  const ProcId p = 8;
+  const std::size_t n = 200;
+  const auto blocks = random_blocks(p, n, 1 << 30, rng);
+  std::vector<std::vector<Word>> out;
+  const auto progs = bsp_sample_sort(p, blocks, out);
+  bsp::Machine m(p, bsp::Params{1, 1});
+  (void)m.run(progs);
+  for (const auto& blk : out) {
+    EXPECT_GT(blk.size(), n / 4);      // regular sampling keeps buckets
+    EXPECT_LT(blk.size(), 4 * n);      // within a small factor of n
+  }
+}
+
+TEST(BspSampleSort, DegenerateInputs) {
+  // All-equal keys: every key lands in one bucket; still sorted.
+  const ProcId p = 4;
+  std::vector<std::vector<Word>> blocks(
+      static_cast<std::size_t>(p), std::vector<Word>(10, 7));
+  std::vector<std::vector<Word>> out;
+  const auto progs = bsp_sample_sort(p, blocks, out);
+  bsp::Machine m(p, bsp::Params{1, 1});
+  (void)m.run(progs);
+  expect_globally_sorted(out, flatten_sorted(blocks));
+
+  // Empty blocks.
+  std::vector<std::vector<Word>> empty(static_cast<std::size_t>(p));
+  const auto progs2 = bsp_sample_sort(p, empty, out);
+  (void)m.run(progs2);
+  for (const auto& blk : out) EXPECT_TRUE(blk.empty());
+}
+
+TEST(BspSampleSort, RunsUnderTheorem2) {
+  core::Rng rng(61);
+  const ProcId p = 4;
+  const auto blocks = random_blocks(p, 16, 5000, rng);
+  std::vector<std::vector<Word>> out;
+  const auto progs = bsp_sample_sort(p, blocks, out);
+  xsim::BspOnLogp sim(p, logp::Params{8, 1, 2});
+  const auto rep = sim.run(progs);
+  EXPECT_TRUE(rep.logp.completed());
+  EXPECT_TRUE(rep.logp.stall_free());
+  expect_globally_sorted(out, flatten_sorted(blocks));
+}
+
+}  // namespace
+}  // namespace bsplogp::algo

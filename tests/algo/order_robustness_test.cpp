@@ -1,0 +1,123 @@
+// The BSP model leaves input-pool order unspecified (bsp::Ctx documents
+// it), so every shipped BSP algorithm must be order-robust. We run each of
+// them under InboxOrder::Shuffled with several seeds and require the same
+// results as the canonical SourceOrder run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/algo/bsp_algorithms.h"
+#include "src/core/rng.h"
+
+namespace bsplogp::algo {
+namespace {
+
+bsp::Machine shuffled_machine(ProcId p, std::uint64_t seed) {
+  bsp::Machine::Options opt;
+  opt.inbox_order = bsp::InboxOrder::Shuffled;
+  opt.shuffle_seed = seed;
+  return bsp::Machine(p, bsp::Params{1, 1}, opt);
+}
+
+TEST(OrderRobustness, PrefixScan) {
+  const ProcId p = 16;
+  std::vector<Word> in(static_cast<std::size_t>(p));
+  for (ProcId i = 0; i < p; ++i)
+    in[static_cast<std::size_t>(i)] = i * 3 - 7;
+  std::vector<Word> reference;
+  {
+    auto progs = bsp_prefix_scan(p, in, ReduceOp::Sum, reference);
+    bsp::Machine m(p, bsp::Params{1, 1});
+    (void)m.run(progs);
+  }
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    std::vector<Word> out;
+    auto progs = bsp_prefix_scan(p, in, ReduceOp::Sum, out);
+    auto m = shuffled_machine(p, seed);
+    (void)m.run(progs);
+    EXPECT_EQ(out, reference) << "seed " << seed;
+  }
+}
+
+TEST(OrderRobustness, AllReduce) {
+  const ProcId p = 13;
+  std::vector<Word> in(static_cast<std::size_t>(p), 0);
+  for (ProcId i = 0; i < p; ++i)
+    in[static_cast<std::size_t>(i)] = (i * 11) % 17;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    std::vector<Word> out;
+    auto progs = bsp_allreduce(p, in, ReduceOp::Max, out);
+    auto m = shuffled_machine(p, seed);
+    (void)m.run(progs);
+    const Word expect = *std::max_element(in.begin(), in.end());
+    for (const Word w : out) EXPECT_EQ(w, expect) << "seed " << seed;
+  }
+}
+
+TEST(OrderRobustness, SortsStaySorted) {
+  core::Rng rng(67);
+  const ProcId p = 8;
+  std::vector<std::vector<Word>> blocks(static_cast<std::size_t>(p));
+  std::vector<Word> all;
+  for (auto& blk : blocks)
+    for (int j = 0; j < 12; ++j) {
+      blk.push_back(rng.uniform(0, 500));
+      all.push_back(blk.back());
+    }
+  std::sort(all.begin(), all.end());
+
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    {
+      std::vector<std::vector<Word>> out;
+      auto progs = bsp_odd_even_sort(p, blocks, out);
+      auto m = shuffled_machine(p, seed);
+      (void)m.run(progs);
+      std::vector<Word> got;
+      for (const auto& blk : out)
+        got.insert(got.end(), blk.begin(), blk.end());
+      EXPECT_EQ(got, all) << "odd-even seed " << seed;
+    }
+    {
+      std::vector<std::vector<Word>> out;
+      auto progs = bsp_sample_sort(p, blocks, out);
+      auto m = shuffled_machine(p, seed);
+      (void)m.run(progs);
+      std::vector<Word> got;
+      for (const auto& blk : out)
+        got.insert(got.end(), blk.begin(), blk.end());
+      EXPECT_EQ(got, all) << "sample seed " << seed;
+    }
+    {
+      // Radix sort's stability is defined over (src, tag), not pool
+      // order, so shuffling must not affect the multiset or sortedness.
+      std::vector<std::vector<Word>> out;
+      auto progs = bsp_radix_sort(p, blocks, 501, out);
+      auto m = shuffled_machine(p, seed);
+      (void)m.run(progs);
+      std::vector<Word> got;
+      for (const auto& blk : out)
+        got.insert(got.end(), blk.begin(), blk.end());
+      EXPECT_EQ(got, all) << "radix seed " << seed;
+    }
+  }
+}
+
+TEST(OrderRobustness, Matvec) {
+  const ProcId p = 4;
+  const std::int64_t n = 8;
+  std::vector<Word> x(static_cast<std::size_t>(n), 2);
+  std::vector<Word> reference;
+  {
+    auto progs = bsp_matvec(p, n, x, 5, reference);
+    bsp::Machine m(p, bsp::Params{1, 1});
+    (void)m.run(progs);
+  }
+  std::vector<Word> out;
+  auto progs = bsp_matvec(p, n, x, 5, out);
+  auto m = shuffled_machine(p, 9);
+  (void)m.run(progs);
+  EXPECT_EQ(out, reference);
+}
+
+}  // namespace
+}  // namespace bsplogp::algo

@@ -1,0 +1,85 @@
+#include "src/algo/tree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace bsplogp::algo {
+namespace {
+
+TEST(DAryTree, BinaryTreeStructure) {
+  const DAryTree t(7, 2);
+  EXPECT_TRUE(t.is_root(0));
+  EXPECT_EQ(t.children(0), (std::vector<ProcId>{1, 2}));
+  EXPECT_EQ(t.children(1), (std::vector<ProcId>{3, 4}));
+  EXPECT_EQ(t.children(2), (std::vector<ProcId>{5, 6}));
+  EXPECT_TRUE(t.children(3).empty());
+  EXPECT_EQ(t.parent(5), 2);
+  EXPECT_EQ(t.child_index(5), 0);
+  EXPECT_EQ(t.child_index(6), 1);
+  EXPECT_EQ(t.height(), 2);
+}
+
+TEST(DAryTree, IncompleteLastLevel) {
+  const DAryTree t(5, 3);
+  EXPECT_EQ(t.children(0), (std::vector<ProcId>{1, 2, 3}));
+  EXPECT_EQ(t.children(1), (std::vector<ProcId>{4}));
+  EXPECT_TRUE(t.children(2).empty());
+  EXPECT_EQ(t.height(), 2);
+}
+
+TEST(DAryTree, SingleNode) {
+  const DAryTree t(1, 2);
+  EXPECT_TRUE(t.children(0).empty());
+  EXPECT_EQ(t.height(), 0);
+  EXPECT_EQ(t.depth(0), 0);
+}
+
+class TreeSweep : public ::testing::TestWithParam<std::pair<ProcId, ProcId>> {
+};
+
+TEST_P(TreeSweep, ParentChildRelationsAreConsistent) {
+  const auto [p, d] = GetParam();
+  const DAryTree t(p, d);
+  std::vector<int> child_count(static_cast<std::size_t>(p), 0);
+  for (ProcId i = 0; i < p; ++i) {
+    const auto kids = t.children(i);
+    EXPECT_LE(kids.size(), static_cast<std::size_t>(d));
+    for (std::size_t k = 0; k < kids.size(); ++k) {
+      EXPECT_EQ(t.parent(kids[k]), i);
+      EXPECT_EQ(t.child_index(kids[k]), static_cast<ProcId>(k));
+      EXPECT_EQ(t.depth(kids[k]), t.depth(i) + 1);
+      child_count[static_cast<std::size_t>(kids[k])] += 1;
+    }
+  }
+  // Every non-root node is the child of exactly one node.
+  EXPECT_EQ(child_count[0], 0);
+  for (ProcId i = 1; i < p; ++i)
+    EXPECT_EQ(child_count[static_cast<std::size_t>(i)], 1) << "node " << i;
+}
+
+TEST_P(TreeSweep, HeightMatchesLogBound) {
+  const auto [p, d] = GetParam();
+  const DAryTree t(p, d);
+  int max_depth = 0;
+  for (ProcId i = 0; i < p; ++i) max_depth = std::max(max_depth, t.depth(i));
+  EXPECT_EQ(t.height(), max_depth);
+  if (p > 1) {
+    // height ~ log_d p up to rounding.
+    const double logd = std::log(static_cast<double>(p)) /
+                        std::log(static_cast<double>(d));
+    EXPECT_LE(t.height(), static_cast<int>(logd) + 1);
+    EXPECT_GE(t.height(), static_cast<int>(logd) - 1);
+  }
+}
+
+using PP = std::pair<ProcId, ProcId>;
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TreeSweep,
+    ::testing::Values(PP{1, 2}, PP{2, 2}, PP{3, 2}, PP{15, 2}, PP{16, 2},
+                      PP{17, 2}, PP{100, 2}, PP{5, 3}, PP{27, 3}, PP{40, 3},
+                      PP{100, 4}, PP{1000, 7}, PP{64, 8}, PP{257, 16}));
+
+}  // namespace
+}  // namespace bsplogp::algo

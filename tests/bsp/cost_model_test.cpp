@@ -1,0 +1,130 @@
+// Cost-model tests: the machine must account exactly
+// T_superstep = w + g*h + l with w = max local ops and h = max messages
+// sent or received by any processor (paper, Relation (1)).
+#include <gtest/gtest.h>
+
+#include "src/bsp/machine.h"
+
+namespace bsplogp::bsp {
+namespace {
+
+RunStats run_one(ProcId p, Params prm,
+                 const std::function<bool(Ctx&)>& fn) {
+  auto progs = make_programs(p, fn);
+  Machine m(p, prm);
+  return m.run(progs);
+}
+
+TEST(BspCost, PureComputeSuperstep) {
+  const Params prm{3, 17};
+  const RunStats st =
+      run_one(4, prm, [](Ctx& c) {
+        c.charge(c.pid() == 2 ? 100 : 10);  // w is a max, not a sum
+        return false;
+      });
+  ASSERT_EQ(st.trace.size(), 1u);
+  EXPECT_EQ(st.trace[0].w, 100);
+  EXPECT_EQ(st.trace[0].h, 0);
+  EXPECT_EQ(st.time, 100 + 17);
+}
+
+TEST(BspCost, EmptySuperstepStillPaysBarrier) {
+  const Params prm{5, 23};
+  const RunStats st = run_one(3, prm, [](Ctx&) { return false; });
+  EXPECT_EQ(st.time, 23);
+}
+
+TEST(BspCost, HCountsMaxOfFanInAndFanOut) {
+  const Params prm{7, 1};
+  // Proc 0 sends one message to each of the other 7: fan-out 7, every
+  // receiver gets 1. h must be 7.
+  const RunStats st = run_one(8, prm, [](Ctx& c) {
+    if (c.superstep() == 0 && c.pid() == 0)
+      for (ProcId d = 1; d < 8; ++d) c.send(d, 0);
+    return c.superstep() < 1;
+  });
+  ASSERT_EQ(st.trace.size(), 2u);
+  EXPECT_EQ(st.trace[0].h, 7);
+  EXPECT_EQ(st.trace[1].h, 0);
+}
+
+TEST(BspCost, HCountsFanInToo) {
+  const Params prm{2, 1};
+  // Everyone sends to proc 0: senders have degree 1, receiver degree 7.
+  const RunStats st = run_one(8, prm, [](Ctx& c) {
+    if (c.superstep() == 0 && c.pid() != 0) c.send(0, 1);
+    return c.superstep() < 1;
+  });
+  EXPECT_EQ(st.trace[0].h, 7);
+}
+
+TEST(BspCost, PermutationIsOneRelation) {
+  const Params prm{4, 9};
+  const RunStats st = run_one(8, prm, [](Ctx& c) {
+    if (c.superstep() == 0) c.send((c.pid() + 3) % 8, 0);
+    return c.superstep() < 1;
+  });
+  EXPECT_EQ(st.trace[0].h, 1);
+}
+
+TEST(BspCost, SendChargesOneLocalOp) {
+  const Params prm{1, 1};
+  const RunStats st = run_one(2, prm, [](Ctx& c) {
+    if (c.superstep() == 0 && c.pid() == 0) {
+      c.send(1, 0);
+      c.send(1, 1);
+      c.send(1, 2);
+    }
+    return c.superstep() < 1;
+  });
+  // Superstep 0: proc 0 does 3 pool insertions -> w = 3.
+  EXPECT_EQ(st.trace[0].w, 3);
+  // Superstep 1: proc 1 pays 3 extractions -> w = 3.
+  EXPECT_EQ(st.trace[1].w, 3);
+}
+
+TEST(BspCost, TotalIsSumOfSupersteps) {
+  const Params prm{3, 11};
+  const RunStats st = run_one(4, prm, [](Ctx& c) {
+    c.charge(5);
+    if (c.superstep() < 2) c.send((c.pid() + 1) % 4, 0);
+    return c.superstep() < 2;
+  });
+  ASSERT_EQ(st.trace.size(), 3u);
+  Time expect = 0;
+  for (const SuperstepCost& sc : st.trace) expect += sc.total(prm);
+  EXPECT_EQ(st.time, expect);
+  // Steps 0,1: w=5+1(send)+extraction(1 except step 0), h=1.
+  EXPECT_EQ(st.trace[0].w, 6);
+  EXPECT_EQ(st.trace[0].h, 1);
+  EXPECT_EQ(st.trace[1].w, 7);  // 1 extraction + 5 charge + 1 send
+  EXPECT_EQ(st.trace[1].h, 1);
+  EXPECT_EQ(st.trace[2].w, 6);  // 1 extraction + 5 charge
+  EXPECT_EQ(st.trace[2].h, 0);
+}
+
+TEST(BspCost, GScalesCommunicationOnly) {
+  auto time_with_g = [&](Time g) {
+    return run_one(4, Params{g, 1}, [](Ctx& c) {
+      if (c.superstep() == 0)
+        for (ProcId d = 0; d < 4; ++d)
+          if (d != c.pid()) c.send(d, 0);
+      return c.superstep() < 1;
+    }).time;
+  };
+  const Time t1 = time_with_g(1);
+  const Time t10 = time_with_g(10);
+  // h = 3 in superstep 0; raising g from 1 to 10 adds exactly 9*3.
+  EXPECT_EQ(t10 - t1, 9 * 3);
+}
+
+TEST(BspCost, LChargedPerSuperstep) {
+  auto time_with_l = [&](Time l) {
+    return run_one(2, Params{1, l},
+                   [](Ctx& c) { return c.superstep() < 4; }).time;
+  };
+  EXPECT_EQ(time_with_l(100) - time_with_l(1), 99 * 5);  // 5 supersteps run
+}
+
+}  // namespace
+}  // namespace bsplogp::bsp

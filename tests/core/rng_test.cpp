@@ -1,0 +1,101 @@
+#include "src/core/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+namespace bsplogp::core {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng r(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, UniformInclusiveBounds) {
+  Rng r(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng r(13);
+  std::array<int, 8> buckets{};
+  const int n = 80'000;
+  for (int i = 0; i < n; ++i) buckets[r.below(8)] += 1;
+  for (int count : buckets) {
+    EXPECT_GT(count, n / 8 - n / 80);
+    EXPECT_LT(count, n / 8 + n / 80);
+  }
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng r(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.split();
+  // The child must not replay the parent's stream.
+  Rng parent2(23);
+  (void)parent2();  // parent advanced once during split
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (child() == parent2());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, WorksWithStdShuffle) {
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  std::vector<int> orig = v;
+  Rng r(29);
+  std::shuffle(v.begin(), v.end(), r);
+  EXPECT_NE(v, orig);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, FlipRespectsProbability) {
+  Rng r(31);
+  int heads = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) heads += r.flip(0.25);
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.25, 0.02);
+}
+
+}  // namespace
+}  // namespace bsplogp::core

@@ -1,0 +1,64 @@
+#include "src/core/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/rng.h"
+
+namespace bsplogp::core {
+namespace {
+
+TEST(Stats, FitRecoversExactLine) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{3, 5, 7, 9, 11};  // y = 2x + 1
+  const LinearFit f = fit_linear(x, y);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.r_squared, 1.0, 1e-12);
+}
+
+TEST(Stats, FitOnNoisyLineIsClose) {
+  Rng r(5);
+  std::vector<double> x, y;
+  for (int i = 0; i < 500; ++i) {
+    const double xi = static_cast<double>(i);
+    x.push_back(xi);
+    y.push_back(7.0 * xi + 100.0 + (r.uniform01() - 0.5) * 4.0);
+  }
+  const LinearFit f = fit_linear(x, y);
+  EXPECT_NEAR(f.slope, 7.0, 0.05);
+  EXPECT_NEAR(f.intercept, 100.0, 5.0);
+  EXPECT_GT(f.r_squared, 0.999);
+}
+
+TEST(Stats, FitConstantYGivesZeroSlope) {
+  std::vector<double> x{0, 1, 2, 3};
+  std::vector<double> y{4, 4, 4, 4};
+  const LinearFit f = fit_linear(x, y);
+  EXPECT_NEAR(f.slope, 0.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 4.0, 1e-12);
+  EXPECT_NEAR(f.r_squared, 1.0, 1e-12);  // degenerate: perfect by convention
+}
+
+TEST(Stats, MeanAndStddev) {
+  std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(mean(v), 5.0, 1e-12);
+  EXPECT_NEAR(stddev(v), 2.138, 1e-3);  // sample stddev
+}
+
+TEST(Stats, QuantileEndpointsAndMedian) {
+  std::vector<double> v{5, 1, 3, 2, 4};
+  EXPECT_NEAR(quantile(v, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(quantile(v, 1.0), 5.0, 1e-12);
+  EXPECT_NEAR(quantile(v, 0.5), 3.0, 1e-12);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  std::vector<double> v{0, 10};
+  EXPECT_NEAR(quantile(v, 0.25), 2.5, 1e-12);
+  EXPECT_NEAR(quantile(v, 0.75), 7.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace bsplogp::core

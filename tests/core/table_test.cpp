@@ -1,0 +1,47 @@
+#include "src/core/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace bsplogp::core {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "123456"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("123456"), std::string::npos);
+  // Every row should start at the same column offset for field 2.
+  std::istringstream is(out);
+  std::string line;
+  std::getline(is, line);
+  const auto header_col = line.find("value");
+  std::getline(is, line);  // separator
+  std::getline(is, line);
+  EXPECT_EQ(line.find('1'), header_col);
+}
+
+TEST(Table, RowCountTracksAdds) {
+  Table t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, FmtDouble) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 4), "3.1416");
+  EXPECT_EQ(fmt(-0.5, 1), "-0.5");
+}
+
+TEST(Table, FmtInt) { EXPECT_EQ(fmt(std::int64_t{-42}), "-42"); }
+
+}  // namespace
+}  // namespace bsplogp::core

@@ -1,0 +1,54 @@
+#include "src/core/types.h"
+
+#include <gtest/gtest.h>
+
+namespace bsplogp {
+namespace {
+
+TEST(Types, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 3), 0);
+  EXPECT_EQ(ceil_div(1, 3), 1);
+  EXPECT_EQ(ceil_div(3, 3), 1);
+  EXPECT_EQ(ceil_div(4, 3), 2);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(10, 3), 4);
+}
+
+TEST(Types, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(4), 2);
+  EXPECT_EQ(floor_log2(1023), 9);
+  EXPECT_EQ(floor_log2(1024), 10);
+}
+
+TEST(Types, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1025), 11);
+}
+
+TEST(Types, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(96));
+}
+
+TEST(Types, MessageEquality) {
+  const Message a{1, 2, 42, 7, 9};
+  Message b = a;
+  EXPECT_EQ(a, b);
+  b.payload = 43;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace bsplogp

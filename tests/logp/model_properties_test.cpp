@@ -1,0 +1,162 @@
+// Model-level properties the paper argues in prose, checked on the
+// engines:
+//  * Section 6 / 2.2: LogP computations on disjoint processor sets do not
+//    interfere — partitionability "leads to natural solutions";
+//  * Section 2.1: BSP's global barrier couples unrelated computations;
+//  * Section 2.2's G <= L discussion: within the admitted parameter range,
+//    paced streams need only bounded input buffers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/bsp/machine.h"
+#include "src/logp/machine.h"
+
+namespace bsplogp::logp {
+namespace {
+
+/// A ring of `group` processors starting at `base` circulates a token
+/// `laps` times; finish times per member are recorded.
+ProgramFn ring_member(ProcId base, ProcId group, int laps,
+                      std::vector<Time>* finish) {
+  return [base, group, laps, finish](Proc& pr) -> Task<> {
+    const ProcId local = pr.id() - base;
+    const ProcId next = base + (local + 1) % group;
+    for (int lap = 0; lap < laps; ++lap) {
+      if (local == 0) {
+        co_await pr.send(next, lap);
+        (void)co_await pr.recv();
+      } else {
+        (void)co_await pr.recv();
+        co_await pr.send(next, lap);
+      }
+    }
+    (*finish)[static_cast<std::size_t>(pr.id())] = pr.now();
+  };
+}
+
+TEST(ModelProperties, LogpDisjointGroupsDoNotInterfere) {
+  const Params prm{8, 1, 2};
+  const ProcId a = 4, b = 6;
+
+  // Run group A alone.
+  std::vector<Time> alone(static_cast<std::size_t>(a), 0);
+  {
+    std::vector<ProgramFn> progs;
+    for (ProcId i = 0; i < a; ++i)
+      progs.push_back(ring_member(0, a, 5, &alone));
+    Machine m(a, prm);
+    ASSERT_TRUE(m.run(progs).completed());
+  }
+
+  // Run group A next to a busy group B on one machine.
+  std::vector<Time> together(static_cast<std::size_t>(a + b), 0);
+  {
+    std::vector<ProgramFn> progs;
+    for (ProcId i = 0; i < a; ++i)
+      progs.push_back(ring_member(0, a, 5, &together));
+    for (ProcId i = 0; i < b; ++i)
+      progs.push_back(ring_member(a, b, 40, &together));  // much longer
+    Machine m(a + b, prm);
+    ASSERT_TRUE(m.run(progs).completed());
+  }
+
+  // Partitionability: group A's timing is bit-identical with or without B.
+  for (ProcId i = 0; i < a; ++i)
+    EXPECT_EQ(together[static_cast<std::size_t>(i)],
+              alone[static_cast<std::size_t>(i)])
+        << "proc " << i;
+}
+
+TEST(ModelProperties, BspGlobalBarrierCouplesDisjointGroups) {
+  // The contrast the paper draws: in BSP the barrier is global, so a group
+  // that is done keeps paying l for every superstep of the busier group.
+  const bsp::Params prm{1, 100};
+  auto run_cost = [&](ProcId p, std::int64_t busy_steps) {
+    auto progs = bsp::make_programs(p, [busy_steps](bsp::Ctx& c) {
+      // Processors in the upper half run busy_steps supersteps; the lower
+      // half is done after one.
+      const bool busy = c.pid() >= c.nprocs() / 2;
+      return c.superstep() < (busy ? busy_steps : 1);
+    });
+    bsp::Machine m(p, prm);
+    return m.run(progs).time;
+  };
+  const Time short_run = run_cost(8, 1);
+  const Time long_run = run_cost(8, 20);
+  // Everyone pays for 20 supersteps of barriers even though half the
+  // machine had nothing to do.
+  EXPECT_GE(long_run, 20 * prm.l);
+  EXPECT_LE(short_run, 3 * prm.l);
+}
+
+TEST(ModelProperties, PacedStreamNeedsOnlyBoundedBuffers) {
+  // Section 2.2 argues G <= L is what keeps input buffers bounded. Within
+  // the admitted range, a sender paced at the gap and a receiver acquiring
+  // at the same rate keep the buffer at O(L/G) even over long runs.
+  const Params prm{16, 1, 4};
+  Machine m(2, prm);
+  const int n = 200;
+  std::vector<ProgramFn> progs;
+  progs.emplace_back([](Proc& pr) -> Task<> {
+    for (int k = 0; k < n; ++k) co_await pr.send(1, k);
+  });
+  progs.emplace_back([](Proc& pr) -> Task<> {
+    for (int k = 0; k < n; ++k) (void)co_await pr.recv();
+  });
+  const RunStats st = m.run(progs);
+  EXPECT_TRUE(st.completed());
+  EXPECT_LE(st.max_inbox, prm.capacity() + 1)
+      << "paced stream must not accumulate unbounded buffer";
+}
+
+TEST(ModelProperties, UnacquiredTrafficDoesMeasureBufferGrowth) {
+  // The complementary observation: if the receiver refuses to acquire, the
+  // buffer grows with the traffic — the engine's max_inbox statistic is
+  // the measurement tool for buffer analyses.
+  const Params prm{16, 1, 4};
+  Machine m(2, prm);
+  const int n = 50;
+  std::vector<ProgramFn> progs;
+  progs.emplace_back([](Proc& pr) -> Task<> {
+    for (int k = 0; k < n; ++k) co_await pr.send(1, k);
+  });
+  progs.emplace_back([](Proc& pr) -> Task<> {
+    co_await pr.wait_until(10'000);  // ignore everything, then drain
+    for (int k = 0; k < n; ++k) (void)co_await pr.recv();
+  });
+  const RunStats st = m.run(progs);
+  EXPECT_TRUE(st.completed());
+  EXPECT_EQ(st.max_inbox, n);
+}
+
+TEST(ModelProperties, LogpResultsIndependentOfParameterScaling) {
+  // BSP guarantees parameter-independence of results by construction; for
+  // LogP the paper notes correctness can depend on (L, G). For programs in
+  // the disciplined style (tagged receives, no timing assumptions) results
+  // should survive parameter changes — the portability style the
+  // literature advocates.
+  auto run_with = [&](Params prm) {
+    std::vector<Word> sums(4, 0);
+    std::vector<ProgramFn> progs;
+    for (ProcId i = 0; i < 4; ++i)
+      progs.emplace_back([&sums](Proc& pr) -> Task<> {
+        for (ProcId d = 0; d < 4; ++d)
+          if (d != pr.id()) co_await pr.send(d, pr.id() + 1);
+        Word s = 0;
+        for (int k = 0; k < 3; ++k) s += (co_await pr.recv()).payload;
+        sums[static_cast<std::size_t>(pr.id())] = s;
+      });
+    Machine m(4, prm);
+    (void)m.run(progs);
+    return sums;
+  };
+  const auto a = run_with(Params{4, 1, 2});
+  const auto b = run_with(Params{64, 4, 16});
+  const auto c = run_with(Params{17, 2, 5});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+}
+
+}  // namespace
+}  // namespace bsplogp::logp

@@ -1,0 +1,168 @@
+// Tests of the capacity constraint and the Stalling Rule (Section 2.2):
+// at each step, per destination, min{k, s} pending submissions are accepted
+// where s is the number of free capacity slots; senders stall meanwhile;
+// the hot spot still drains at the full bandwidth 1/G.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/logp/machine.h"
+
+namespace bsplogp::logp {
+namespace {
+
+/// All-to-one: procs 1..p-1 each send one message to proc 0, who acquires
+/// them all.
+std::vector<ProgramFn> hotspot(ProcId p) {
+  std::vector<ProgramFn> progs;
+  progs.emplace_back([p](Proc& pr) -> Task<> {
+    for (ProcId i = 1; i < p; ++i) (void)co_await pr.recv();
+  });
+  for (ProcId i = 1; i < p; ++i)
+    progs.emplace_back([](Proc& pr) -> Task<> { co_await pr.send(0, 1); });
+  return progs;
+}
+
+TEST(LogpStalling, WithinCapacityNeverStalls) {
+  // capacity = ceil(8/2) = 4 and exactly 4 simultaneous senders.
+  const Params prm{8, 1, 2};
+  Machine m(5, prm);
+  const RunStats st = m.run(hotspot(5));
+  EXPECT_TRUE(st.stall_free());
+  EXPECT_EQ(st.messages_delivered, 4);
+  EXPECT_LE(st.max_in_transit, prm.capacity());
+}
+
+TEST(LogpStalling, OneOverCapacityStallsExactlyOne) {
+  const Params prm{8, 1, 2};  // capacity 4
+  Machine m(6, prm);
+  const RunStats st = m.run(hotspot(6));
+  EXPECT_EQ(st.stall_events, 1);
+  EXPECT_EQ(st.messages_delivered, 5);
+}
+
+TEST(LogpStalling, StallCountIsExcessOverCapacity) {
+  const Params prm{4, 1, 2};  // capacity 2
+  for (ProcId p : {4, 6, 9, 12}) {
+    Machine m(p, prm);
+    const RunStats st = m.run(hotspot(p));
+    // p-1 simultaneous submissions, 2 accepted on the spot; every later
+    // acceptance is a recorded stall.
+    EXPECT_EQ(st.stall_events, (p - 1) - prm.capacity()) << "p=" << p;
+    EXPECT_LE(st.max_in_transit, prm.capacity());
+    EXPECT_EQ(st.messages_delivered, p - 1);
+    EXPECT_TRUE(st.completed());
+  }
+}
+
+TEST(LogpStalling, CapacityInvariantHoldsUnderAllPolicies) {
+  const Params prm{6, 1, 3};  // capacity 2
+  for (auto ao : {AcceptOrder::Fifo, AcceptOrder::Lifo, AcceptOrder::Random})
+    for (auto ds : {DeliverySchedule::Latest, DeliverySchedule::Earliest,
+                    DeliverySchedule::UniformRandom}) {
+      Machine::Options o;
+      o.accept_order = ao;
+      o.delivery = ds;
+      o.seed = 99;
+      Machine m(10, prm, o);
+      const RunStats st = m.run(hotspot(10));
+      EXPECT_LE(st.max_in_transit, prm.capacity());
+      EXPECT_EQ(st.messages_delivered, 9);
+      EXPECT_TRUE(st.completed());
+    }
+}
+
+TEST(LogpStalling, HotSpotDrainsAtBandwidthRate) {
+  // Section 2.2's observation: under the Stalling Rule the hot spot still
+  // receives at the maximum rate, one message every G steps (up to edge
+  // effects), so total drain time for n messages is ~ o + nG + L.
+  const Params prm{16, 1, 4};
+  const ProcId p = 33;  // 32 senders, capacity 4
+  Machine m(p, prm);
+  const RunStats st = m.run(hotspot(p));
+  const Time n = p - 1;
+  const Time lower = prm.o + (n - 1) * prm.G;           // bandwidth bound
+  const Time upper = prm.o + n * prm.G + 2 * prm.L + 8; // + pipeline fill
+  EXPECT_GE(st.finish_time, lower);
+  EXPECT_LE(st.finish_time, upper);
+  EXPECT_GT(st.stall_events, 0);
+}
+
+TEST(LogpStalling, StallTimeAccountedToSenders) {
+  const Params prm{4, 1, 2};  // capacity 2
+  Machine m(8, prm);
+  const RunStats st = m.run(hotspot(8));
+  EXPECT_EQ(st.stall_events, 5);
+  EXPECT_GT(st.stall_time_total, 0);
+  EXPECT_GE(st.stall_time_max, st.stall_time_total / 5);
+  EXPECT_LE(st.stall_time_max, st.stall_time_total);
+}
+
+TEST(LogpStalling, StalledSenderResumesAndContinues) {
+  // A sender that stalls must resume at acceptance and run its remaining
+  // program; its finish time includes the stall.
+  const Params prm{4, 1, 2};  // capacity 2
+  const ProcId p = 6;
+  std::vector<Time> after_send(static_cast<std::size_t>(p), 0);
+  std::vector<ProgramFn> progs;
+  progs.emplace_back([p](Proc& pr) -> Task<> {
+    for (ProcId i = 1; i < p; ++i) (void)co_await pr.recv();
+  });
+  for (ProcId i = 1; i < p; ++i)
+    progs.emplace_back([&](Proc& pr) -> Task<> {
+      co_await pr.send(0, 0);
+      after_send[static_cast<std::size_t>(pr.id())] = pr.now();
+      co_await pr.compute(10);
+    });
+  Machine m(p, prm);
+  const RunStats st = m.run(progs);
+  EXPECT_TRUE(st.completed());
+  // All senders submitted at t=o=1; the two accepted immediately resume at
+  // 1, the stalled ones strictly later.
+  int stalled = 0;
+  for (ProcId i = 1; i < p; ++i)
+    stalled += after_send[static_cast<std::size_t>(i)] > prm.o;
+  EXPECT_EQ(stalled, 3);
+  for (ProcId i = 1; i < p; ++i)
+    EXPECT_EQ(st.proc_finish[static_cast<std::size_t>(i)],
+              after_send[static_cast<std::size_t>(i)] + 10);
+}
+
+TEST(LogpStalling, TwoHotSpotsStallIndependently) {
+  // Saturating destination 0 must not delay traffic to destination 1
+  // (the capacity constraint is per-destination).
+  const Params prm{4, 1, 2};  // capacity 2
+  const ProcId p = 10;        // 0,1 receivers; 2..5 -> 0, 6..9 -> 1
+  std::vector<ProgramFn> progs;
+  for (ProcId r = 0; r < 2; ++r)
+    progs.emplace_back([](Proc& pr) -> Task<> {
+      for (int i = 0; i < 4; ++i) (void)co_await pr.recv();
+    });
+  for (ProcId s = 2; s < p; ++s) {
+    const ProcId dst = s < 6 ? 0 : 1;
+    progs.emplace_back(
+        [dst](Proc& pr) -> Task<> { co_await pr.send(dst, 0); });
+  }
+  Machine m(p, prm);
+  const RunStats st = m.run(progs);
+  EXPECT_TRUE(st.completed());
+  // 4 senders per destination, capacity 2: exactly 2 stalls per hot spot.
+  EXPECT_EQ(st.stall_events, 4);
+}
+
+TEST(LogpStalling, AllToOneCompletesWithinQuadraticWorstCase) {
+  // Section 4.3's worst-case argument: total stall time per sender is at
+  // most Gh, so an h-relation finishes in O(Gh^2) even when it stalls.
+  const Params prm{8, 1, 4};
+  for (ProcId p : {9, 17, 33}) {
+    Machine m(p, prm);
+    const RunStats st = m.run(hotspot(p));
+    const Time h = p - 1;
+    EXPECT_TRUE(st.completed());
+    EXPECT_LE(st.finish_time, prm.G * h * h + 2 * prm.L + 2 * prm.o)
+        << "p=" << p;
+  }
+}
+
+}  // namespace
+}  // namespace bsplogp::logp

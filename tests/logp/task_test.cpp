@@ -1,0 +1,125 @@
+// Tests of the coroutine Task type and its composition on the LogP engine:
+// sub-tasks (the building block for collectives), value return, exception
+// propagation.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "src/logp/machine.h"
+#include "src/logp/task.h"
+
+namespace bsplogp::logp {
+namespace {
+
+Task<Word> double_after_compute(Proc& p, Word x) {
+  co_await p.compute(3);
+  co_return 2 * x;
+}
+
+TEST(LogpTask, SubTaskReturnsValueAndAdvancesClock) {
+  const Params prm{8, 1, 2};
+  Machine m(1, prm);
+  Word result = 0;
+  Time after = -1;
+  const RunStats st = m.run([&](Proc& p) -> Task<> {
+    result = co_await double_after_compute(p, 21);
+    after = p.now();
+  });
+  EXPECT_TRUE(st.completed());
+  EXPECT_EQ(result, 42);
+  EXPECT_EQ(after, 3);
+}
+
+Task<Word> nested_twice(Proc& p, Word x) {
+  const Word once = co_await double_after_compute(p, x);
+  co_return co_await double_after_compute(p, once);
+}
+
+TEST(LogpTask, DeeplyNestedTasksCompose) {
+  const Params prm{8, 1, 2};
+  Machine m(1, prm);
+  Word result = 0;
+  const RunStats st = m.run([&](Proc& p) -> Task<> {
+    result = co_await nested_twice(p, 5);
+  });
+  EXPECT_EQ(result, 20);
+  EXPECT_EQ(st.finish_time, 6);
+}
+
+Task<Word> echo_server(Proc& p) {
+  const Message msg = co_await p.recv();
+  co_await p.send(msg.src, msg.payload + 1);
+  co_return msg.payload;
+}
+
+TEST(LogpTask, SubTasksCanCommunicate) {
+  const Params prm{8, 1, 2};
+  Machine m(2, prm);
+  Word server_saw = -1, client_got = -1;
+  std::vector<ProgramFn> progs;
+  progs.emplace_back([&](Proc& p) -> Task<> {
+    co_await p.send(1, 10);
+    client_got = (co_await p.recv()).payload;
+  });
+  progs.emplace_back([&](Proc& p) -> Task<> {
+    server_saw = co_await echo_server(p);
+  });
+  const RunStats st = m.run(progs);
+  EXPECT_TRUE(st.completed());
+  EXPECT_EQ(server_saw, 10);
+  EXPECT_EQ(client_got, 11);
+}
+
+TEST(LogpTask, ExceptionPropagatesOutOfRun) {
+  const Params prm{8, 1, 2};
+  Machine m(1, prm);
+  EXPECT_THROW(
+      (void)m.run([](Proc& p) -> Task<> {
+        co_await p.compute(1);
+        throw std::runtime_error("boom");
+      }),
+      std::runtime_error);
+}
+
+Task<Word> throwing_child(Proc& p) {
+  co_await p.compute(1);
+  throw std::runtime_error("child boom");
+}
+
+TEST(LogpTask, ChildExceptionReachesParentCatch) {
+  const Params prm{8, 1, 2};
+  Machine m(1, prm);
+  bool caught = false;
+  const RunStats st = m.run([&](Proc& p) -> Task<> {
+    try {
+      (void)co_await throwing_child(p);
+    } catch (const std::runtime_error&) {
+      caught = true;
+    }
+    co_await p.compute(1);
+  });
+  EXPECT_TRUE(caught);
+  EXPECT_TRUE(st.completed());
+  EXPECT_EQ(st.finish_time, 2);
+}
+
+TEST(LogpTask, LoopOfSubTasksReusesFramesSafely) {
+  const Params prm{8, 1, 2};
+  Machine m(1, prm);
+  Word total = 0;
+  const RunStats st = m.run([&](Proc& p) -> Task<> {
+    for (Word i = 0; i < 50; ++i) total += co_await double_after_compute(p, i);
+  });
+  EXPECT_EQ(total, 2 * (49 * 50 / 2));
+  EXPECT_EQ(st.finish_time, 150);
+}
+
+TEST(LogpTask, DefaultConstructedTaskIsInvalid) {
+  Task<> t;
+  EXPECT_FALSE(t.valid());
+  EXPECT_FALSE(t.done());
+}
+
+}  // namespace
+}  // namespace bsplogp::logp

@@ -1,0 +1,269 @@
+// Step-exact timing tests for the LogP engine: overhead, gap, latency and
+// their interplay, checked against hand-computed schedules.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/logp/machine.h"
+
+namespace bsplogp::logp {
+namespace {
+
+using enum DeliverySchedule;
+
+Machine::Options opts(DeliverySchedule d) {
+  Machine::Options o;
+  o.delivery = d;
+  return o;
+}
+
+TEST(LogpTiming, SingleMessageLatestDelivery) {
+  // L=8,o=1,G=2. Sender submits at t=o=1, accepted immediately, delivered
+  // at the latest admissible slot t=1+L=9; receiver acquires at 9, done at
+  // 9+o=10. Completion = 2o+L, the paper's single-message cost.
+  const Params prm{8, 1, 2};
+  Machine m(2, prm, opts(Latest));
+  std::vector<Word> got(2, -1);
+  std::vector<ProgramFn> progs;
+  progs.emplace_back([](Proc& p) -> Task<> { co_await p.send(1, 42); });
+  progs.emplace_back([&](Proc& p) -> Task<> {
+    const Message msg = co_await p.recv();
+    got[1] = msg.payload;
+  });
+  const RunStats st = m.run(progs);
+  EXPECT_EQ(got[1], 42);
+  EXPECT_EQ(st.proc_finish[0], 1);   // o
+  EXPECT_EQ(st.proc_finish[1], 10);  // o + L + o
+  EXPECT_EQ(st.finish_time, 10);
+  EXPECT_TRUE(st.stall_free());
+  EXPECT_TRUE(st.completed());
+}
+
+TEST(LogpTiming, SingleMessageEarliestDelivery) {
+  const Params prm{8, 1, 2};
+  Machine m(2, prm, opts(Earliest));
+  std::vector<ProgramFn> progs;
+  progs.emplace_back([](Proc& p) -> Task<> { co_await p.send(1, 1); });
+  progs.emplace_back([](Proc& p) -> Task<> { (void)co_await p.recv(); });
+  const RunStats st = m.run(progs);
+  // Earliest admissible delivery is accept+1 = 2; acquire at 2, +o.
+  EXPECT_EQ(st.proc_finish[1], 3);
+}
+
+TEST(LogpTiming, SubmissionGapPacesDistinctDestinations) {
+  // Three sends to distinct destinations: submissions at o, o+G, o+2G.
+  const Params prm{8, 1, 2};
+  Machine m(4, prm, opts(Latest));
+  std::vector<ProgramFn> progs;
+  progs.emplace_back([](Proc& p) -> Task<> {
+    co_await p.send(1, 0);
+    co_await p.send(2, 0);
+    co_await p.send(3, 0);
+  });
+  for (ProcId i = 1; i < 4; ++i)
+    progs.emplace_back([](Proc& p) -> Task<> { (void)co_await p.recv(); });
+  const RunStats st = m.run(progs);
+  EXPECT_EQ(st.proc_finish[0], 1 + 2 * 2);  // o + (k-1)G
+  // Last submission at 5, latest delivery at 13, acquire +o.
+  EXPECT_EQ(st.finish_time, 14);
+  EXPECT_TRUE(st.stall_free());
+}
+
+TEST(LogpTiming, AcquisitionGapPacesReceiver) {
+  // Three messages to one receiver with Earliest delivery: arrivals at
+  // 2, 4, 6 (slots are per-destination unique); acquisitions at 2, 4, 6
+  // (already G apart), receiver finishes at 6+o=7.
+  const Params prm{8, 1, 2};
+  Machine m(2, prm, opts(Earliest));
+  std::vector<ProgramFn> progs;
+  progs.emplace_back([](Proc& p) -> Task<> {
+    co_await p.send(1, 0);
+    co_await p.send(1, 1);
+    co_await p.send(1, 2);
+  });
+  progs.emplace_back([](Proc& p) -> Task<> {
+    for (int i = 0; i < 3; ++i) (void)co_await p.recv();
+  });
+  const RunStats st = m.run(progs);
+  EXPECT_TRUE(st.stall_free());  // capacity ceil(8/2)=4 >= 3
+  EXPECT_EQ(st.proc_finish[1], 7);
+}
+
+TEST(LogpTiming, ComputeDelaysSubmission) {
+  const Params prm{8, 1, 2};
+  Machine m(2, prm, opts(Latest));
+  std::vector<ProgramFn> progs;
+  progs.emplace_back([](Proc& p) -> Task<> {
+    co_await p.compute(5);
+    co_await p.send(1, 0);
+  });
+  progs.emplace_back([](Proc& p) -> Task<> { (void)co_await p.recv(); });
+  const RunStats st = m.run(progs);
+  EXPECT_EQ(st.proc_finish[0], 6);             // 5 + o
+  EXPECT_EQ(st.proc_finish[1], 6 + 8 + 1);     // submit+L, +o
+}
+
+TEST(LogpTiming, ComputeZeroIsFree) {
+  const Params prm{8, 1, 2};
+  Machine m(1, prm);
+  const RunStats st = m.run([](Proc& p) -> Task<> {
+    co_await p.compute(0);
+    co_await p.compute(0);
+  });
+  EXPECT_EQ(st.finish_time, 0);
+}
+
+TEST(LogpTiming, OverheadChargedPerAcquisition) {
+  // o=2, G=4: back-to-back receives are gap-limited, and each costs o on
+  // top of the acquisition start.
+  const Params prm{8, 2, 4};
+  Machine m(2, prm, opts(Earliest));
+  std::vector<Time> finish(2);
+  std::vector<ProgramFn> progs;
+  progs.emplace_back([](Proc& p) -> Task<> {
+    co_await p.send(1, 0);
+    co_await p.send(1, 1);
+  });
+  progs.emplace_back([&](Proc& p) -> Task<> {
+    (void)co_await p.recv();
+    const Time after_first = p.now();
+    (void)co_await p.recv();
+    finish[1] = p.now();
+    EXPECT_GE(finish[1] - after_first, prm.G - prm.o);
+  });
+  const RunStats st = m.run(progs);
+  EXPECT_TRUE(st.completed());
+  // Submissions at 2, 6; deliveries (earliest) at 3, 7; acquisitions at
+  // 3 (done 5) and 7 (done 9).
+  EXPECT_EQ(st.proc_finish[1], 9);
+}
+
+TEST(LogpTiming, RecvBeforeSendParksAndWakes) {
+  const Params prm{8, 1, 2};
+  Machine m(2, prm, opts(Earliest));
+  std::vector<ProgramFn> progs;
+  progs.emplace_back([](Proc& p) -> Task<> {
+    co_await p.compute(100);  // make the receiver wait a long time
+    co_await p.send(1, 5);
+  });
+  progs.emplace_back([](Proc& p) -> Task<> {
+    const Message msg = co_await p.recv();
+    EXPECT_EQ(msg.payload, 5);
+  });
+  const RunStats st = m.run(progs);
+  EXPECT_EQ(st.proc_finish[1], 100 + 1 + 1 + 1);  // compute+o, +1 slot, +o
+}
+
+TEST(LogpTiming, PipelinedStreamSustainsRateG) {
+  // A long one-to-one stream: completion ~ o + (n-1)G + L + o; the
+  // per-message cost converges to G (the model's bandwidth).
+  const Params prm{16, 1, 4};
+  const int n = 64;
+  Machine m(2, prm, opts(Latest));
+  std::vector<ProgramFn> progs;
+  progs.emplace_back([&](Proc& p) -> Task<> {
+    for (int i = 0; i < n; ++i) co_await p.send(1, i);
+  });
+  progs.emplace_back([&](Proc& p) -> Task<> {
+    for (int i = 0; i < n; ++i) (void)co_await p.recv();
+  });
+  const RunStats st = m.run(progs);
+  EXPECT_TRUE(st.stall_free());  // steady-state in-transit is L/G
+  EXPECT_EQ(st.proc_finish[0], 1 + (n - 1) * 4);
+  EXPECT_EQ(st.finish_time, 1 + (n - 1) * 4 + 16 + 1);
+}
+
+TEST(LogpTiming, MessageFieldsRoundTrip) {
+  const Params prm{8, 1, 2};
+  Machine m(2, prm);
+  std::vector<ProgramFn> progs;
+  progs.emplace_back([](Proc& p) -> Task<> {
+    co_await p.send(1, 123, 45, 678);
+  });
+  progs.emplace_back([](Proc& p) -> Task<> {
+    const Message msg = co_await p.recv();
+    EXPECT_EQ(msg.src, 0);
+    EXPECT_EQ(msg.dst, 1);
+    EXPECT_EQ(msg.payload, 123);
+    EXPECT_EQ(msg.tag, 45);
+    EXPECT_EQ(msg.aux, 678);
+  });
+  const RunStats st = m.run(progs);
+  EXPECT_EQ(st.messages_acquired, 1);
+}
+
+TEST(LogpTiming, DeadlockIsDetectedAndReported) {
+  const Params prm{8, 1, 2};
+  Machine m(2, prm);
+  std::vector<ProgramFn> progs;
+  progs.emplace_back([](Proc& p) -> Task<> { co_await p.compute(3); });
+  progs.emplace_back([](Proc& p) -> Task<> { (void)co_await p.recv(); });
+  const RunStats st = m.run(progs);
+  EXPECT_TRUE(st.deadlock);
+  ASSERT_EQ(st.blocked_procs.size(), 1u);
+  EXPECT_EQ(st.blocked_procs[0], 1);
+}
+
+TEST(LogpTiming, RunawayComputeHitsTimeLimit) {
+  const Params prm{8, 1, 2};
+  Machine::Options o;
+  o.max_time = 10'000;
+  Machine m(1, prm, o);
+  const RunStats st = m.run([](Proc& p) -> Task<> {
+    for (;;) co_await p.compute(100);
+  });
+  EXPECT_TRUE(st.timed_out);
+  EXPECT_FALSE(st.completed());
+}
+
+TEST(LogpTiming, FutureEventPastLimitStopsRun) {
+  const Params prm{8, 1, 2};
+  Machine::Options o;
+  o.max_time = 50;
+  Machine m(2, prm, o);
+  std::vector<ProgramFn> progs;
+  progs.emplace_back([](Proc& p) -> Task<> {
+    co_await p.compute(200);  // single jump past the limit
+    co_await p.send(1, 0);
+  });
+  progs.emplace_back([](Proc& p) -> Task<> { (void)co_await p.recv(); });
+  const RunStats st = m.run(progs);
+  EXPECT_TRUE(st.timed_out);
+}
+
+TEST(LogpTiming, MachineIsReusableAcrossRuns) {
+  const Params prm{8, 1, 2};
+  Machine m(2, prm);
+  std::vector<ProgramFn> progs;
+  progs.emplace_back([](Proc& p) -> Task<> { co_await p.send(1, 9); });
+  progs.emplace_back([](Proc& p) -> Task<> { (void)co_await p.recv(); });
+  const RunStats a = m.run(progs);
+  const RunStats b = m.run(progs);
+  EXPECT_EQ(a.finish_time, b.finish_time);
+  EXPECT_EQ(a.messages_delivered, 1);
+  EXPECT_EQ(b.messages_delivered, 1);
+}
+
+TEST(LogpTimingDeath, SelfSendViolatesModel) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto violate = [] {
+    Machine m(2, Params{8, 1, 2});
+    (void)m.run([](Proc& p) -> Task<> { co_await p.send(p.id(), 0); });
+  };
+  EXPECT_DEATH(violate(), "precondition");
+}
+
+TEST(LogpTimingDeath, ParamsRejectGBelowTwo) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto violate = [] { Machine m(2, Params{8, 1, 1}); };
+  EXPECT_DEATH(violate(), "precondition");
+}
+
+TEST(LogpTimingDeath, ParamsRejectGAboveL) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto violate = [] { Machine m(2, Params{4, 1, 8}); };
+  EXPECT_DEATH(violate(), "precondition");
+}
+
+}  // namespace
+}  // namespace bsplogp::logp

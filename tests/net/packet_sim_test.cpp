@@ -1,0 +1,136 @@
+#include "src/net/packet_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/rng.h"
+
+namespace bsplogp::net {
+namespace {
+
+TEST(PacketSim, SingleMessageTakesDistanceSteps) {
+  const PacketSim sim(make_topology(TopologyKind::Ring, 8));
+  routing::HRelation rel(8);
+  rel.add(0, 4);  // antipodal on the ring: distance 4
+  const auto res = sim.route(rel, {});
+  EXPECT_EQ(res.steps, 4);
+  EXPECT_EQ(res.packets, 1);
+  EXPECT_EQ(res.total_hops, 4);
+  EXPECT_FALSE(res.timed_out);
+}
+
+TEST(PacketSim, EmptyRelationIsFree) {
+  const PacketSim sim(make_topology(TopologyKind::Mesh2D, 16));
+  const auto res = sim.route(routing::HRelation(16), {});
+  EXPECT_EQ(res.steps, 0);
+}
+
+TEST(PacketSim, PermutationCompletesOnEveryTopology) {
+  core::Rng rng(17);
+  for (const auto kind :
+       {TopologyKind::Ring, TopologyKind::Mesh2D, TopologyKind::Mesh3D,
+        TopologyKind::HypercubeMulti, TopologyKind::HypercubeSingle,
+        TopologyKind::Butterfly, TopologyKind::CubeConnectedCycles,
+        TopologyKind::ShuffleExchange, TopologyKind::MeshOfTrees}) {
+    const PacketSim sim(make_topology(kind, 16));
+    const auto rel =
+        routing::random_permutation(sim.topology().nprocs(), rng);
+    const auto res = sim.route(rel, {});
+    EXPECT_FALSE(res.timed_out) << to_string(kind);
+    EXPECT_GT(res.steps, 0) << to_string(kind);
+    EXPECT_GE(res.steps, 1);
+    // Every packet walked at least a shortest path's worth of hops.
+    EXPECT_GE(res.total_hops, static_cast<std::int64_t>(rel.size()));
+  }
+}
+
+TEST(PacketSim, HRelationScalesWithH) {
+  core::Rng rng(19);
+  const PacketSim sim(make_topology(TopologyKind::Mesh2D, 64));
+  auto steps_at = [&](Time h) {
+    const auto rel = routing::random_regular(64, h, rng);
+    return sim.route(rel, {}).steps;
+  };
+  const Time t1 = steps_at(1);
+  const Time t16 = steps_at(16);
+  EXPECT_GT(t16, t1);
+  EXPECT_LT(t16, 64 * t1);  // far from serial: pipelining works
+}
+
+TEST(PacketSim, SinglePortIsSlowerThanMultiPort) {
+  core::Rng rng(23);
+  const auto rel = routing::random_regular(32, 8, rng);
+  const PacketSim multi(make_topology(TopologyKind::HypercubeMulti, 32));
+  const PacketSim single(make_topology(TopologyKind::HypercubeSingle, 32));
+  const auto tm = multi.route(rel, {}).steps;
+  const auto ts = single.route(rel, {}).steps;
+  EXPECT_GT(ts, tm);
+}
+
+TEST(PacketSim, ValiantHandlesAdversarialPattern) {
+  // Bit-reversal-like pattern on a mesh concentrates direct routes;
+  // Valiant's random intermediate must complete within a sane bound and
+  // deliver everything.
+  const ProcId p = 64;
+  const PacketSim sim(make_topology(TopologyKind::Mesh2D, p));
+  routing::HRelation rel(p);
+  for (ProcId i = 0; i < p; ++i) {
+    const ProcId j = static_cast<ProcId>(p - 1 - i);
+    if (j != i) rel.add(i, j);
+  }
+  PacketSim::Options direct;
+  PacketSim::Options valiant;
+  valiant.valiant = true;
+  valiant.seed = 5;
+  const auto rd = sim.route(rel, direct);
+  const auto rv = sim.route(rel, valiant);
+  EXPECT_FALSE(rd.timed_out);
+  EXPECT_FALSE(rv.timed_out);
+  EXPECT_LE(rv.steps, 4 * rd.steps + 32);  // no catastrophic blowup
+}
+
+TEST(PacketSim, TimesOutOnTinyBudget) {
+  core::Rng rng(29);
+  const PacketSim sim(make_topology(TopologyKind::Ring, 64));
+  const auto rel = routing::random_regular(64, 8, rng);
+  PacketSim::Options opt;
+  opt.max_steps = 2;
+  EXPECT_TRUE(sim.route(rel, opt).timed_out);
+}
+
+TEST(PacketSim, FitRecoversRingBandwidth) {
+  // On a p-ring, a random h-relation needs ~ h*p/4 steps (bisection):
+  // gamma_hat should scale linearly with p.
+  const std::vector<Time> hs{1, 2, 4, 8, 16};
+  const PacketSim sim32(make_topology(TopologyKind::Ring, 32));
+  const PacketSim sim64(make_topology(TopologyKind::Ring, 64));
+  const auto f32 = fit_route_params(sim32, hs, 3, 7);
+  const auto f64 = fit_route_params(sim64, hs, 3, 7);
+  EXPECT_GT(f32.gamma_hat(), 0.0);
+  const double ratio = f64.gamma_hat() / f32.gamma_hat();
+  EXPECT_GT(ratio, 1.4);  // doubling p should ~double gamma
+  EXPECT_LT(ratio, 3.0);
+  EXPECT_GT(f64.fit.r_squared, 0.95);
+}
+
+TEST(PacketSim, FitHypercubeGammaNearlyConstant) {
+  const std::vector<Time> hs{1, 2, 4, 8, 16};
+  const PacketSim sim16(make_topology(TopologyKind::HypercubeMulti, 16));
+  const PacketSim sim128(make_topology(TopologyKind::HypercubeMulti, 128));
+  const auto f16 = fit_route_params(sim16, hs, 3, 11);
+  const auto f128 = fit_route_params(sim128, hs, 3, 11);
+  // Table 1: gamma = 1 for the multi-port hypercube; the fitted slope must
+  // not grow materially with p.
+  EXPECT_LT(f128.gamma_hat() / std::max(f16.gamma_hat(), 0.1), 2.5);
+}
+
+TEST(PacketSim, DeterministicPerSeed) {
+  core::Rng rng(31);
+  const PacketSim sim(make_topology(TopologyKind::Mesh2D, 16));
+  const auto rel = routing::random_regular(16, 4, rng);
+  PacketSim::Options opt;
+  opt.seed = 77;
+  EXPECT_EQ(sim.route(rel, opt).steps, sim.route(rel, opt).steps);
+}
+
+}  // namespace
+}  // namespace bsplogp::net

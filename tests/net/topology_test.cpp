@@ -1,0 +1,138 @@
+#include "src/net/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bsplogp::net {
+namespace {
+
+TEST(Topology, RingShape) {
+  const Topology t = make_topology(TopologyKind::Ring, 10);
+  EXPECT_EQ(t.size(), 10);
+  EXPECT_EQ(t.nprocs(), 10);
+  EXPECT_EQ(t.max_degree(), 2);
+  EXPECT_EQ(t.diameter(), 5);
+  EXPECT_TRUE(t.connected());
+}
+
+TEST(Topology, Mesh2DShape) {
+  const Topology t = make_topology(TopologyKind::Mesh2D, 16);
+  EXPECT_EQ(t.size(), 16);  // 4x4 torus
+  EXPECT_EQ(t.max_degree(), 4);
+  EXPECT_EQ(t.diameter(), 4);  // 2 + 2 with wraparound
+}
+
+TEST(Topology, Mesh2DRoundsUp) {
+  const Topology t = make_topology(TopologyKind::Mesh2D, 10);
+  EXPECT_EQ(t.size(), 16);  // next square
+}
+
+TEST(Topology, Mesh3DShape) {
+  const Topology t = make_topology(TopologyKind::Mesh3D, 27);
+  EXPECT_EQ(t.size(), 27);
+  EXPECT_EQ(t.max_degree(), 6);
+  EXPECT_TRUE(t.connected());
+}
+
+TEST(Topology, HypercubeShape) {
+  const Topology t = make_topology(TopologyKind::HypercubeMulti, 32);
+  EXPECT_EQ(t.size(), 32);
+  EXPECT_EQ(t.max_degree(), 5);
+  EXPECT_EQ(t.diameter(), 5);  // = dimension
+  EXPECT_FALSE(t.single_port());
+  const Topology s = make_topology(TopologyKind::HypercubeSingle, 32);
+  EXPECT_TRUE(s.single_port());
+}
+
+TEST(Topology, ButterflyShape) {
+  const Topology t = make_topology(TopologyKind::Butterfly, 32);
+  // n * 2^n >= 32: n = 3 gives 24 < 32, n = 4 gives 64.
+  EXPECT_EQ(t.size(), 64);
+  EXPECT_EQ(t.max_degree(), 4);  // 2 forward + 2 backward edges
+  EXPECT_TRUE(t.connected());
+  EXPECT_GE(t.diameter(), 4);
+  EXPECT_LE(t.diameter(), 10);  // O(n)
+}
+
+TEST(Topology, CccShape) {
+  const Topology t = make_topology(TopologyKind::CubeConnectedCycles, 24);
+  EXPECT_EQ(t.size(), 24);  // 3 * 2^3
+  EXPECT_EQ(t.max_degree(), 3);
+  EXPECT_TRUE(t.connected());
+}
+
+TEST(Topology, ShuffleExchangeShape) {
+  const Topology t = make_topology(TopologyKind::ShuffleExchange, 16);
+  EXPECT_EQ(t.size(), 16);
+  EXPECT_LE(t.max_degree(), 3);
+  EXPECT_TRUE(t.connected());
+  EXPECT_LE(t.diameter(), 2 * 4);  // 2 log p
+}
+
+TEST(Topology, MeshOfTreesShape) {
+  const Topology t = make_topology(TopologyKind::MeshOfTrees, 16);
+  EXPECT_EQ(t.nprocs(), 16);            // 4x4 leaves
+  EXPECT_GT(t.size(), t.nprocs());      // internal tree nodes exist
+  EXPECT_EQ(t.size(), 16 + 2 * 4 * 3);  // 2 * side * (side - 1) internals
+  EXPECT_TRUE(t.connected());
+  // Leaves sit in one row tree and one column tree.
+  for (ProcId i = 0; i < 16; ++i)
+    EXPECT_EQ(t.neighbors(t.processors()[static_cast<std::size_t>(i)]).size(),
+              2u);
+}
+
+class AllTopologies : public ::testing::TestWithParam<TopologyKind> {};
+
+TEST_P(AllTopologies, BasicInvariants) {
+  for (const ProcId p : {8, 16, 64}) {
+    const Topology t = make_topology(GetParam(), p);
+    EXPECT_GE(t.nprocs(), p);
+    EXPECT_TRUE(t.connected());
+    EXPECT_GT(t.analytic_gamma(), 0.0);
+    EXPECT_GT(t.analytic_delta(), 0.0);
+    // Adjacency is symmetric.
+    for (NodeId v = 0; v < t.size(); ++v)
+      for (const NodeId u : t.neighbors(v)) {
+        const auto& back = t.neighbors(u);
+        EXPECT_NE(std::find(back.begin(), back.end(), v), back.end())
+            << to_string(GetParam()) << " edge " << v << "-" << u;
+      }
+    // Diameter is at least the analytic delta's order (sanity) and finite.
+    EXPECT_GE(t.diameter(), 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, AllTopologies,
+    ::testing::Values(TopologyKind::Ring, TopologyKind::Mesh2D,
+                      TopologyKind::Mesh3D, TopologyKind::HypercubeMulti,
+                      TopologyKind::HypercubeSingle, TopologyKind::Butterfly,
+                      TopologyKind::CubeConnectedCycles,
+                      TopologyKind::ShuffleExchange,
+                      TopologyKind::MeshOfTrees),
+    [](const auto& info) {
+      std::string name = to_string(info.param);
+      std::erase(name, '-');
+      return name;
+    });
+
+TEST(Topology, DiameterTracksAnalyticDelta) {
+  // Within each family the measured diameter should scale like delta(p).
+  for (const auto kind :
+       {TopologyKind::Ring, TopologyKind::Mesh2D,
+        TopologyKind::HypercubeMulti}) {
+    const Topology small = make_topology(kind, 16);
+    const Topology big = make_topology(kind, 256);
+    const double measured_ratio =
+        static_cast<double>(big.diameter()) /
+        static_cast<double>(small.diameter());
+    const double analytic_ratio =
+        big.analytic_delta() / small.analytic_delta();
+    EXPECT_NEAR(measured_ratio, analytic_ratio, analytic_ratio * 0.5 + 0.5)
+        << to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace bsplogp::net

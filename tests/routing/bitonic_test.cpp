@@ -1,0 +1,111 @@
+#include "src/routing/bitonic.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/core/rng.h"
+
+namespace bsplogp::routing {
+namespace {
+
+TEST(Bitonic, ScheduleDepthFormula) {
+  EXPECT_EQ(bitonic_schedule(2).size(), 1u);
+  EXPECT_EQ(bitonic_schedule(4).size(), 3u);
+  EXPECT_EQ(bitonic_schedule(8).size(), 6u);
+  EXPECT_EQ(bitonic_schedule(64).size(), 21u);
+  EXPECT_EQ(bitonic_depth(64), 21);
+}
+
+TEST(Bitonic, EveryRoundIsAPerfectMatching) {
+  for (const ProcId p : {2, 4, 16, 128}) {
+    for (const auto& round : bitonic_schedule(p)) {
+      std::vector<int> seen(static_cast<std::size_t>(p), 0);
+      for (const CompareExchange& ce : round) {
+        EXPECT_LT(ce.lo, ce.hi);
+        seen[static_cast<std::size_t>(ce.lo)] += 1;
+        seen[static_cast<std::size_t>(ce.hi)] += 1;
+      }
+      for (const int s : seen) EXPECT_EQ(s, 1);  // perfect matching
+    }
+  }
+}
+
+TEST(Bitonic, SortsSingleRecordBlocks) {
+  core::Rng rng(21);
+  for (const ProcId p : {2, 8, 64, 256}) {
+    std::vector<std::vector<Word>> blocks(static_cast<std::size_t>(p));
+    std::vector<Word> all;
+    for (auto& b : blocks) {
+      b.push_back(rng.uniform(-1'000'000, 1'000'000));
+      all.push_back(b[0]);
+    }
+    bitonic_sort_blocks(blocks);
+    std::sort(all.begin(), all.end());
+    for (ProcId i = 0; i < p; ++i)
+      EXPECT_EQ(blocks[static_cast<std::size_t>(i)][0],
+                all[static_cast<std::size_t>(i)])
+          << "p=" << p << " i=" << i;
+  }
+}
+
+TEST(Bitonic, SortsMultiRecordBlocks) {
+  core::Rng rng(22);
+  for (const ProcId p : {2, 4, 16, 32}) {
+    for (const std::size_t r : {1u, 3u, 16u}) {
+      std::vector<std::vector<Word>> blocks(static_cast<std::size_t>(p));
+      std::vector<Word> all;
+      for (auto& b : blocks)
+        for (std::size_t j = 0; j < r; ++j) {
+          b.push_back(rng.uniform(0, 99));  // duplicates exercised
+          all.push_back(b.back());
+        }
+      bitonic_sort_blocks(blocks);
+      std::sort(all.begin(), all.end());
+      std::vector<Word> got;
+      for (const auto& b : blocks) {
+        EXPECT_EQ(b.size(), r);
+        EXPECT_TRUE(std::is_sorted(b.begin(), b.end()));
+        got.insert(got.end(), b.begin(), b.end());
+      }
+      EXPECT_EQ(got, all) << "p=" << p << " r=" << r;
+    }
+  }
+}
+
+TEST(Bitonic, ZeroOnePrinciple) {
+  // Random 0/1 inputs are the classic adversaries for oblivious networks.
+  core::Rng rng(23);
+  const ProcId p = 64;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::vector<Word>> blocks(static_cast<std::size_t>(p));
+    int ones = 0;
+    for (auto& b : blocks) {
+      b.push_back(static_cast<Word>(rng.below(2)));
+      ones += static_cast<int>(b[0]);
+    }
+    bitonic_sort_blocks(blocks);
+    for (ProcId i = 0; i < p; ++i) {
+      const Word expect = i < p - ones ? 0 : 1;
+      ASSERT_EQ(blocks[static_cast<std::size_t>(i)][0], expect)
+          << "trial " << trial << " pos " << i;
+    }
+  }
+}
+
+TEST(Bitonic, MergeSplitKeepsHalves) {
+  std::vector<Word> lo{1, 5, 9};
+  std::vector<Word> hi{2, 3, 10};
+  merge_split(lo, hi);
+  EXPECT_EQ(lo, (std::vector<Word>{1, 2, 3}));
+  EXPECT_EQ(hi, (std::vector<Word>{5, 9, 10}));
+}
+
+TEST(BitonicDeath, RequiresPowerOfTwo) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH((void)bitonic_schedule(12), "precondition");
+}
+
+}  // namespace
+}  // namespace bsplogp::routing

@@ -1,0 +1,127 @@
+#include "src/routing/columnsort.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/core/rng.h"
+
+namespace bsplogp::routing {
+namespace {
+
+TEST(Columnsort, ApplicabilityRule) {
+  EXPECT_TRUE(columnsort_applicable(8, 2));     // 8 >= 2*1, 2 | 8
+  EXPECT_TRUE(columnsort_applicable(32, 4));    // 32 >= 2*9=18, 4 | 32
+  EXPECT_FALSE(columnsort_applicable(16, 4));   // 16 < 18
+  EXPECT_FALSE(columnsort_applicable(18, 4));   // 4 does not divide 18
+  EXPECT_TRUE(columnsort_applicable(100, 1));   // single column
+  EXPECT_FALSE(columnsort_applicable(0, 3));
+}
+
+TEST(Columnsort, TransposeMapsAreInverse) {
+  for (const std::int64_t r : {8, 32, 64}) {
+    for (const std::int64_t s : {2, 4, 8}) {
+      for (std::int64_t c = 0; c < s; ++c)
+        for (std::int64_t i = 0; i < r; ++i) {
+          const MatrixPos from{c, i};
+          const MatrixPos mid = transpose_pos(r, s, from);
+          EXPECT_GE(mid.col, 0);
+          EXPECT_LT(mid.col, s);
+          EXPECT_GE(mid.row, 0);
+          EXPECT_LT(mid.row, r);
+          EXPECT_EQ(untranspose_pos(r, s, mid), from);
+        }
+    }
+  }
+}
+
+TEST(Columnsort, TransposeIsABijection) {
+  const std::int64_t r = 32, s = 4;
+  std::vector<int> hit(static_cast<std::size_t>(r * s), 0);
+  for (std::int64_t c = 0; c < s; ++c)
+    for (std::int64_t i = 0; i < r; ++i) {
+      const MatrixPos to = transpose_pos(r, s, MatrixPos{c, i});
+      hit[static_cast<std::size_t>(to.col * r + to.row)] += 1;
+    }
+  for (const int hcount : hit) EXPECT_EQ(hcount, 1);
+}
+
+TEST(Columnsort, TransposeDealsColumnsEvenly) {
+  // Each source column's records spread across destination columns in
+  // near-equal shares — this is what bounds the per-destination load of the
+  // LogP redistribution rounds.
+  const std::int64_t r = 32, s = 4;
+  for (std::int64_t c = 0; c < s; ++c) {
+    std::vector<int> per_dst(static_cast<std::size_t>(s), 0);
+    for (std::int64_t i = 0; i < r; ++i)
+      per_dst[static_cast<std::size_t>(
+          transpose_pos(r, s, MatrixPos{c, i}).col)] += 1;
+    for (const int k : per_dst) EXPECT_EQ(k, r / s);
+  }
+}
+
+void expect_sorts(std::int64_t r, std::int64_t s, core::Rng& rng,
+                  std::int64_t key_range) {
+  std::vector<std::vector<Word>> cols(static_cast<std::size_t>(s));
+  std::vector<Word> all;
+  for (auto& col : cols)
+    for (std::int64_t i = 0; i < r; ++i) {
+      col.push_back(rng.uniform(0, key_range));
+      all.push_back(col.back());
+    }
+  columnsort(cols);
+  std::sort(all.begin(), all.end());
+  std::vector<Word> got;
+  for (const auto& col : cols) got.insert(got.end(), col.begin(), col.end());
+  ASSERT_EQ(got, all) << "r=" << r << " s=" << s;
+}
+
+TEST(Columnsort, SortsRandomInputs) {
+  core::Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    expect_sorts(8, 2, rng, 1'000'000);
+    expect_sorts(32, 4, rng, 1'000'000);
+    expect_sorts(128, 8, rng, 1'000'000);
+  }
+}
+
+TEST(Columnsort, SortsSmallKeyRanges) {
+  // Destination-keyed sorting (keys in [0, p]) is the Theorem-2 use case;
+  // heavy duplication is the norm there.
+  core::Rng rng(32);
+  for (int trial = 0; trial < 20; ++trial) {
+    expect_sorts(32, 4, rng, 4);
+    expect_sorts(128, 8, rng, 8);
+    expect_sorts(98, 7, rng, 2);
+  }
+}
+
+TEST(Columnsort, AdversarialPatterns) {
+  for (const bool reversed : {false, true}) {
+    const std::int64_t r = 72, s = 6;
+    std::vector<std::vector<Word>> cols(static_cast<std::size_t>(s));
+    std::vector<Word> all;
+    for (std::int64_t c = 0; c < s; ++c)
+      for (std::int64_t i = 0; i < r; ++i) {
+        const Word v = reversed ? (r * s - (c * r + i)) : ((c * r + i) % 9);
+        cols[static_cast<std::size_t>(c)].push_back(v);
+        all.push_back(v);
+      }
+    columnsort(cols);
+    std::sort(all.begin(), all.end());
+    std::vector<Word> got;
+    for (const auto& col : cols)
+      got.insert(got.end(), col.begin(), col.end());
+    EXPECT_EQ(got, all);
+  }
+}
+
+TEST(Columnsort, SingleColumnDegenerate) {
+  std::vector<std::vector<Word>> cols{{5, 3, 1, 4, 2}};
+  columnsort(cols);
+  EXPECT_EQ(cols[0], (std::vector<Word>{1, 2, 3, 4, 5}));
+}
+
+}  // namespace
+}  // namespace bsplogp::routing

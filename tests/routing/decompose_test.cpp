@@ -1,0 +1,122 @@
+// The Hall/König decomposition behind Section 4.2's off-line routing: any
+// h-relation splits into at most h partial permutations.
+#include "src/routing/decompose.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+namespace bsplogp::routing {
+namespace {
+
+void expect_valid_decomposition(const HRelation& rel,
+                                const std::vector<std::vector<Message>>& layers,
+                                Time max_layers) {
+  std::int64_t total = 0;
+  for (const auto& layer : layers) {
+    EXPECT_TRUE(is_partial_permutation(rel.nprocs(), layer));
+    total += static_cast<std::int64_t>(layer.size());
+  }
+  EXPECT_EQ(total, static_cast<std::int64_t>(rel.size()));
+  EXPECT_LE(static_cast<Time>(layers.size()), max_layers);
+
+  // Multiset equality: every input message appears exactly once.
+  auto key = [](const Message& m) {
+    return std::tuple{m.src, m.dst, m.payload, m.tag};
+  };
+  std::map<std::tuple<ProcId, ProcId, Word, std::int32_t>, int> counts;
+  for (const Message& m : rel.messages()) counts[key(m)] += 1;
+  for (const auto& layer : layers)
+    for (const Message& m : layer) counts[key(m)] -= 1;
+  for (const auto& [k, v] : counts) EXPECT_EQ(v, 0);
+}
+
+TEST(Decompose, RegularRelationUsesExactlyHColors) {
+  core::Rng rng(11);
+  for (const ProcId p : {4, 16, 32}) {
+    for (const Time h : {1, 2, 7, 16}) {
+      const HRelation rel = random_regular(p, h, rng);
+      const auto layers = decompose_into_1_relations(rel);
+      expect_valid_decomposition(rel, layers, h);
+      // An h-regular relation needs at least h layers.
+      EXPECT_EQ(static_cast<Time>(layers.size()), h);
+      // Each layer of a regular relation is a full permutation here? Not
+      // necessarily, but total size must be p*h.
+    }
+  }
+}
+
+TEST(Decompose, IrregularRelationStaysWithinDegree) {
+  core::Rng rng(12);
+  for (int trial = 0; trial < 10; ++trial) {
+    const HRelation rel = random_messages(24, 600, rng);
+    const auto layers = decompose_into_1_relations(rel);
+    expect_valid_decomposition(rel, layers, rel.degree());
+  }
+}
+
+TEST(Decompose, HotspotDecomposesIntoFanIn) {
+  const HRelation rel = hotspot(10, 0, 2);
+  const auto layers = decompose_into_1_relations(rel);
+  // Degree = 18 (proc 0 receives 18); each layer can carry only 1 message
+  // to proc 0, so exactly 18 layers of size 1.
+  expect_valid_decomposition(rel, layers, 18);
+  EXPECT_EQ(layers.size(), 18u);
+  for (const auto& layer : layers) EXPECT_EQ(layer.size(), 1u);
+}
+
+TEST(Decompose, EmptyRelation) {
+  const HRelation rel(5);
+  EXPECT_TRUE(decompose_into_1_relations(rel).empty());
+}
+
+TEST(Decompose, SingleMessage) {
+  HRelation rel(3);
+  rel.add(2, 0, 42);
+  const auto layers = decompose_into_1_relations(rel);
+  ASSERT_EQ(layers.size(), 1u);
+  ASSERT_EQ(layers[0].size(), 1u);
+  EXPECT_EQ(layers[0][0].payload, 42);
+}
+
+TEST(Decompose, ParallelEdgesSplitAcrossLayers) {
+  // Two identical messages (a multigraph edge of multiplicity 2) must land
+  // in different layers.
+  HRelation rel(4);
+  rel.add(1, 2, 7, 0);
+  rel.add(1, 2, 8, 1);
+  const auto layers = decompose_into_1_relations(rel);
+  ASSERT_EQ(layers.size(), 2u);
+  EXPECT_EQ(layers[0].size(), 1u);
+  EXPECT_EQ(layers[1].size(), 1u);
+}
+
+TEST(Decompose, IsPartialPermutationDetectsViolations) {
+  EXPECT_TRUE(is_partial_permutation(4, {}));
+  EXPECT_TRUE(is_partial_permutation(
+      4, {Message{0, 1, 0, 0}, Message{1, 0, 0, 0}}));
+  // Shared source.
+  EXPECT_FALSE(is_partial_permutation(
+      4, {Message{0, 1, 0, 0}, Message{0, 2, 0, 0}}));
+  // Shared destination.
+  EXPECT_FALSE(is_partial_permutation(
+      4, {Message{0, 2, 0, 0}, Message{1, 2, 0, 0}}));
+  // Out of range.
+  EXPECT_FALSE(is_partial_permutation(2, {Message{0, 5, 0, 0}}));
+}
+
+TEST(Decompose, StressManyShapes) {
+  core::Rng rng(13);
+  for (const ProcId p : {2, 3, 8, 50}) {
+    for (int trial = 0; trial < 5; ++trial) {
+      const auto m = static_cast<std::int64_t>(rng.below(400));
+      const HRelation rel = random_messages(p, m, rng);
+      const auto layers = decompose_into_1_relations(rel);
+      expect_valid_decomposition(rel, layers, rel.degree());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bsplogp::routing

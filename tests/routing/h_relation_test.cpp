@@ -1,0 +1,87 @@
+#include "src/routing/h_relation.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace bsplogp::routing {
+namespace {
+
+TEST(HRelation, DegreeIsMaxOfInAndOut) {
+  HRelation rel(4);
+  rel.add(0, 1);
+  rel.add(0, 2);
+  rel.add(0, 3);
+  rel.add(1, 3);
+  EXPECT_EQ(rel.max_out_degree(), 3);  // proc 0 sends 3
+  EXPECT_EQ(rel.max_in_degree(), 2);   // proc 3 receives 2
+  EXPECT_EQ(rel.degree(), 3);
+}
+
+TEST(HRelation, EmptyRelationHasDegreeZero) {
+  HRelation rel(8);
+  EXPECT_EQ(rel.degree(), 0);
+  EXPECT_EQ(rel.size(), 0u);
+}
+
+TEST(HRelation, RandomRegularHasExactDegree) {
+  core::Rng rng(3);
+  for (const ProcId p : {2, 5, 16, 33}) {
+    for (const Time h : {1, 3, 8}) {
+      const HRelation rel = random_regular(p, h, rng);
+      EXPECT_EQ(rel.size(), static_cast<std::size_t>(p) *
+                                static_cast<std::size_t>(h));
+      for (const Time d : rel.out_degrees()) EXPECT_EQ(d, h);
+      for (const Time d : rel.in_degrees()) EXPECT_EQ(d, h);
+      for (const Message& m : rel.messages()) EXPECT_NE(m.src, m.dst);
+    }
+  }
+}
+
+TEST(HRelation, RandomSendsHasExactOutDegree) {
+  core::Rng rng(4);
+  const HRelation rel = random_sends(16, 10, rng);
+  for (const Time d : rel.out_degrees()) EXPECT_EQ(d, 10);
+  EXPECT_GE(rel.max_in_degree(), 10);  // some processor is above average
+  for (const Message& m : rel.messages()) EXPECT_NE(m.src, m.dst);
+}
+
+TEST(HRelation, RandomPermutationIsOneRelation) {
+  core::Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const HRelation rel = random_permutation(64, rng);
+    EXPECT_EQ(rel.degree(), 1);
+    EXPECT_EQ(rel.size(), 64u);
+    for (const Message& m : rel.messages()) EXPECT_NE(m.src, m.dst);
+  }
+}
+
+TEST(HRelation, PartialPermutationRespectsFill) {
+  core::Rng rng(6);
+  const HRelation rel = random_permutation(1000, rng, 0.3);
+  EXPECT_LE(rel.degree(), 1);
+  EXPECT_GT(rel.size(), 200u);
+  EXPECT_LT(rel.size(), 400u);
+}
+
+TEST(HRelation, HotspotShape) {
+  const HRelation rel = hotspot(9, 4, 3);
+  EXPECT_EQ(rel.size(), 8u * 3u);
+  EXPECT_EQ(rel.max_in_degree(), 24);
+  EXPECT_EQ(rel.max_out_degree(), 3);
+  EXPECT_EQ(rel.in_degrees()[4], 24);
+}
+
+TEST(HRelation, RandomMessagesDegreeConcentrates) {
+  core::Rng rng(7);
+  const ProcId p = 64;
+  const std::int64_t m = 64 * 50;
+  const HRelation rel = random_messages(p, m, rng);
+  EXPECT_EQ(rel.size(), static_cast<std::size_t>(m));
+  // mean degree 50; max should be within a small factor.
+  EXPECT_LT(rel.degree(), 110);
+  EXPECT_GT(rel.degree(), 50);
+}
+
+}  // namespace
+}  // namespace bsplogp::routing

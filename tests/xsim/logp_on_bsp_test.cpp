@@ -1,0 +1,181 @@
+// Theorem-1 simulation tests: the same LogP coroutine program must compute
+// the same results natively and under the BSP-backed cycle executor, with
+// the predicted cost shape.
+#include "src/xsim/logp_on_bsp.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/algo/logp_collectives.h"
+#include "src/algo/mailbox.h"
+#include "src/logp/machine.h"
+
+namespace bsplogp::xsim {
+namespace {
+
+using logp::Params;
+using logp::Proc;
+using logp::ProgramFn;
+using logp::Task;
+
+/// All-to-all exchange with payload sums: touches send, recv, and compute.
+std::vector<ProgramFn> all_to_all(ProcId p, std::vector<Word>& sums) {
+  std::vector<ProgramFn> progs;
+  for (ProcId i = 0; i < p; ++i)
+    progs.emplace_back([&sums, p](Proc& pr) -> Task<> {
+      co_await pr.compute(3);
+      for (ProcId d = 1; d < p; ++d) {
+        const auto dst = static_cast<ProcId>((pr.id() + d) % p);
+        co_await pr.send(dst, pr.id() * 1000 + dst);
+      }
+      Word sum = 0;
+      for (ProcId k = 1; k < p; ++k) sum += (co_await pr.recv()).payload;
+      sums[static_cast<std::size_t>(pr.id())] = sum;
+    });
+  return progs;
+}
+
+TEST(LogpOnBsp, AllToAllMatchesNativeResults) {
+  const ProcId p = 8;
+  const Params prm{8, 1, 2};
+
+  std::vector<Word> native_sums(static_cast<std::size_t>(p), -1);
+  logp::Machine native(p, prm);
+  const auto native_stats = native.run(all_to_all(p, native_sums));
+  ASSERT_TRUE(native_stats.completed());
+  ASSERT_TRUE(native_stats.stall_free());
+
+  std::vector<Word> sim_sums(static_cast<std::size_t>(p), -1);
+  LogpOnBspOptions opt;
+  opt.bsp = bsp::Params{prm.G, prm.L};
+  LogpOnBsp sim(p, prm, opt);
+  const LogpOnBspReport rep = sim.run(all_to_all(p, sim_sums));
+
+  EXPECT_EQ(sim_sums, native_sums);
+  EXPECT_FALSE(rep.stuck);
+  // 7 submissions per destination per run, spread over G-paced cycles of
+  // L/2 = 4 steps: at most 2 per cycle <= capacity 4.
+  EXPECT_TRUE(rep.capacity_ok);
+  EXPECT_GT(rep.logical_finish, 0);
+  EXPECT_GT(rep.bsp.time, 0);
+}
+
+TEST(LogpOnBsp, CyclesAreHalfL) {
+  const Params prm{16, 1, 2};
+  LogpOnBspOptions opt;
+  opt.bsp = bsp::Params{2, 16};
+  LogpOnBsp sim(4, prm, opt);
+  EXPECT_EQ(sim.cycle_length(), 8);
+}
+
+TEST(LogpOnBsp, CombineBroadcastRunsUnderSimulation) {
+  const ProcId p = 16;
+  const Params prm{8, 1, 2};
+  std::vector<Word> out(static_cast<std::size_t>(p), -1);
+  std::vector<ProgramFn> progs;
+  for (ProcId i = 0; i < p; ++i)
+    progs.emplace_back([&out, i](Proc& pr) -> Task<> {
+      algo::Mailbox mb(pr);
+      out[static_cast<std::size_t>(i)] =
+          co_await algo::combine_broadcast(mb, i + 1, algo::ReduceOp::Sum);
+    });
+  LogpOnBspOptions opt;
+  opt.bsp = bsp::Params{prm.G, prm.L};
+  LogpOnBsp sim(p, prm, opt);
+  const LogpOnBspReport rep = sim.run(progs);
+  EXPECT_FALSE(rep.stuck);
+  EXPECT_TRUE(rep.capacity_ok);
+  for (const Word w : out) EXPECT_EQ(w, 16 * 17 / 2);
+}
+
+TEST(LogpOnBsp, SlowdownScalesWithGRatio) {
+  // Theorem 1: slowdown O(1 + g/G + l/L). Fixing l = L and raising g must
+  // raise the BSP time by (close to) the communication term only.
+  const ProcId p = 8;
+  const Params prm{8, 1, 2};
+  auto bsp_time = [&](Time g) {
+    std::vector<Word> sums(static_cast<std::size_t>(p));
+    LogpOnBspOptions opt;
+    opt.bsp = bsp::Params{g, prm.L};
+    LogpOnBsp sim(p, prm, opt);
+    return sim.run(all_to_all(p, sums)).bsp.time;
+  };
+  const Time t1 = bsp_time(prm.G);
+  const Time t8 = bsp_time(8 * prm.G);
+  EXPECT_GT(t8, t1);
+  // The increase is bounded by the h-relation volume: (8-1)*G * sum of h.
+  // Sanity-check the shape rather than the constant:
+  EXPECT_LT(static_cast<double>(t8) / static_cast<double>(t1), 9.0);
+}
+
+TEST(LogpOnBsp, HotspotTripsCapacityFlag) {
+  // 9 simultaneous senders to one destination exceed capacity 4 within one
+  // cycle: the program is not stall-free and the simulation must say so.
+  const ProcId p = 10;
+  const Params prm{8, 1, 2};
+  std::vector<ProgramFn> progs;
+  progs.emplace_back([p](Proc& pr) -> Task<> {
+    for (ProcId k = 1; k < p; ++k) (void)co_await pr.recv();
+  });
+  for (ProcId i = 1; i < p; ++i)
+    progs.emplace_back([](Proc& pr) -> Task<> { co_await pr.send(0, 1); });
+  LogpOnBspOptions opt;
+  opt.bsp = bsp::Params{prm.G, prm.L};
+  LogpOnBsp sim(p, prm, opt);
+  const LogpOnBspReport rep = sim.run(progs);
+  EXPECT_FALSE(rep.capacity_ok);
+  EXPECT_GT(rep.max_cycle_fan_in, prm.capacity());
+  EXPECT_FALSE(rep.stuck);  // still completes; only the guarantee is void
+}
+
+TEST(LogpOnBsp, DeadlockedProgramReportsStuck) {
+  const Params prm{8, 1, 2};
+  std::vector<ProgramFn> progs;
+  progs.emplace_back([](Proc& pr) -> Task<> { (void)co_await pr.recv(); });
+  progs.emplace_back([](Proc& pr) -> Task<> { co_await pr.compute(1); });
+  LogpOnBspOptions opt;
+  opt.bsp = bsp::Params{2, 8};
+  opt.max_supersteps = 50;
+  LogpOnBsp sim(2, prm, opt);
+  const LogpOnBspReport rep = sim.run(progs);
+  EXPECT_TRUE(rep.stuck);
+}
+
+TEST(LogpOnBsp, GapTimingPreservedAcrossCycleBoundaries) {
+  // A burst of sends longer than one cycle must keep the G spacing across
+  // the boundary: sender's logical finish = o + (n-1)G, same as native.
+  const ProcId p = 2;
+  const Params prm{8, 1, 4};  // cycle = 4, one send every G = 4
+  const int n = 6;
+  auto make = [&](std::vector<Time>& finish) {
+    std::vector<ProgramFn> progs;
+    progs.emplace_back([&finish, n](Proc& pr) -> Task<> {
+      for (int k = 0; k < n; ++k) co_await pr.send(1, k);
+      finish[0] = pr.now();
+    });
+    progs.emplace_back([&finish, n](Proc& pr) -> Task<> {
+      for (int k = 0; k < n; ++k) (void)co_await pr.recv();
+      finish[1] = pr.now();
+    });
+    return progs;
+  };
+  std::vector<Time> native_finish(2), sim_finish(2);
+  logp::Machine native(p, prm);
+  (void)native.run(make(native_finish));
+  LogpOnBspOptions opt;
+  opt.bsp = bsp::Params{4, 8};
+  LogpOnBsp sim(p, prm, opt);
+  const auto rep = sim.run(make(sim_finish));
+  EXPECT_TRUE(rep.capacity_ok);
+  EXPECT_EQ(sim_finish[0], native_finish[0]);  // o + (n-1)G on both
+}
+
+TEST(LogpOnBsp, PredictedSlowdownFormula) {
+  const Params prm{16, 1, 4};
+  EXPECT_DOUBLE_EQ(predicted_slowdown_thm1(prm, bsp::Params{4, 16}), 3.0);
+  EXPECT_DOUBLE_EQ(predicted_slowdown_thm1(prm, bsp::Params{8, 32}), 5.0);
+}
+
+}  // namespace
+}  // namespace bsplogp::xsim

@@ -1,0 +1,86 @@
+// Section 4.2's off-line routing claim: any h-relation routes in exactly
+// the optimal 2o + G(h-1) + L (plus the final acquisition), stall-free.
+#include "src/xsim/offline_routing.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/rng.h"
+
+namespace bsplogp::xsim {
+namespace {
+
+TEST(OfflineRouting, RegularRelationHitsOptimalBound) {
+  core::Rng rng(5);
+  const logp::Params prm{16, 1, 4};
+  for (const ProcId p : {4, 8, 32}) {
+    for (const Time h : {1, 4, 16}) {
+      const auto rel = routing::random_regular(p, h, rng);
+      const auto rep = route_offline(rel, prm);
+      EXPECT_TRUE(rep.logp.completed());
+      EXPECT_TRUE(rep.logp.stall_free()) << "p=" << p << " h=" << h;
+      EXPECT_EQ(rep.layers, h);
+      // Last delivery by o + (h-1)G + L; last acquisition may add the
+      // receiver-side o and gap-pipelining tail.
+      const Time bound = OfflineRoutingReport::optimal_bound(prm, h);
+      EXPECT_LE(rep.logp.finish_time, bound + prm.G + prm.o)
+          << "p=" << p << " h=" << h;
+      EXPECT_GE(rep.logp.finish_time, prm.o + (h - 1) * prm.G + 1);
+      EXPECT_EQ(rep.logp.messages_delivered,
+                static_cast<std::int64_t>(rel.size()));
+    }
+  }
+}
+
+TEST(OfflineRouting, IrregularRelationStaysWithinDegreeBound) {
+  core::Rng rng(6);
+  const logp::Params prm{8, 1, 2};
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto rel = routing::random_messages(16, 200, rng);
+    const auto rep = route_offline(rel, prm);
+    EXPECT_TRUE(rep.logp.completed());
+    EXPECT_TRUE(rep.logp.stall_free());
+    EXPECT_LE(rep.layers, rel.degree());
+    // Irregular in-degrees plus adversarial (latest-slot) deliveries can
+    // defer a receiver's drain by up to one extra latency window; the
+    // additive slack is constant in h, so the 2o+G(h-1)+L asymptotics
+    // stand.
+    EXPECT_LE(rep.logp.finish_time,
+              OfflineRoutingReport::optimal_bound(prm, rel.degree()) +
+                  prm.L + 2 * prm.G + 2 * prm.o);
+  }
+}
+
+TEST(OfflineRouting, HotspotRoutesAtBandwidth) {
+  // All-to-one has h = p-1 but each layer is a single message; the paper's
+  // off-line schedule still gives 2o + G(h-1) + L.
+  const logp::Params prm{16, 2, 4};
+  const auto rel = routing::hotspot(17, 3, 1);
+  const auto rep = route_offline(rel, prm);
+  EXPECT_TRUE(rep.logp.stall_free());
+  EXPECT_EQ(rep.layers, 16);
+  EXPECT_LE(rep.logp.finish_time,
+            OfflineRoutingReport::optimal_bound(prm, 16) + prm.G + prm.o);
+}
+
+TEST(OfflineRouting, EmptyRelation) {
+  const logp::Params prm{8, 1, 2};
+  const auto rep = route_offline(routing::HRelation(4), prm);
+  EXPECT_TRUE(rep.logp.completed());
+  EXPECT_EQ(rep.layers, 0);
+  EXPECT_EQ(rep.logp.finish_time, 0);
+}
+
+TEST(OfflineRouting, PayloadsArriveIntact) {
+  core::Rng rng(7);
+  const logp::Params prm{8, 1, 2};
+  routing::HRelation rel(4);
+  rel.add(0, 1, 100, 1);
+  rel.add(0, 2, 200, 2);
+  rel.add(3, 1, 300, 3);
+  const auto rep = route_offline(rel, prm);
+  EXPECT_TRUE(rep.logp.completed());
+  EXPECT_EQ(rep.logp.messages_acquired, 3);
+}
+
+}  // namespace
+}  // namespace bsplogp::xsim

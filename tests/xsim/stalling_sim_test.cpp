@@ -1,0 +1,162 @@
+// Section-3 regime tests: the cycle simulation executes *stalling* LogP
+// programs faithfully — results match the native machine, senders are
+// paused per the Stalling Rule's hot-spot bandwidth, and the preprocessing
+// cost model is available for the implementable variant.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/logp/machine.h"
+#include "src/xsim/logp_on_bsp.h"
+
+namespace bsplogp::xsim {
+namespace {
+
+using logp::Params;
+using logp::Proc;
+using logp::ProgramFn;
+using logp::Task;
+
+/// k messages from every sender to processor 0, which sums the payloads.
+std::vector<ProgramFn> hotspot(ProcId p, Time k, std::vector<Word>& out) {
+  std::vector<ProgramFn> progs;
+  progs.emplace_back([p, k, &out](Proc& pr) -> Task<> {
+    Word sum = 0;
+    for (Time j = 0; j < static_cast<Time>(p - 1) * k; ++j)
+      sum += (co_await pr.recv()).payload;
+    out[0] = sum;
+  });
+  for (ProcId i = 1; i < p; ++i)
+    progs.emplace_back([i, k](Proc& pr) -> Task<> {
+      for (Time j = 0; j < k; ++j) co_await pr.send(0, i * 100 + j);
+    });
+  return progs;
+}
+
+TEST(StallingSim, HotspotResultsMatchNative) {
+  const ProcId p = 10;
+  const Time k = 3;
+  const Params prm{8, 1, 2};  // capacity 4 << 27 concurrent submissions
+
+  std::vector<Word> native_out(1, 0);
+  logp::Machine native(p, prm);
+  const auto native_stats = native.run(hotspot(p, k, native_out));
+  ASSERT_TRUE(native_stats.completed());
+  ASSERT_GT(native_stats.stall_events, 0);
+
+  std::vector<Word> sim_out(1, 0);
+  LogpOnBspOptions opt;
+  opt.bsp = bsp::Params{prm.G, prm.L};
+  LogpOnBsp sim(p, prm, opt);
+  const auto rep = sim.run(hotspot(p, k, sim_out));
+
+  EXPECT_FALSE(rep.stuck);
+  EXPECT_EQ(sim_out[0], native_out[0]);
+  EXPECT_FALSE(rep.capacity_ok);  // the program is not stall-free
+  EXPECT_GT(rep.stall_events, 0);
+  EXPECT_GT(rep.stall_time_total, 0);
+  EXPECT_GT(rep.overloaded_supersteps, 0);
+}
+
+TEST(StallingSim, EmulatedDrainTracksNativeHotspotTime) {
+  // The Stalling-Rule emulation admits one message per G at the hot spot,
+  // so the simulated logical time must track the native o + nG + L drain
+  // (within the cycle-granularity slack), not blow up.
+  const ProcId p = 33;
+  const Params prm{16, 1, 4};  // capacity 4
+  std::vector<Word> out(1, 0);
+
+  logp::Machine native(p, prm);
+  const auto native_stats = native.run(hotspot(p, 1, out));
+
+  LogpOnBspOptions opt;
+  opt.bsp = bsp::Params{prm.G, prm.L};
+  LogpOnBsp sim(p, prm, opt);
+  const auto rep = sim.run(hotspot(p, 1, out));
+
+  EXPECT_FALSE(rep.stuck);
+  EXPECT_GE(rep.logical_finish,
+            native_stats.finish_time / 2);  // same Theta(nG) order
+  EXPECT_LE(rep.logical_finish, 2 * native_stats.finish_time + 4 * prm.L);
+}
+
+TEST(StallingSim, StallFreeProgramsReportNoStalls) {
+  const ProcId p = 8;
+  const Params prm{8, 1, 2};
+  std::vector<ProgramFn> progs;
+  for (ProcId i = 0; i < p; ++i)
+    progs.emplace_back([p](Proc& pr) -> Task<> {
+      co_await pr.send(static_cast<ProcId>((pr.id() + 1) % p), 1);
+      (void)co_await pr.recv();
+    });
+  LogpOnBspOptions opt;
+  opt.bsp = bsp::Params{prm.G, prm.L};
+  LogpOnBsp sim(p, prm, opt);
+  const auto rep = sim.run(progs);
+  EXPECT_TRUE(rep.capacity_ok);
+  EXPECT_EQ(rep.stall_events, 0);
+  EXPECT_EQ(rep.stall_time_total, 0);
+  EXPECT_EQ(rep.overloaded_supersteps, 0);
+}
+
+TEST(StallingSim, PreprocessedTimeChargesOnlyOverloadedSupersteps) {
+  const ProcId p = 10;
+  const Params prm{8, 1, 2};
+  std::vector<Word> out(1, 0);
+  LogpOnBspOptions opt;
+  opt.bsp = bsp::Params{prm.G, prm.L};
+  LogpOnBsp sim(p, prm, opt);
+  const auto rep = sim.run(hotspot(p, 2, out));
+  ASSERT_GT(rep.overloaded_supersteps, 0);
+
+  const Time naive = rep.bsp.time;
+  const Time preproc =
+      rep.preprocessed_time(opt.bsp, p, prm.capacity());
+  EXPECT_GT(preproc, naive);
+  // The surcharge is exactly (overloaded supersteps) * log p * O(l+g*cap).
+  const Time per = static_cast<Time>(ceil_log2(p)) *
+                   (opt.bsp.l + opt.bsp.g * prm.capacity() +
+                    prm.capacity());
+  EXPECT_EQ(preproc - naive, rep.overloaded_supersteps * per);
+}
+
+TEST(StallingSim, MixedTrafficStaysCorrectUnderPartialStalling) {
+  // Some destinations overload, others stay clean; every payload must
+  // arrive exactly once.
+  const ProcId p = 12;
+  const Params prm{8, 1, 2};  // capacity 4
+  std::vector<Word> sums(2, 0);
+  auto make = [&]() {
+    std::vector<ProgramFn> progs;
+    for (ProcId r = 0; r < 2; ++r)
+      progs.emplace_back([&sums, p, r](Proc& pr) -> Task<> {
+        Word s = 0;
+        const int expect = r == 0 ? (p - 2) * 2 : (p - 2);
+        for (int j = 0; j < expect; ++j)
+          s += (co_await pr.recv()).payload;
+        sums[static_cast<std::size_t>(r)] = s;
+      });
+    for (ProcId i = 2; i < p; ++i)
+      progs.emplace_back([i](Proc& pr) -> Task<> {
+        co_await pr.send(0, i);      // hot spot
+        co_await pr.send(0, 1000 + i);
+        co_await pr.send(1, i);      // light destination
+      });
+    return progs;
+  };
+  logp::Machine native(p, prm);
+  (void)native.run(make());
+  const auto native_sums = sums;
+
+  sums.assign(2, 0);
+  LogpOnBspOptions opt;
+  opt.bsp = bsp::Params{prm.G, prm.L};
+  LogpOnBsp sim(p, prm, opt);
+  const auto rep = sim.run(make());
+  EXPECT_FALSE(rep.stuck);
+  EXPECT_EQ(sums, native_sums);
+}
+
+}  // namespace
+}  // namespace bsplogp::xsim
