@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_engines_micro.dir/bench_engines_micro.cpp.o"
+  "CMakeFiles/bench_engines_micro.dir/bench_engines_micro.cpp.o.d"
+  "bench_engines_micro"
+  "bench_engines_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_engines_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

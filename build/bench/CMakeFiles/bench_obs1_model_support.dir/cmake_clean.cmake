@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_obs1_model_support.dir/bench_obs1_model_support.cpp.o"
+  "CMakeFiles/bench_obs1_model_support.dir/bench_obs1_model_support.cpp.o.d"
+  "bench_obs1_model_support"
+  "bench_obs1_model_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_obs1_model_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

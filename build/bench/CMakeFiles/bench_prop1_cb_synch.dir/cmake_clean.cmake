@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prop1_cb_synch.dir/bench_prop1_cb_synch.cpp.o"
+  "CMakeFiles/bench_prop1_cb_synch.dir/bench_prop1_cb_synch.cpp.o.d"
+  "bench_prop1_cb_synch"
+  "bench_prop1_cb_synch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prop1_cb_synch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

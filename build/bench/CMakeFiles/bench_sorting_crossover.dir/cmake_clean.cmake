@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sorting_crossover.dir/bench_sorting_crossover.cpp.o"
+  "CMakeFiles/bench_sorting_crossover.dir/bench_sorting_crossover.cpp.o.d"
+  "bench_sorting_crossover"
+  "bench_sorting_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sorting_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

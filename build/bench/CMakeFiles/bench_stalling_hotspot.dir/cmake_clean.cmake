@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stalling_hotspot.dir/bench_stalling_hotspot.cpp.o"
+  "CMakeFiles/bench_stalling_hotspot.dir/bench_stalling_hotspot.cpp.o.d"
+  "bench_stalling_hotspot"
+  "bench_stalling_hotspot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stalling_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stalling_sim_gap.dir/bench_stalling_sim_gap.cpp.o"
+  "CMakeFiles/bench_stalling_sim_gap.dir/bench_stalling_sim_gap.cpp.o.d"
+  "bench_stalling_sim_gap"
+  "bench_stalling_sim_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stalling_sim_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm1_logp_on_bsp.dir/bench_thm1_logp_on_bsp.cpp.o"
+  "CMakeFiles/bench_thm1_logp_on_bsp.dir/bench_thm1_logp_on_bsp.cpp.o.d"
+  "bench_thm1_logp_on_bsp"
+  "bench_thm1_logp_on_bsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm1_logp_on_bsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm2_bsp_on_logp.dir/bench_thm2_bsp_on_logp.cpp.o"
+  "CMakeFiles/bench_thm2_bsp_on_logp.dir/bench_thm2_bsp_on_logp.cpp.o.d"
+  "bench_thm2_bsp_on_logp"
+  "bench_thm2_bsp_on_logp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm2_bsp_on_logp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm3_randomized.dir/bench_thm3_randomized.cpp.o"
+  "CMakeFiles/bench_thm3_randomized.dir/bench_thm3_randomized.cpp.o.d"
+  "bench_thm3_randomized"
+  "bench_thm3_randomized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm3_randomized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

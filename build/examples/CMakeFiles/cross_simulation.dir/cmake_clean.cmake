@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_simulation.dir/cross_simulation.cpp.o"
+  "CMakeFiles/cross_simulation.dir/cross_simulation.cpp.o.d"
+  "cross_simulation"
+  "cross_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_stalling.dir/hotspot_stalling.cpp.o"
+  "CMakeFiles/hotspot_stalling.dir/hotspot_stalling.cpp.o.d"
+  "hotspot_stalling"
+  "hotspot_stalling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_stalling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bsplogp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bsp/CMakeFiles/bsplogp_bsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/logp/CMakeFiles/bsplogp_logp.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/bsplogp_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/bsplogp_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/xsim/CMakeFiles/bsplogp_xsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bsplogp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

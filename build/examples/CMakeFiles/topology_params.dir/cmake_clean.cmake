@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_params.dir/topology_params.cpp.o"
+  "CMakeFiles/topology_params.dir/topology_params.cpp.o.d"
+  "topology_params"
+  "topology_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

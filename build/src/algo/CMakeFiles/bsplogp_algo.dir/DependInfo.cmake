@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/bsp_algorithms.cpp" "src/algo/CMakeFiles/bsplogp_algo.dir/bsp_algorithms.cpp.o" "gcc" "src/algo/CMakeFiles/bsplogp_algo.dir/bsp_algorithms.cpp.o.d"
+  "/root/repo/src/algo/logp_broadcast_opt.cpp" "src/algo/CMakeFiles/bsplogp_algo.dir/logp_broadcast_opt.cpp.o" "gcc" "src/algo/CMakeFiles/bsplogp_algo.dir/logp_broadcast_opt.cpp.o.d"
+  "/root/repo/src/algo/logp_collectives.cpp" "src/algo/CMakeFiles/bsplogp_algo.dir/logp_collectives.cpp.o" "gcc" "src/algo/CMakeFiles/bsplogp_algo.dir/logp_collectives.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bsplogp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/logp/CMakeFiles/bsplogp_logp.dir/DependInfo.cmake"
+  "/root/repo/build/src/bsp/CMakeFiles/bsplogp_bsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsplogp_algo.dir/bsp_algorithms.cpp.o"
+  "CMakeFiles/bsplogp_algo.dir/bsp_algorithms.cpp.o.d"
+  "CMakeFiles/bsplogp_algo.dir/logp_broadcast_opt.cpp.o"
+  "CMakeFiles/bsplogp_algo.dir/logp_broadcast_opt.cpp.o.d"
+  "CMakeFiles/bsplogp_algo.dir/logp_collectives.cpp.o"
+  "CMakeFiles/bsplogp_algo.dir/logp_collectives.cpp.o.d"
+  "libbsplogp_algo.a"
+  "libbsplogp_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsplogp_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

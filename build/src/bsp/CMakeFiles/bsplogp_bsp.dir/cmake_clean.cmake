@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsplogp_bsp.dir/machine.cpp.o"
+  "CMakeFiles/bsplogp_bsp.dir/machine.cpp.o.d"
+  "libbsplogp_bsp.a"
+  "libbsplogp_bsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsplogp_bsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

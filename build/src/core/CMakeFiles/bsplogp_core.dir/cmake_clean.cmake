@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsplogp_core.dir/rng.cpp.o"
+  "CMakeFiles/bsplogp_core.dir/rng.cpp.o.d"
+  "CMakeFiles/bsplogp_core.dir/stats.cpp.o"
+  "CMakeFiles/bsplogp_core.dir/stats.cpp.o.d"
+  "CMakeFiles/bsplogp_core.dir/table.cpp.o"
+  "CMakeFiles/bsplogp_core.dir/table.cpp.o.d"
+  "libbsplogp_core.a"
+  "libbsplogp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsplogp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

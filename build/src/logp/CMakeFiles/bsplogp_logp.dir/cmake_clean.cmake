@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsplogp_logp.dir/machine.cpp.o"
+  "CMakeFiles/bsplogp_logp.dir/machine.cpp.o.d"
+  "libbsplogp_logp.a"
+  "libbsplogp_logp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsplogp_logp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsplogp_net.dir/packet_sim.cpp.o"
+  "CMakeFiles/bsplogp_net.dir/packet_sim.cpp.o.d"
+  "CMakeFiles/bsplogp_net.dir/topology.cpp.o"
+  "CMakeFiles/bsplogp_net.dir/topology.cpp.o.d"
+  "libbsplogp_net.a"
+  "libbsplogp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsplogp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

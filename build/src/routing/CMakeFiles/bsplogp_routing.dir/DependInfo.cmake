@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/bitonic.cpp" "src/routing/CMakeFiles/bsplogp_routing.dir/bitonic.cpp.o" "gcc" "src/routing/CMakeFiles/bsplogp_routing.dir/bitonic.cpp.o.d"
+  "/root/repo/src/routing/columnsort.cpp" "src/routing/CMakeFiles/bsplogp_routing.dir/columnsort.cpp.o" "gcc" "src/routing/CMakeFiles/bsplogp_routing.dir/columnsort.cpp.o.d"
+  "/root/repo/src/routing/decompose.cpp" "src/routing/CMakeFiles/bsplogp_routing.dir/decompose.cpp.o" "gcc" "src/routing/CMakeFiles/bsplogp_routing.dir/decompose.cpp.o.d"
+  "/root/repo/src/routing/h_relation.cpp" "src/routing/CMakeFiles/bsplogp_routing.dir/h_relation.cpp.o" "gcc" "src/routing/CMakeFiles/bsplogp_routing.dir/h_relation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bsplogp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsplogp_routing.dir/bitonic.cpp.o"
+  "CMakeFiles/bsplogp_routing.dir/bitonic.cpp.o.d"
+  "CMakeFiles/bsplogp_routing.dir/columnsort.cpp.o"
+  "CMakeFiles/bsplogp_routing.dir/columnsort.cpp.o.d"
+  "CMakeFiles/bsplogp_routing.dir/decompose.cpp.o"
+  "CMakeFiles/bsplogp_routing.dir/decompose.cpp.o.d"
+  "CMakeFiles/bsplogp_routing.dir/h_relation.cpp.o"
+  "CMakeFiles/bsplogp_routing.dir/h_relation.cpp.o.d"
+  "libbsplogp_routing.a"
+  "libbsplogp_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsplogp_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

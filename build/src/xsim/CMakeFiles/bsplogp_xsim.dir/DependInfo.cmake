@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xsim/bsp_on_logp.cpp" "src/xsim/CMakeFiles/bsplogp_xsim.dir/bsp_on_logp.cpp.o" "gcc" "src/xsim/CMakeFiles/bsplogp_xsim.dir/bsp_on_logp.cpp.o.d"
+  "/root/repo/src/xsim/logp_on_bsp.cpp" "src/xsim/CMakeFiles/bsplogp_xsim.dir/logp_on_bsp.cpp.o" "gcc" "src/xsim/CMakeFiles/bsplogp_xsim.dir/logp_on_bsp.cpp.o.d"
+  "/root/repo/src/xsim/offline_routing.cpp" "src/xsim/CMakeFiles/bsplogp_xsim.dir/offline_routing.cpp.o" "gcc" "src/xsim/CMakeFiles/bsplogp_xsim.dir/offline_routing.cpp.o.d"
+  "/root/repo/src/xsim/randomized_routing.cpp" "src/xsim/CMakeFiles/bsplogp_xsim.dir/randomized_routing.cpp.o" "gcc" "src/xsim/CMakeFiles/bsplogp_xsim.dir/randomized_routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bsplogp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bsp/CMakeFiles/bsplogp_bsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/logp/CMakeFiles/bsplogp_logp.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/bsplogp_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/bsplogp_routing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

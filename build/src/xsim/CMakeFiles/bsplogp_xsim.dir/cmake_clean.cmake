@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsplogp_xsim.dir/bsp_on_logp.cpp.o"
+  "CMakeFiles/bsplogp_xsim.dir/bsp_on_logp.cpp.o.d"
+  "CMakeFiles/bsplogp_xsim.dir/logp_on_bsp.cpp.o"
+  "CMakeFiles/bsplogp_xsim.dir/logp_on_bsp.cpp.o.d"
+  "CMakeFiles/bsplogp_xsim.dir/offline_routing.cpp.o"
+  "CMakeFiles/bsplogp_xsim.dir/offline_routing.cpp.o.d"
+  "CMakeFiles/bsplogp_xsim.dir/randomized_routing.cpp.o"
+  "CMakeFiles/bsplogp_xsim.dir/randomized_routing.cpp.o.d"
+  "libbsplogp_xsim.a"
+  "libbsplogp_xsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsplogp_xsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

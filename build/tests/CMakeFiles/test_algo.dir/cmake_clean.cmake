@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algo.dir/algo/bsp_algorithms_test.cpp.o"
+  "CMakeFiles/test_algo.dir/algo/bsp_algorithms_test.cpp.o.d"
+  "CMakeFiles/test_algo.dir/algo/bsp_sorting_test.cpp.o"
+  "CMakeFiles/test_algo.dir/algo/bsp_sorting_test.cpp.o.d"
+  "CMakeFiles/test_algo.dir/algo/collectives_extra_test.cpp.o"
+  "CMakeFiles/test_algo.dir/algo/collectives_extra_test.cpp.o.d"
+  "CMakeFiles/test_algo.dir/algo/collectives_test.cpp.o"
+  "CMakeFiles/test_algo.dir/algo/collectives_test.cpp.o.d"
+  "CMakeFiles/test_algo.dir/algo/mailbox_test.cpp.o"
+  "CMakeFiles/test_algo.dir/algo/mailbox_test.cpp.o.d"
+  "CMakeFiles/test_algo.dir/algo/order_robustness_test.cpp.o"
+  "CMakeFiles/test_algo.dir/algo/order_robustness_test.cpp.o.d"
+  "CMakeFiles/test_algo.dir/algo/tree_test.cpp.o"
+  "CMakeFiles/test_algo.dir/algo/tree_test.cpp.o.d"
+  "test_algo"
+  "test_algo.pdb"
+  "test_algo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

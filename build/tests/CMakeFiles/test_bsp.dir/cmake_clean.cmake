@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bsp.dir/bsp/cost_model_test.cpp.o"
+  "CMakeFiles/test_bsp.dir/bsp/cost_model_test.cpp.o.d"
+  "CMakeFiles/test_bsp.dir/bsp/machine_test.cpp.o"
+  "CMakeFiles/test_bsp.dir/bsp/machine_test.cpp.o.d"
+  "test_bsp"
+  "test_bsp.pdb"
+  "test_bsp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/logp/model_properties_test.cpp" "tests/CMakeFiles/test_logp.dir/logp/model_properties_test.cpp.o" "gcc" "tests/CMakeFiles/test_logp.dir/logp/model_properties_test.cpp.o.d"
+  "/root/repo/tests/logp/policies_test.cpp" "tests/CMakeFiles/test_logp.dir/logp/policies_test.cpp.o" "gcc" "tests/CMakeFiles/test_logp.dir/logp/policies_test.cpp.o.d"
+  "/root/repo/tests/logp/stalling_test.cpp" "tests/CMakeFiles/test_logp.dir/logp/stalling_test.cpp.o" "gcc" "tests/CMakeFiles/test_logp.dir/logp/stalling_test.cpp.o.d"
+  "/root/repo/tests/logp/task_test.cpp" "tests/CMakeFiles/test_logp.dir/logp/task_test.cpp.o" "gcc" "tests/CMakeFiles/test_logp.dir/logp/task_test.cpp.o.d"
+  "/root/repo/tests/logp/timing_test.cpp" "tests/CMakeFiles/test_logp.dir/logp/timing_test.cpp.o" "gcc" "tests/CMakeFiles/test_logp.dir/logp/timing_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bsplogp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bsp/CMakeFiles/bsplogp_bsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/logp/CMakeFiles/bsplogp_logp.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/bsplogp_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/bsplogp_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/xsim/CMakeFiles/bsplogp_xsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bsplogp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logp.dir/logp/model_properties_test.cpp.o"
+  "CMakeFiles/test_logp.dir/logp/model_properties_test.cpp.o.d"
+  "CMakeFiles/test_logp.dir/logp/policies_test.cpp.o"
+  "CMakeFiles/test_logp.dir/logp/policies_test.cpp.o.d"
+  "CMakeFiles/test_logp.dir/logp/stalling_test.cpp.o"
+  "CMakeFiles/test_logp.dir/logp/stalling_test.cpp.o.d"
+  "CMakeFiles/test_logp.dir/logp/task_test.cpp.o"
+  "CMakeFiles/test_logp.dir/logp/task_test.cpp.o.d"
+  "CMakeFiles/test_logp.dir/logp/timing_test.cpp.o"
+  "CMakeFiles/test_logp.dir/logp/timing_test.cpp.o.d"
+  "test_logp"
+  "test_logp.pdb"
+  "test_logp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/routing/bitonic_test.cpp" "tests/CMakeFiles/test_routing.dir/routing/bitonic_test.cpp.o" "gcc" "tests/CMakeFiles/test_routing.dir/routing/bitonic_test.cpp.o.d"
+  "/root/repo/tests/routing/columnsort_test.cpp" "tests/CMakeFiles/test_routing.dir/routing/columnsort_test.cpp.o" "gcc" "tests/CMakeFiles/test_routing.dir/routing/columnsort_test.cpp.o.d"
+  "/root/repo/tests/routing/decompose_test.cpp" "tests/CMakeFiles/test_routing.dir/routing/decompose_test.cpp.o" "gcc" "tests/CMakeFiles/test_routing.dir/routing/decompose_test.cpp.o.d"
+  "/root/repo/tests/routing/h_relation_test.cpp" "tests/CMakeFiles/test_routing.dir/routing/h_relation_test.cpp.o" "gcc" "tests/CMakeFiles/test_routing.dir/routing/h_relation_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bsplogp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bsp/CMakeFiles/bsplogp_bsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/logp/CMakeFiles/bsplogp_logp.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/bsplogp_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/bsplogp_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/xsim/CMakeFiles/bsplogp_xsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bsplogp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xsim.dir/xsim/bsp_on_logp_test.cpp.o"
+  "CMakeFiles/test_xsim.dir/xsim/bsp_on_logp_test.cpp.o.d"
+  "CMakeFiles/test_xsim.dir/xsim/fuzz_equivalence_test.cpp.o"
+  "CMakeFiles/test_xsim.dir/xsim/fuzz_equivalence_test.cpp.o.d"
+  "CMakeFiles/test_xsim.dir/xsim/logp_on_bsp_test.cpp.o"
+  "CMakeFiles/test_xsim.dir/xsim/logp_on_bsp_test.cpp.o.d"
+  "CMakeFiles/test_xsim.dir/xsim/offline_routing_test.cpp.o"
+  "CMakeFiles/test_xsim.dir/xsim/offline_routing_test.cpp.o.d"
+  "CMakeFiles/test_xsim.dir/xsim/randomized_routing_test.cpp.o"
+  "CMakeFiles/test_xsim.dir/xsim/randomized_routing_test.cpp.o.d"
+  "CMakeFiles/test_xsim.dir/xsim/stalling_sim_test.cpp.o"
+  "CMakeFiles/test_xsim.dir/xsim/stalling_sim_test.cpp.o.d"
+  "test_xsim"
+  "test_xsim.pdb"
+  "test_xsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
