@@ -9,6 +9,7 @@
 //      Earliest vs. seeded-random, for the canonical CB.
 #include <iostream>
 
+#include "bench/harness.h"
 #include "src/algo/logp_broadcast_opt.h"
 #include "src/algo/logp_collectives.h"
 #include "src/algo/mailbox.h"
@@ -61,23 +62,28 @@ Run run_greedy_pair(ProcId p, const logp::Params& prm) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter rep(argc, argv, "ablation_cb");
   std::cout << "Ablation: Combine-and-Broadcast design choices\n\n";
+  const ProcId big_p = rep.smoke() ? 32 : 256;
 
   {
-    std::cout << "(a) tree arity sweep, p=256 (paper's choice: "
-                 "max{2, ceil(L/G)})\n";
-    core::Table table({"L", "G", "cap", "arity", "T_CB", "stalls", "note"});
+    std::cout << "(a) tree arity sweep, p=" << big_p
+              << " (paper's choice: max{2, ceil(L/G)})\n";
+    auto& table = rep.series(
+        "arity_sweep", {"L", "G", "cap", "arity", "T_CB", "stalls", "note"});
+    const std::vector<ProcId> arities =
+        rep.smoke() ? std::vector<ProcId>{2, 4, 8}
+                    : std::vector<ProcId>{2, 4, 8, 16, 32};
     for (const auto& prm : {logp::Params{16, 1, 2}, logp::Params{8, 1, 4}}) {
       const Time cap = prm.capacity();
-      for (const ProcId arity : {2, 4, 8, 16, 32}) {
-        const Run r = run_cb_arity(256, prm, arity);
+      for (const ProcId arity : arities) {
+        const Run r = run_cb_arity(big_p, prm, arity);
         std::string note;
         if (arity == std::max<Time>(2, cap)) note = "<- paper's choice";
         else if (arity > cap) note = "(beyond capacity)";
-        table.add_row({core::fmt(prm.L), core::fmt(prm.G), core::fmt(cap),
-                       core::fmt(static_cast<std::int64_t>(arity)),
-                       core::fmt(r.time), core::fmt(r.stalls), note});
+        table.row({prm.L, prm.G, cap, static_cast<std::int64_t>(arity),
+                   r.time, r.stalls, note});
       }
     }
     table.print(std::cout);
@@ -89,17 +95,20 @@ int main() {
 
   {
     std::cout << "(b) d-ary tree CB vs greedy reduce+broadcast pair\n";
-    core::Table table({"p", "L", "G", "tree CB", "greedy pair", "ratio"});
+    auto& table =
+        rep.series("tree_vs_greedy",
+                   {"p", "L", "G", "tree CB", "greedy pair", "ratio"});
     const logp::Params prm{10, 2, 3};
-    for (const ProcId p : {16, 64, 256, 1024}) {
+    const std::vector<ProcId> ps =
+        rep.smoke() ? std::vector<ProcId>{16, 64}
+                    : std::vector<ProcId>{16, 64, 256, 1024};
+    for (const ProcId p : ps) {
       const Run tree = run_cb_arity(p, prm, algo::cb_arity(prm));
       const Run greedy = run_greedy_pair(p, prm);
-      table.add_row({core::fmt(static_cast<std::int64_t>(p)),
-                     core::fmt(prm.L), core::fmt(prm.G),
-                     core::fmt(tree.time), core::fmt(greedy.time),
-                     core::fmt(static_cast<double>(greedy.time) /
-                                   static_cast<double>(tree.time),
-                               2)});
+      table.row({p, prm.L, prm.G, tree.time, greedy.time,
+                 bench::Cell(static_cast<double>(greedy.time) /
+                                 static_cast<double>(tree.time),
+                             2)});
     }
     table.print(std::cout);
     std::cout << "Reading: both are Theta(L log p / log(1+cap)); the "
@@ -109,8 +118,9 @@ int main() {
   }
 
   {
-    std::cout << "(c) delivery-policy sensitivity of CB, p=256\n";
-    core::Table table({"policy", "T_CB"});
+    std::cout << "(c) delivery-policy sensitivity of CB, p=" << big_p
+              << "\n";
+    auto& table = rep.series("delivery_policy", {"policy", "T_CB"});
     const logp::Params prm{16, 1, 2};
     for (const auto& [policy, label] :
          {std::pair{logp::DeliverySchedule::Latest, "Latest (adversarial)"},
@@ -119,8 +129,8 @@ int main() {
       logp::Machine::Options opt;
       opt.delivery = policy;
       opt.seed = 3;
-      const Run r = run_cb_arity(256, prm, algo::cb_arity(prm), opt);
-      table.add_row({label, core::fmt(r.time)});
+      const Run r = run_cb_arity(big_p, prm, algo::cb_arity(prm), opt);
+      table.row({label, r.time});
     }
     table.print(std::cout);
     std::cout << "Reading: the spread bounds how much of T_CB is the "
@@ -132,9 +142,12 @@ int main() {
     std::cout << "(d) Theorem 2's routing cycles: globally clocked vs "
                  "free-running\n";
     const logp::Params prm{16, 1, 2};  // capacity 8
-    core::Table table({"p", "workload", "mode", "T_LogP", "stalls"});
+    auto& table = rep.series("clocked_cycles",
+                             {"p", "workload", "mode", "T_LogP", "stalls"});
     core::Rng rng(71);
-    for (const ProcId p : {8, 16}) {
+    const std::vector<ProcId> ps =
+        rep.smoke() ? std::vector<ProcId>{8} : std::vector<ProcId>{8, 16};
+    for (const ProcId p : ps) {
       struct Workload {
         routing::HRelation rel;
         std::string label;
@@ -165,11 +178,9 @@ int main() {
           xsim::BspOnLogpOptions opt;
           opt.clocked_cycles = clocked;
           xsim::BspOnLogp sim(p, prm, opt);
-          const auto rep = sim.run(progs);
-          table.add_row({core::fmt(static_cast<std::int64_t>(p)), label,
-                         clocked ? "clocked" : "free-running",
-                         core::fmt(rep.logp.finish_time),
-                         core::fmt(rep.logp.stall_events)});
+          const auto rp = sim.run(progs);
+          table.row({p, label, clocked ? "clocked" : "free-running",
+                     rp.logp.finish_time, rp.logp.stall_events});
         }
       }
     }
@@ -190,8 +201,9 @@ int main() {
     // steps) — while shorter cycles just pay more barriers.
     const ProcId p = 16;
     const logp::Params prm{16, 1, 2};  // capacity 8
-    core::Table table({"cycle", "supersteps", "T_BSP", "per-cycle cap ok",
-                       "max fan-in"});
+    auto& table = rep.series("cycle_length",
+                             {"cycle", "supersteps", "T_BSP",
+                              "per-cycle cap ok", "max fan-in"});
     auto make = [&] {
       std::vector<logp::ProgramFn> progs;
       for (ProcId i = 0; i < p; ++i)
@@ -207,13 +219,11 @@ int main() {
       opt.bsp = bsp::Params{prm.G, prm.L};
       opt.cycle_length = cycle;
       xsim::LogpOnBsp sim(p, prm, opt);
-      const auto rep = sim.run(make());
+      const auto rp = sim.run(make());
       std::string label = core::fmt(cycle);
       if (cycle == prm.L / 2) label += " (= L/2, paper)";
-      table.add_row({label, core::fmt(rep.bsp.supersteps),
-                     core::fmt(rep.bsp.time),
-                     rep.capacity_ok ? "yes" : "NO",
-                     core::fmt(rep.max_cycle_fan_in)});
+      table.row({label, rp.bsp.supersteps, rp.bsp.time,
+                 rp.capacity_ok ? "yes" : "NO", rp.max_cycle_fan_in});
     }
     table.print(std::cout);
     std::cout << "Reading: short cycles multiply the barrier cost; cycles "
@@ -222,5 +232,5 @@ int main() {
                  "('cap ok' = NO), voiding the delivery-schedule argument "
                  "behind Theorem 1 —\nL/2 is the largest safe cycle.\n";
   }
-  return 0;
+  return rep.finish();
 }

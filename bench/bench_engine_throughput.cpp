@@ -1,0 +1,144 @@
+// Wall-clock throughput of the LogP discrete-event engine itself: how many
+// engine events per second each scheduler core sustains, measured on the
+// workloads the paper's experiments lean on. This is the perf trajectory
+// anchor for the scheduler rewrite — the calendar/bucket queue
+// (SchedulerKind::Bucket) versus the original priority-queue baseline
+// (SchedulerKind::ReferenceHeap) — so BENCH_engine.json records events/sec,
+// model finish times, and the bucket/heap speedup per workload.
+//
+//   bench_engine_throughput --json BENCH_engine.json
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/logp/machine.h"
+
+using namespace bsplogp;
+
+namespace {
+
+struct Workload {
+  std::string name;
+  logp::Params prm;
+  ProcId p;
+  logp::DeliverySchedule delivery;
+  std::vector<logp::ProgramFn> progs;
+};
+
+/// Hotspot: every other processor fires k messages at processor 0. The
+/// acceptance queue stays long (heavy Stalling Rule traffic) and processor
+/// 0's delivery window stays full — the exact pattern that stressed the
+/// std::set delivery slots and the priority queue.
+Workload hotspot(std::string name, ProcId p, Time k, logp::Params prm,
+                 logp::DeliverySchedule delivery) {
+  std::vector<logp::ProgramFn> progs;
+  progs.emplace_back([p, k](logp::Proc& pr) -> logp::Task<> {
+    for (Time j = 0; j < static_cast<Time>(p - 1) * k; ++j)
+      (void)co_await pr.recv();
+  });
+  for (ProcId i = 1; i < p; ++i)
+    progs.emplace_back([k](logp::Proc& pr) -> logp::Task<> {
+      for (Time j = 0; j < k; ++j) co_await pr.send(0, j);
+    });
+  return Workload{std::move(name), prm, p, delivery, std::move(progs)};
+}
+
+/// All-to-all: p(p-1) messages, deep event queue, every destination's
+/// window active at once.
+Workload all_to_all(std::string name, ProcId p, logp::Params prm) {
+  std::vector<logp::ProgramFn> progs;
+  for (ProcId i = 0; i < p; ++i)
+    progs.emplace_back([p](logp::Proc& pr) -> logp::Task<> {
+      for (ProcId d = 1; d < p; ++d)
+        co_await pr.send(static_cast<ProcId>((pr.id() + d) % p), d);
+      for (ProcId kk = 1; kk < p; ++kk) (void)co_await pr.recv();
+    });
+  return Workload{std::move(name), prm, p, logp::DeliverySchedule::Latest,
+                  std::move(progs)};
+}
+
+struct Measurement {
+  double events_per_sec = 0;
+  std::int64_t events = 0;
+  Time finish = 0;
+  int reps = 0;
+};
+
+Measurement measure(const Workload& w, logp::SchedulerKind sched,
+                    double min_seconds) {
+  logp::Machine::Options o;
+  o.scheduler = sched;
+  o.delivery = w.delivery;
+  logp::Machine machine(w.p, w.prm, o);
+  const std::span<const logp::ProgramFn> progs(w.progs);
+
+  Measurement out;
+  out.finish = machine.run(progs).finish_time;  // warmup (untimed)
+
+  using clock = std::chrono::steady_clock;
+  double elapsed = 0;
+  while (elapsed < min_seconds) {
+    const auto t0 = clock::now();
+    const logp::RunStats st = machine.run(progs);
+    elapsed += std::chrono::duration<double>(clock::now() - t0).count();
+    out.events += st.events_processed;
+    out.reps += 1;
+  }
+  out.events_per_sec = static_cast<double>(out.events) / elapsed;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Reporter rep(argc, argv, "engine_throughput");
+  const double min_seconds = rep.smoke() ? 0.01 : 0.4;
+
+  std::vector<Workload> workloads;
+  if (rep.smoke()) {
+    workloads.push_back(hotspot("hotspot", 9, 2, logp::Params{64, 1, 2},
+                                logp::DeliverySchedule::Earliest));
+    workloads.push_back(all_to_all("alltoall", 8, logp::Params{16, 1, 2}));
+  } else {
+    workloads.push_back(hotspot("hotspot", 256, 4, logp::Params{256, 1, 2},
+                                logp::DeliverySchedule::Earliest));
+    workloads.push_back(hotspot("hotspot_smallcap", 65, 8,
+                                logp::Params{16, 1, 4},
+                                logp::DeliverySchedule::Latest));
+    workloads.push_back(all_to_all("alltoall", 128, logp::Params{16, 1, 2}));
+  }
+
+  std::cout << "Engine scheduler throughput: calendar/bucket queue vs the "
+               "priority-queue baseline\n\n";
+  auto& s = rep.series(
+      "throughput",
+      {"workload", "p", "events/run", "bucket ev/s", "heap ev/s", "speedup",
+       "model finish"});
+  for (const Workload& w : workloads) {
+    const Measurement bucket =
+        measure(w, logp::SchedulerKind::Bucket, min_seconds);
+    const Measurement heap =
+        measure(w, logp::SchedulerKind::ReferenceHeap, min_seconds);
+    // Same seed + options => identical model results across schedulers.
+    if (bucket.finish != heap.finish || bucket.events / bucket.reps !=
+                                            heap.events / heap.reps) {
+      std::cerr << "scheduler divergence on " << w.name << "!\n";
+      return 1;
+    }
+    const double speedup = bucket.events_per_sec / heap.events_per_sec;
+    s.row({w.name, w.p, bucket.events / bucket.reps,
+           bench::Cell(bucket.events_per_sec, 0),
+           bench::Cell(heap.events_per_sec, 0), bench::Cell(speedup, 2),
+           bucket.finish});
+    rep.metric("events_per_sec_bucket_" + w.name, bucket.events_per_sec);
+    rep.metric("events_per_sec_heap_" + w.name, heap.events_per_sec);
+    rep.metric("speedup_" + w.name, speedup);
+  }
+  s.print(std::cout);
+  std::cout << "\nspeedup = bucket events/sec over the priority-queue "
+               "baseline; both schedulers\nreplay the identical event "
+               "sequence (RunStats are bit-identical per seed).\n";
+  return rep.finish();
+}

@@ -11,38 +11,51 @@
 // restriction bought nothing (slopes comparable), Observation 1 holds.
 #include <iostream>
 
-#include "src/core/table.h"
+#include "bench/harness.h"
 #include "src/net/packet_sim.h"
 #include "src/net/topology.h"
 
 using namespace bsplogp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter rep(argc, argv, "obs1_model_support");
+  const int reps = rep.smoke() ? 2 : 6;
   std::cout << "E8 / Observation 1: does restricting to small-degree "
                "relations buy better\nparameters? gamma fitted over h<=8 "
                "(LogP regime) vs h in [8,64] (BSP regime).\n\n";
   const std::vector<Time> small_h{1, 2, 4, 8};
   const std::vector<Time> large_h{8, 16, 32, 64};
 
-  core::Table table({"topology", "p", "gamma(small h)", "gamma(large h)",
-                     "ratio", "delta(small h)", "delta(large h)"});
-  for (const auto kind :
-       {net::TopologyKind::Ring, net::TopologyKind::Mesh2D,
-        net::TopologyKind::HypercubeMulti, net::TopologyKind::HypercubeSingle,
-        net::TopologyKind::Butterfly, net::TopologyKind::CubeConnectedCycles,
-        net::TopologyKind::ShuffleExchange,
-        net::TopologyKind::MeshOfTrees}) {
-    const ProcId p = 64;
+  auto& table = rep.series(
+      "gamma_ratio", {"topology", "p", "gamma(small h)", "gamma(large h)",
+                      "ratio", "delta(small h)", "delta(large h)"});
+  const std::vector<net::TopologyKind> kinds =
+      rep.smoke()
+          ? std::vector<net::TopologyKind>{net::TopologyKind::Ring,
+                                           net::TopologyKind::Mesh2D,
+                                           net::TopologyKind::HypercubeMulti}
+          : std::vector<net::TopologyKind>{
+                net::TopologyKind::Ring, net::TopologyKind::Mesh2D,
+                net::TopologyKind::HypercubeMulti,
+                net::TopologyKind::HypercubeSingle,
+                net::TopologyKind::Butterfly,
+                net::TopologyKind::CubeConnectedCycles,
+                net::TopologyKind::ShuffleExchange,
+                net::TopologyKind::MeshOfTrees};
+  for (const auto kind : kinds) {
+    const ProcId p = rep.smoke() ? 16 : 64;
     const net::Topology topo = net::make_topology(kind, p);
     const net::PacketSim sim(topo);
-    const auto fs = net::fit_route_params(sim, small_h, 6, 31);
-    const auto fl = net::fit_route_params(sim, large_h, 6, 37);
-    table.add_row(
-        {net::to_string(kind),
-         core::fmt(static_cast<std::int64_t>(topo.nprocs())),
-         core::fmt(fs.gamma_hat(), 2), core::fmt(fl.gamma_hat(), 2),
-         core::fmt(fl.gamma_hat() / std::max(fs.gamma_hat(), 0.05), 2),
-         core::fmt(fs.delta_hat(), 1), core::fmt(fl.delta_hat(), 1)});
+    const auto fs = net::fit_route_params(sim, small_h, reps, 31);
+    const auto fl = net::fit_route_params(sim, large_h, reps, 37);
+    table.row({net::to_string(kind),
+               static_cast<std::int64_t>(topo.nprocs()),
+               bench::Cell(fs.gamma_hat(), 2),
+               bench::Cell(fl.gamma_hat(), 2),
+               bench::Cell(fl.gamma_hat() / std::max(fs.gamma_hat(), 0.05),
+                           2),
+               bench::Cell(fs.delta_hat(), 1),
+               bench::Cell(fl.delta_hat(), 1)});
   }
   table.print(std::cout);
   std::cout << "\nShape check: the 'ratio' column stays within a small "
@@ -51,5 +64,5 @@ int main() {
                "stall-free LogP needs or the arbitrary h-relations BSP "
                "needs —\nG* = Theta(g*), and since any ceil(L/G)-relation "
                "must finish within L,\nL* = Theta(l* + g*).\n";
-  return 0;
+  return rep.finish();
 }

@@ -6,9 +6,9 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench/harness.h"
 #include "src/algo/logp_collectives.h"
 #include "src/algo/mailbox.h"
-#include "src/core/table.h"
 #include "src/logp/machine.h"
 
 using namespace bsplogp;
@@ -31,7 +31,8 @@ Time measure_cb(ProcId p, const logp::Params& prm) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter rep(argc, argv, "prop1_cb_synch");
   std::cout << "E3 / Propositions 1-2: Combine-and-Broadcast time\n"
                "T_CB = Theta(L log p / log(1 + ceil(L/G)))\n\n";
   struct Regime {
@@ -44,20 +45,22 @@ int main() {
       {{16, 1, 2}, "cap=8"},
       {{64, 1, 2}, "cap=32"},
   };
-  core::Table table({"regime", "L", "G", "cap", "p", "T_CB", "formula",
-                     "ratio"});
+  auto& table = rep.series(
+      "cb_time", {"regime", "L", "G", "cap", "p", "T_CB", "formula",
+                  "ratio"});
+  const std::vector<ProcId> ps =
+      rep.smoke() ? std::vector<ProcId>{4, 16}
+                  : std::vector<ProcId>{4, 16, 64, 256, 1024};
   for (const auto& [prm, label] : regimes) {
-    for (const ProcId p : {4, 16, 64, 256, 1024}) {
+    for (const ProcId p : ps) {
       const Time t = measure_cb(p, prm);
       const double cap = static_cast<double>(prm.capacity());
       const double formula =
           static_cast<double>(prm.L) *
           std::log2(static_cast<double>(p)) / std::log2(1.0 + cap);
-      table.add_row({label, core::fmt(prm.L), core::fmt(prm.G),
-                     core::fmt(prm.capacity()),
-                     core::fmt(static_cast<std::int64_t>(p)), core::fmt(t),
-                     core::fmt(formula, 1),
-                     core::fmt(static_cast<double>(t) / formula, 2)});
+      table.row({label, prm.L, prm.G, prm.capacity(), p, t,
+                 bench::Cell(formula, 1),
+                 bench::Cell(static_cast<double>(t) / formula, 2)});
     }
   }
   table.print(std::cout);
@@ -65,5 +68,5 @@ int main() {
                "p grows (the bound is\ntight up to the paper's ~3(L+o)/L "
                "constant); larger capacity => wider tree =>\nflatter "
                "growth in p.\n";
-  return 0;
+  return rep.finish();
 }

@@ -11,9 +11,9 @@
 // each sort method forced, and report the simulated times and the winner.
 #include <iostream>
 
+#include "bench/harness.h"
 #include "src/bsp/machine.h"
 #include "src/core/rng.h"
-#include "src/core/table.h"
 #include "src/routing/h_relation.h"
 #include "src/xsim/bsp_on_logp.h"
 
@@ -53,7 +53,8 @@ Time simulate(const routing::HRelation& rel, const logp::Params& prm,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter rep(argc, argv, "sorting_crossover");
   const ProcId p = 8;  // columnsort threshold 2(p-1)^2 = 98
   const logp::Params prm{16, 1, 2};
   std::cout << "E6 / Section 4.2: sorting-scheme crossover at p=" << p
@@ -61,17 +62,20 @@ int main() {
             << ")\nLogP machine: L=16, o=1, G=2\n\n";
   core::Rng rng(31);
 
-  core::Table table({"r (=h)", "bitonic time", "columnsort time", "winner",
-                     "col/bit ratio"});
-  for (const Time r : {1, 4, 16, 64, 128, 256, 512, 1024}) {
+  auto& table = rep.series(
+      "crossover", {"r (=h)", "bitonic time", "columnsort time", "winner",
+                    "col/bit ratio"});
+  const std::vector<Time> rs =
+      rep.smoke() ? std::vector<Time>{1, 16, 128}
+                  : std::vector<Time>{1, 4, 16, 64, 128, 256, 512, 1024};
+  for (const Time r : rs) {
     const auto rel = routing::random_regular(p, r, rng);
     const Time tb = simulate(rel, prm, xsim::SortMethod::Bitonic);
     const Time tc = simulate(rel, prm, xsim::SortMethod::Columnsort);
-    table.add_row({core::fmt(r), core::fmt(tb), core::fmt(tc),
-                   tb <= tc ? "bitonic" : "columnsort",
-                   core::fmt(static_cast<double>(tc) /
-                                 static_cast<double>(tb),
-                             2)});
+    table.row({r, tb, tc, tb <= tc ? "bitonic" : "columnsort",
+               bench::Cell(static_cast<double>(tc) /
+                               static_cast<double>(tb),
+                           2)});
   }
   table.print(std::cout);
   std::cout << "\nShape check: bitonic (AKS stand-in) wins while r is "
@@ -79,5 +83,5 @@ int main() {
                "columnsort pays padding up to 2(p-1)^2);\npast the "
                "threshold columnsort takes over and the ratio drops "
                "below 1 — the\npaper's small-r vs r = p^eps crossover.\n";
-  return 0;
+  return rep.finish();
 }

@@ -10,7 +10,7 @@
 //       stalling (the anomaly the paper flags).
 #include <iostream>
 
-#include "src/core/table.h"
+#include "bench/harness.h"
 #include "src/logp/machine.h"
 
 using namespace bsplogp;
@@ -50,24 +50,28 @@ Outcome hotspot(ProcId p, Time k, const logp::Params& prm, bool staged) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter rep(argc, argv, "stalling_hotspot");
   const logp::Params prm{16, 1, 4};  // capacity 4
   std::cout << "E5 / Section 2.2: Stalling Rule at a hot spot "
                "(L=16, o=1, G=4, capacity 4)\n\n";
 
-  core::Table table({"p", "msgs n", "o+nG+L", "stall run", "staged run",
-                     "stalls", "stall steps", "max stall", "G*n^2 bound"});
-  for (const ProcId p : {9, 17, 33, 65}) {
-    for (const Time k : {1, 4}) {
+  auto& table = rep.series(
+      "hotspot", {"p", "msgs n", "o+nG+L", "stall run", "staged run",
+                  "stalls", "stall steps", "max stall", "G*n^2 bound"});
+  const std::vector<ProcId> ps = rep.smoke()
+                                     ? std::vector<ProcId>{9}
+                                     : std::vector<ProcId>{9, 17, 33, 65};
+  const std::vector<Time> ks =
+      rep.smoke() ? std::vector<Time>{1} : std::vector<Time>{1, 4};
+  for (const ProcId p : ps) {
+    for (const Time k : ks) {
       const Time n = static_cast<Time>(p - 1) * k;
       const auto naive = hotspot(p, k, prm, false);
       const auto staged = hotspot(p, k, prm, true);
-      table.add_row({core::fmt(static_cast<std::int64_t>(p)), core::fmt(n),
-                     core::fmt(prm.o + n * prm.G + prm.L),
-                     core::fmt(naive.finish), core::fmt(staged.finish),
-                     core::fmt(naive.stalls), core::fmt(naive.stall_total),
-                     core::fmt(naive.stall_max),
-                     core::fmt(prm.G * n * n)});
+      table.row({p, n, prm.o + n * prm.G + prm.L, naive.finish,
+                 staged.finish, naive.stalls, naive.stall_total,
+                 naive.stall_max, prm.G * n * n});
     }
   }
   table.print(std::cout);
@@ -76,5 +80,5 @@ int main() {
                "G*n^2 worst case (claim b); senders' lost time\ngrows "
                "quadratically ('stall steps'), which is the only price "
                "the model charges.\n";
-  return 0;
+  return rep.finish();
 }

@@ -15,7 +15,7 @@
 #include <cmath>
 #include <iostream>
 
-#include "src/core/table.h"
+#include "bench/harness.h"
 #include "src/logp/machine.h"
 #include "src/xsim/logp_on_bsp.h"
 
@@ -38,16 +38,22 @@ std::vector<logp::ProgramFn> hotspot_program(ProcId p, Time k) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter rep(argc, argv, "stalling_sim_gap");
   const logp::Params prm{16, 1, 4};  // capacity 4
   std::cout << "E9 / Section 3: stalling LogP programs on BSP\n"
                "workload: all-to-one (stalls by design); L=16, o=1, G=4; "
                "BSP host g=G, l=L\n\n";
 
-  core::Table table({"p", "msgs", "T_LogP", "T_BSP(oracle)", "oracle slow",
-                     "T_BSP(preproc)", "preproc slow", "((l+g)/G)log p",
-                     "stalls", "overloaded steps"});
-  for (const ProcId p : {9, 17, 33, 65}) {
+  auto& table = rep.series(
+      "stalling_sim",
+      {"p", "msgs", "T_LogP", "T_BSP(oracle)", "oracle slow",
+       "T_BSP(preproc)", "preproc slow", "((l+g)/G)log p", "stalls",
+       "overloaded steps"});
+  const std::vector<ProcId> ps = rep.smoke()
+                                     ? std::vector<ProcId>{9}
+                                     : std::vector<ProcId>{9, 17, 33, 65};
+  for (const ProcId p : ps) {
     const Time k = 2;
     logp::Machine native(p, prm);
     const auto nat = native.run(hotspot_program(p, k));
@@ -55,21 +61,19 @@ int main() {
     xsim::LogpOnBspOptions opt;
     opt.bsp = bsp::Params{prm.G, prm.L};
     xsim::LogpOnBsp sim(p, prm, opt);
-    const auto rep = sim.run(hotspot_program(p, k));
+    const auto rp = sim.run(hotspot_program(p, k));
 
     const auto tn = static_cast<double>(nat.finish_time);
-    const Time preproc = rep.preprocessed_time(opt.bsp, p, prm.capacity());
+    const Time preproc = rp.preprocessed_time(opt.bsp, p, prm.capacity());
     const double bound = (static_cast<double>(opt.bsp.l + opt.bsp.g) /
                           static_cast<double>(prm.G)) *
                          std::log2(static_cast<double>(p));
-    table.add_row({core::fmt(static_cast<std::int64_t>(p)),
-                   core::fmt(static_cast<Time>(p - 1) * k),
-                   core::fmt(nat.finish_time), core::fmt(rep.bsp.time),
-                   core::fmt(static_cast<double>(rep.bsp.time) / tn, 2),
-                   core::fmt(preproc),
-                   core::fmt(static_cast<double>(preproc) / tn, 2),
-                   core::fmt(bound, 1), core::fmt(rep.stall_events),
-                   core::fmt(rep.overloaded_supersteps)});
+    table.row({p, static_cast<Time>(p - 1) * k, nat.finish_time,
+               rp.bsp.time,
+               bench::Cell(static_cast<double>(rp.bsp.time) / tn, 2),
+               preproc, bench::Cell(static_cast<double>(preproc) / tn, 2),
+               bench::Cell(bound, 1), rp.stall_events,
+               rp.overloaded_supersteps});
   }
   table.print(std::cout);
   std::cout
@@ -80,5 +84,5 @@ int main() {
          "O(((l+g)/G) log p) column. Whether any simulation\ncan do "
          "better is the open question the paper leaves (a lower bound "
          "here would\nmean stalling adds computational power to LogP).\n";
-  return 0;
+  return rep.finish();
 }

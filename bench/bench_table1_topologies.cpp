@@ -8,21 +8,28 @@
 // delta_hat / the diameter).
 #include <iostream>
 
-#include "src/core/table.h"
+#include "bench/harness.h"
 #include "src/net/packet_sim.h"
 #include "src/net/topology.h"
 
 using namespace bsplogp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter rep(argc, argv, "table1_topologies");
+  const int reps = rep.smoke() ? 2 : 4;
   std::cout << "E7 / Table 1: empirical (gamma_hat, delta_hat) per "
-               "topology via T(h) fits\n(4 random h-regular relations per "
-               "h in {1,2,4,8,16,32})\n\n";
+               "topology via T(h) fits\n("
+            << reps << " random h-regular relations per h in "
+                       "{1,2,4,8,16,32})\n\n";
   const std::vector<Time> hs{1, 2, 4, 8, 16, 32};
 
-  core::Table table({"topology", "p(procs)", "nodes", "gamma_hat",
-                     "gamma(p) Table1", "delta_hat", "delta(p) Table1",
-                     "diam", "r^2"});
+  auto& table = rep.series(
+      "fits", {"topology", "p(procs)", "nodes", "gamma_hat",
+               "gamma(p) Table1", "delta_hat", "delta(p) Table1", "diam",
+               "r^2"});
+  const std::vector<ProcId> ps = rep.smoke()
+                                     ? std::vector<ProcId>{16}
+                                     : std::vector<ProcId>{16, 64, 256};
   for (const auto kind :
        {net::TopologyKind::Ring, net::TopologyKind::Mesh2D,
         net::TopologyKind::Mesh3D, net::TopologyKind::HypercubeMulti,
@@ -30,20 +37,19 @@ int main() {
         net::TopologyKind::CubeConnectedCycles,
         net::TopologyKind::ShuffleExchange,
         net::TopologyKind::MeshOfTrees}) {
-    for (const ProcId p : {16, 64, 256}) {
+    for (const ProcId p : ps) {
       const net::Topology topo = net::make_topology(kind, p);
       const net::PacketSim sim(topo);
-      const auto fit = net::fit_route_params(sim, hs, 4, 777);
-      table.add_row(
-          {net::to_string(kind),
-           core::fmt(static_cast<std::int64_t>(topo.nprocs())),
-           core::fmt(static_cast<std::int64_t>(topo.size())),
-           core::fmt(fit.gamma_hat(), 2),
-           core::fmt(topo.analytic_gamma(), 2),
-           core::fmt(fit.delta_hat(), 2),
-           core::fmt(topo.analytic_delta(), 2),
-           core::fmt(static_cast<std::int64_t>(topo.diameter())),
-           core::fmt(fit.fit.r_squared, 3)});
+      const auto fit = net::fit_route_params(sim, hs, reps, 777);
+      table.row({net::to_string(kind),
+                 static_cast<std::int64_t>(topo.nprocs()),
+                 static_cast<std::int64_t>(topo.size()),
+                 bench::Cell(fit.gamma_hat(), 2),
+                 bench::Cell(topo.analytic_gamma(), 2),
+                 bench::Cell(fit.delta_hat(), 2),
+                 bench::Cell(topo.analytic_delta(), 2),
+                 static_cast<std::int64_t>(topo.diameter()),
+                 bench::Cell(fit.fit.r_squared, 3)});
     }
   }
   table.print(std::cout);
@@ -52,5 +58,5 @@ int main() {
                "multi-port hypercube gamma ~ 1 while single-port and the\n"
                "constant-degree log-diameter networks grow ~ log p; "
                "mesh-of-trees ~ sqrt(p)\nwith log p latency.\n";
-  return 0;
+  return rep.finish();
 }

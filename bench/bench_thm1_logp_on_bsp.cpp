@@ -7,9 +7,9 @@
 // measured/predicted ratio stays within a constant band across the grid.
 #include <iostream>
 
+#include "bench/harness.h"
 #include "src/algo/logp_collectives.h"
 #include "src/algo/mailbox.h"
-#include "src/core/table.h"
 #include "src/logp/machine.h"
 #include "src/xsim/logp_on_bsp.h"
 
@@ -42,11 +42,16 @@ std::vector<logp::ProgramFn> cb_rounds(ProcId p, int rounds) {
 
 void sweep(const std::string& name,
            const std::function<std::vector<logp::ProgramFn>()>& make,
-           ProcId p, const logp::Params& prm, core::Table& table) {
+           ProcId p, const logp::Params& prm, bool smoke, bench::Series& s,
+           double& worst_ratio) {
   logp::Machine native(p, prm);
   const auto native_stats = native.run(make());
-  for (const Time gr : {1, 2, 4, 8}) {
-    for (const Time lr : {1, 4, 16}) {
+  const std::vector<Time> grs = smoke ? std::vector<Time>{1, 4}
+                                      : std::vector<Time>{1, 2, 4, 8};
+  const std::vector<Time> lrs =
+      smoke ? std::vector<Time>{1} : std::vector<Time>{1, 4, 16};
+  for (const Time gr : grs) {
+    for (const Time lr : lrs) {
       xsim::LogpOnBspOptions opt;
       opt.bsp = bsp::Params{gr * prm.G, lr * prm.L};
       xsim::LogpOnBsp sim(p, prm, opt);
@@ -54,32 +59,39 @@ void sweep(const std::string& name,
       const double slow = static_cast<double>(rep.bsp.time) /
                           static_cast<double>(native_stats.finish_time);
       const double predicted = xsim::predicted_slowdown_thm1(prm, opt.bsp);
-      table.add_row({name, core::fmt(static_cast<std::int64_t>(p)),
-                     core::fmt(gr), core::fmt(lr),
-                     core::fmt(native_stats.finish_time),
-                     core::fmt(rep.bsp.time), core::fmt(slow, 2),
-                     core::fmt(predicted, 1), core::fmt(slow / predicted, 2),
-                     rep.capacity_ok ? "yes" : "NO"});
+      worst_ratio = std::max(worst_ratio, slow / predicted);
+      s.row({name, p, gr, lr, native_stats.finish_time, rep.bsp.time,
+             bench::Cell(slow, 2), bench::Cell(predicted, 1),
+             bench::Cell(slow / predicted, 2),
+             rep.capacity_ok ? "yes" : "NO"});
     }
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter rep(argc, argv, "thm1_logp_on_bsp");
   std::cout << "E1 / Theorem 1: stall-free LogP on BSP, slowdown "
                "O(1 + g/G + l/L)\n"
                "LogP machine: L=16, o=1, G=4 (capacity 4)\n\n";
   const logp::Params prm{16, 1, 4};
-  core::Table table({"workload", "p", "g/G", "l/L", "T_LogP", "T_BSP",
-                     "slowdown", "1+g/G+l/L", "ratio", "stallfree"});
-  for (const ProcId p : {16, 64}) {
-    sweep("all-to-all", [p] { return all_to_all(p); }, p, prm, table);
-    sweep("cb-x4", [p] { return cb_rounds(p, 4); }, p, prm, table);
+  auto& s = rep.series("slowdown_grid",
+                       {"workload", "p", "g/G", "l/L", "T_LogP", "T_BSP",
+                        "slowdown", "1+g/G+l/L", "ratio", "stallfree"});
+  double worst_ratio = 0;
+  const std::vector<ProcId> ps =
+      rep.smoke() ? std::vector<ProcId>{8} : std::vector<ProcId>{16, 64};
+  for (const ProcId p : ps) {
+    sweep("all-to-all", [p] { return all_to_all(p); }, p, prm, rep.smoke(),
+          s, worst_ratio);
+    sweep("cb-x4", [p] { return cb_rounds(p, 4); }, p, prm, rep.smoke(), s,
+          worst_ratio);
   }
-  table.print(std::cout);
+  s.print(std::cout);
+  rep.metric("worst_ratio", worst_ratio);
   std::cout << "\nShape check: 'ratio' (measured/predicted) should stay "
                "within a constant band\nacross the grid — the paper's "
                "slowdown is Theta(1 + g/G + l/L).\n";
-  return 0;
+  return rep.finish();
 }

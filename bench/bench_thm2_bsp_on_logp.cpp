@@ -10,9 +10,9 @@
 // large h.
 #include <iostream>
 
+#include "bench/harness.h"
 #include "src/bsp/machine.h"
 #include "src/core/rng.h"
-#include "src/core/table.h"
 #include "src/routing/h_relation.h"
 #include "src/xsim/bsp_on_logp.h"
 
@@ -41,34 +41,41 @@ std::vector<std::unique_ptr<bsp::ProcProgram>> relation_program(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter rep(argc, argv, "thm2_bsp_on_logp");
   std::cout << "E2 / Theorem 2: BSP superstep on stall-free LogP\n"
                "LogP machine: L=16, o=1, G=2 (capacity 8); workload: random "
                "h-regular relation\n\n";
   const logp::Params prm{16, 1, 2};
   core::Rng rng(4242);
 
-  core::Table table({"p", "h", "r", "s", "cycles", "T_LogP", "w+G*h+L",
-                     "S (slowdown)", "stallfree", "violations"});
-  for (const ProcId p : {4, 8, 16, 64}) {
-    for (const Time h : {1, 4, 16, 64, 256, 1024}) {
+  auto& table =
+      rep.series("slowdown_vs_h", {"p", "h", "r", "s", "cycles", "T_LogP",
+                                   "w+G*h+L", "S (slowdown)", "stallfree",
+                                   "violations"});
+  const std::vector<ProcId> ps = rep.smoke()
+                                     ? std::vector<ProcId>{4}
+                                     : std::vector<ProcId>{4, 8, 16, 64};
+  const std::vector<Time> hs =
+      rep.smoke() ? std::vector<Time>{1, 16}
+                  : std::vector<Time>{1, 4, 16, 64, 256, 1024};
+  for (const ProcId p : ps) {
+    for (const Time h : hs) {
       const auto rel = routing::random_regular(p, h, rng);
       auto progs = relation_program(rel);
       xsim::BspOnLogp sim(p, prm);
-      const auto rep = sim.run(progs);
+      const auto rp = sim.run(progs);
       // The reference BSP cost of the communication superstep alone.
-      Time ref = 0, tsim = rep.logp.finish_time;
-      for (const auto& st : rep.steps)
+      Time ref = 0, tsim = rp.logp.finish_time;
+      for (const auto& st : rp.steps)
         ref += st.w_max + prm.G * st.h + prm.L;
-      const auto& s0 = rep.steps.front();
-      table.add_row(
-          {core::fmt(static_cast<std::int64_t>(p)), core::fmt(h),
-           core::fmt(s0.r), core::fmt(s0.s), core::fmt(s0.h),
-           core::fmt(tsim), core::fmt(ref),
-           core::fmt(static_cast<double>(tsim) / static_cast<double>(ref),
-                     2),
-           rep.logp.stall_free() ? "yes" : "NO",
-           core::fmt(rep.schedule_violations)});
+      const auto& s0 = rp.steps.front();
+      table.row({p, h, s0.r, s0.s, s0.h, tsim, ref,
+                 bench::Cell(static_cast<double>(tsim) /
+                                 static_cast<double>(ref),
+                             2),
+                 rp.logp.stall_free() ? "yes" : "NO",
+                 rp.schedule_violations});
     }
   }
   table.print(std::cout);
@@ -80,5 +87,5 @@ int main() {
          "substituted by bitonic (DESIGN.md); the paper's AKS bound\n"
          "would give log p. Stall-free must read 'yes' everywhere: that "
          "is Theorem 2's\nprotocol guarantee.\n";
-  return 0;
+  return rep.finish();
 }

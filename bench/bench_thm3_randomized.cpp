@@ -9,19 +9,20 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench/harness.h"
 #include "src/core/rng.h"
 #include "src/core/stats.h"
-#include "src/core/table.h"
 #include "src/xsim/randomized_routing.h"
 
 using namespace bsplogp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter rep(argc, argv, "thm3_randomized");
+  const int seeds = rep.smoke() ? 3 : 20;
   std::cout << "E4 / Theorem 3: randomized routing of known-degree "
-               "h-relations\n"
-               "oversample = 2 (R = 2h/cap rounds); 20 seeds per point\n\n";
+               "h-relations\noversample = 2 (R = 2h/cap rounds); "
+            << seeds << " seeds per point\n\n";
   const ProcId p = 32;
-  const int seeds = 20;
   struct Regime {
     logp::Params prm;
     const char* label;
@@ -34,10 +35,13 @@ int main() {
   };
   core::Rng rng(9);
 
-  core::Table table({"regime", "h", "clean", "stalls(avg)", "leftover(avg)",
+  auto& table = rep.series(
+      "clean_runs", {"regime", "h", "clean", "stalls(avg)", "leftover(avg)",
                      "time/Gh (avg)", "bound/Gh"});
+  const std::vector<Time> hs = rep.smoke() ? std::vector<Time>{8}
+                                           : std::vector<Time>{8, 32, 128};
   for (const auto& [prm, label] : regimes) {
-    for (const Time h : {8, 32, 128}) {
+    for (const Time h : hs) {
       int clean = 0;
       double stalls = 0, leftover = 0;
       std::vector<double> norm;
@@ -46,22 +50,22 @@ int main() {
         xsim::RandomizedRoutingOptions opt;
         opt.oversample = 2.0;
         opt.seed = 1000 + static_cast<std::uint64_t>(t);
-        const auto rep = route_randomized(rel, prm, opt);
-        clean += rep.clean();
-        stalls += static_cast<double>(rep.logp.stall_events);
-        leftover += static_cast<double>(rep.leftover);
-        norm.push_back(static_cast<double>(rep.protocol_time()) /
+        const auto rp = route_randomized(rel, prm, opt);
+        clean += rp.clean();
+        stalls += static_cast<double>(rp.logp.stall_events);
+        leftover += static_cast<double>(rp.leftover);
+        norm.push_back(static_cast<double>(rp.protocol_time()) /
                        static_cast<double>(prm.G * h));
       }
       const double bound =
           static_cast<double>(
               xsim::RandomizedRoutingReport::bound(prm, h, 2.0)) /
           static_cast<double>(prm.G * h);
-      table.add_row({label, core::fmt(h),
-                     std::to_string(clean) + "/" + std::to_string(seeds),
-                     core::fmt(stalls / seeds, 1),
-                     core::fmt(leftover / seeds, 1),
-                     core::fmt(core::mean(norm), 2), core::fmt(bound, 2)});
+      table.row({label, h,
+                 std::to_string(clean) + "/" + std::to_string(seeds),
+                 bench::Cell(stalls / seeds, 1),
+                 bench::Cell(leftover / seeds, 1),
+                 bench::Cell(core::mean(norm), 2), bench::Cell(bound, 2)});
     }
   }
   table.print(std::cout);
@@ -70,5 +74,5 @@ int main() {
                "normalized time stays below the 4(1+delta) bound, i.e.\n"
                "completion is Theta(Gh) — asymptotically optimal "
                "bandwidth.\n";
-  return 0;
+  return rep.finish();
 }

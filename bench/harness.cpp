@@ -1,0 +1,164 @@
+#include "bench/harness.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+#include "src/core/contracts.h"
+#include "src/core/table.h"
+
+namespace bsplogp::bench {
+
+namespace {
+
+std::string real_to_json(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// ---- Cell -------------------------------------------------------------------
+
+std::string Cell::display() const {
+  switch (kind_) {
+    case Kind::Int: return core::fmt(int_);
+    case Kind::Real: return core::fmt(real_, precision_);
+    case Kind::Str: return str_;
+  }
+  return {};
+}
+
+std::string Cell::json() const {
+  switch (kind_) {
+    case Kind::Int: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%" PRId64, int_);
+      return buf;
+    }
+    case Kind::Real: return real_to_json(real_);
+    case Kind::Str: return "\"" + json_escape(str_) + "\"";
+  }
+  return {};
+}
+
+// ---- Series -----------------------------------------------------------------
+
+Series::Series(std::string id, std::vector<std::string> columns)
+    : id_(std::move(id)), columns_(std::move(columns)) {}
+
+void Series::row(std::vector<Cell> cells) {
+  BSPLOGP_EXPECTS(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Series::print(std::ostream& os) const {
+  core::Table table(columns_);
+  for (const auto& r : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(r.size());
+    for (const Cell& c : r) cells.push_back(c.display());
+    table.add_row(std::move(cells));
+  }
+  table.print(os);
+}
+
+void Series::write_json(std::ostream& os) const {
+  os << "{\"id\": \"" << json_escape(id_) << "\", \"columns\": [";
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i) os << ", ";
+    os << "\"" << json_escape(columns_[i]) << "\"";
+  }
+  os << "], \"rows\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (r) os << ", ";
+    os << "[";
+    for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+      if (c) os << ", ";
+      os << rows_[r][c].json();
+    }
+    os << "]";
+  }
+  os << "]}";
+}
+
+// ---- Reporter ---------------------------------------------------------------
+
+Reporter::Reporter(int argc, char** argv, std::string bench_name)
+    : name_(std::move(bench_name)) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke_ = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path_ = argv[++i];
+    }
+    // Unknown flags are ignored so wrappers can pass extra options through.
+  }
+}
+
+Series& Reporter::series(std::string id, std::vector<std::string> columns) {
+  series_.emplace_back(std::move(id), std::move(columns));
+  return series_.back();
+}
+
+void Reporter::metric(const std::string& key, double value) {
+  metrics_.emplace_back(key, real_to_json(value));
+}
+
+void Reporter::metric(const std::string& key, std::int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRId64, value);
+  metrics_.emplace_back(key, buf);
+}
+
+int Reporter::finish() {
+  if (json_path_.empty()) return 0;
+  std::ofstream os(json_path_);
+  if (!os) {
+    std::cerr << "harness: cannot open " << json_path_ << " for writing\n";
+    return 1;
+  }
+  os << "{\"bench\": \"" << json_escape(name_) << "\", \"smoke\": "
+     << (smoke_ ? "true" : "false") << ", \"metrics\": {";
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    if (i) os << ", ";
+    os << "\"" << json_escape(metrics_[i].first)
+       << "\": " << metrics_[i].second;
+  }
+  os << "}, \"series\": [";
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    if (i) os << ", ";
+    series_[i].write_json(os);
+  }
+  os << "]}\n";
+  return os.good() ? 0 : 1;
+}
+
+}  // namespace bsplogp::bench

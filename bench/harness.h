@@ -1,0 +1,106 @@
+// Benchmark reporting harness: every bench_*.cpp routes its results
+// through a Reporter so each experiment emits BOTH the human-readable
+// aligned table it always printed AND, with `--json <path>`, a
+// machine-readable JSON document for the BENCH_*.json perf trajectory.
+//
+// Protocol (documented in DESIGN.md §"Benchmark harness"):
+//   bench_foo                  # tables on stdout, as before
+//   bench_foo --json out.json  # tables on stdout + JSON written to out.json
+//   bench_foo --smoke          # tiny sweep: CI smoke label (ctest -L bench_smoke)
+//
+// JSON shape:
+//   { "bench": "<name>", "smoke": false,
+//     "metrics": { "<key>": <number>, ... },
+//     "series": [ { "id": "<id>", "columns": [...],
+//                   "rows": [[cell, ...], ...] }, ... ] }
+// Cells are numbers (integral results exact, reals full-precision) or
+// strings; the table rendering applies core::fmt with the per-cell
+// precision instead.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bsplogp::bench {
+
+/// One table/series cell: an exact integer, a real with a display
+/// precision, or a string label.
+class Cell {
+ public:
+  Cell(std::int64_t v) : kind_(Kind::Int), int_(v) {}  // NOLINT(runtime/explicit)
+  Cell(int v) : Cell(static_cast<std::int64_t>(v)) {}  // NOLINT
+  Cell(double v, int precision = 2)                    // NOLINT
+      : kind_(Kind::Real), real_(v), precision_(precision) {}
+  Cell(std::string v) : kind_(Kind::Str), str_(std::move(v)) {}  // NOLINT
+  Cell(const char* v) : Cell(std::string(v)) {}                  // NOLINT
+
+  /// Rendering for the human table (core::fmt formatting rules).
+  [[nodiscard]] std::string display() const;
+  /// Rendering for JSON (numbers full-precision, strings escaped+quoted).
+  [[nodiscard]] std::string json() const;
+
+ private:
+  enum class Kind { Int, Real, Str };
+  Kind kind_;
+  std::int64_t int_ = 0;
+  double real_ = 0;
+  int precision_ = 2;
+  std::string str_;
+};
+
+/// A named result series: typed rows under fixed column names. Prints as a
+/// core::Table; serializes losslessly into the JSON document.
+class Series {
+ public:
+  Series(std::string id, std::vector<std::string> columns);
+
+  void row(std::vector<Cell> cells);
+  /// Renders the aligned table (same output as the pre-harness benches).
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] const std::string& id() const { return id_; }
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  void write_json(std::ostream& os) const;
+
+ private:
+  std::string id_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+/// Per-binary harness: parses `--json <path>` and `--smoke`, collects
+/// series and scalar metrics, and writes the JSON document in finish().
+class Reporter {
+ public:
+  Reporter(int argc, char** argv, std::string bench_name);
+
+  /// CI smoke mode: benches shrink their sweeps to one tiny configuration.
+  [[nodiscard]] bool smoke() const { return smoke_; }
+
+  /// Starts (and owns) a new series; the reference stays valid for the
+  /// Reporter's lifetime.
+  Series& series(std::string id, std::vector<std::string> columns);
+
+  /// Records a scalar summary metric (events/sec, slowdown ratio, ...).
+  void metric(const std::string& key, double value);
+  void metric(const std::string& key, std::int64_t value);
+
+  /// Writes the JSON file if --json was given. Returns 0 on success (use
+  /// as `return rep.finish();` from main).
+  int finish();
+
+ private:
+  std::string name_;
+  std::string json_path_;
+  bool smoke_ = false;
+  std::deque<Series> series_;  // deque: stable references across growth
+  std::vector<std::pair<std::string, std::string>> metrics_;  // key -> json
+};
+
+/// JSON string escaping (quotes, backslashes, control characters).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace bsplogp::bench

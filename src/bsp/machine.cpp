@@ -40,6 +40,10 @@ RunStats Machine::run(std::span<const std::unique_ptr<ProcProgram>> programs) {
   // model prescribes) by each communication phase.
   std::vector<std::vector<Message>> inboxes(np);
   std::vector<std::vector<Message>> outboxes(np);
+  // A program that returned false has halted for good: it is never stepped
+  // again (its inbox is still refilled each superstep, as the model
+  // delivers regardless), so it cannot "resurrect" by returning true later.
+  std::vector<bool> halted(np, false);
   core::Rng shuffle_rng(options_.shuffle_seed);
 
   RunStats stats;
@@ -54,11 +58,13 @@ RunStats Machine::run(std::span<const std::unique_ptr<ProcProgram>> programs) {
     SuperstepCost cost;
     bool any_continue = false;
     for (ProcId i = 0; i < nprocs_; ++i) {
+      if (halted[static_cast<std::size_t>(i)]) continue;
       auto& inbox = inboxes[static_cast<std::size_t>(i)];
       auto& outbox = outboxes[static_cast<std::size_t>(i)];
       Time work = static_cast<Time>(inbox.size());  // pool extraction cost
       Ctx ctx(i, nprocs_, step, inbox, outbox, work);
       const bool wants_more = programs[static_cast<std::size_t>(i)]->step(ctx);
+      if (!wants_more) halted[static_cast<std::size_t>(i)] = true;
       any_continue = any_continue || wants_more;
       cost.w = std::max(cost.w, work);
     }

@@ -71,9 +71,10 @@ class Ctx {
 };
 
 /// A processor's program: step() is invoked once per superstep and returns
-/// true while the processor wants the computation to continue. The machine
-/// halts after the first superstep in which every processor returns false.
-/// Per-processor state lives in the derived class.
+/// true while the processor wants the computation to continue. Returning
+/// false halts the processor permanently — it is never stepped again — and
+/// the machine stops once every processor has halted. Per-processor state
+/// lives in the derived class.
 class ProcProgram {
  public:
   virtual ~ProcProgram() = default;

@@ -1,0 +1,256 @@
+// Event queues for the LogP discrete-event engine.
+//
+// The engine pops events in (time, phase, seq) order: time steps ascend,
+// the three phases within a step run Delivery -> Processor -> Accept, and
+// ties inside a phase break FIFO by a global sequence number. Handlers may
+// push new events at the *current* step (even into an earlier phase of it,
+// e.g. a processor resumed during the Accept phase immediately issuing a
+// same-step RecvCheck), but never into the past.
+//
+// Two implementations share that contract:
+//  * BucketQueue — a calendar/timing-wheel queue: per-step buckets holding
+//    three append-only phase lanes (appends arrive in seq order by
+//    construction, so a lane IS its sorted order), a 64-bit occupancy
+//    bitmap for O(1) advance to the next non-empty step, and a sorted
+//    overflow map for events beyond the wheel horizon. Push and pop are
+//    O(1) amortized; no comparator runs in the hot loop.
+//  * HeapQueue — the original std::priority_queue formulation, kept as the
+//    reference scheduler: the determinism guard in
+//    tests/logp/scheduler_equivalence_test.cpp checks bit-identical
+//    RunStats against it, and bench_engine_throughput measures the bucket
+//    queue's speedup over it.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "src/core/contracts.h"
+#include "src/core/types.h"
+
+namespace bsplogp::logp::detail {
+
+// Event phases within one time step: deliveries free capacity slots before
+// processor actions, and acceptance (the Stalling Rule) runs after all
+// submissions of the step are in.
+enum class Phase : int { Delivery = 0, Processor = 1, Accept = 2 };
+
+enum class EventKind {
+  Start,
+  Resume,
+  Delivery,
+  Submit,
+  RecvCheck,
+  Acquire,
+  Accept,
+};
+
+struct Event {
+  Time t;
+  Phase phase;
+  std::int64_t seq;  // FIFO tie-break for determinism
+  EventKind kind;
+  ProcId proc;  // acting processor, or destination for Delivery/Accept
+  Message msg;  // payload for Delivery
+};
+
+/// Reference scheduler: a binary heap ordered by (t, phase, seq).
+class HeapQueue {
+ public:
+  void clear() { heap_ = {}; }
+  void push(const Event& ev) { heap_.push(ev); }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  Event pop() {
+    const Event ev = heap_.top();
+    heap_.pop();
+    return ev;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      if (a.phase != b.phase) return a.phase > b.phase;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+/// Calendar-queue scheduler: a timing wheel of per-step buckets with an
+/// occupancy bitmap, spilling events beyond the horizon into a sorted map.
+class BucketQueue {
+ public:
+  void clear() {
+    for (Slot& s : wheel_) s.reset();
+    for (std::uint64_t& w : occupied_) w = 0;
+    overflow_.clear();
+    cur_ = 0;
+    size_ = 0;
+    wheel_count_ = 0;
+  }
+
+  void push(const Event& ev) {
+    BSPLOGP_ASSERT(ev.t >= cur_);  // the engine never schedules the past
+    if (ev.t < cur_ + kWheelSize) {
+      push_wheel(ev);
+    } else {
+      overflow_[ev.t].push_back(ev);
+    }
+    size_ += 1;
+  }
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  Event pop() {
+    BSPLOGP_ASSERT(size_ > 0);
+    Slot* slot = &slot_at(cur_);
+    if (slot->remaining == 0) {
+      advance();
+      slot = &slot_at(cur_);
+    }
+    // Lowest phase with unconsumed events; re-scanned from Delivery each
+    // pop because handlers may push into an earlier phase of this step.
+    for (int ph = 0; ph < 3; ++ph) {
+      auto& lane = slot->lanes[static_cast<std::size_t>(ph)];
+      auto& taken = slot->taken[static_cast<std::size_t>(ph)];
+      if (taken < lane.size()) {
+        const Event ev = lane[taken];
+        taken += 1;
+        slot->remaining -= 1;
+        size_ -= 1;
+        wheel_count_ -= 1;
+        if (slot->remaining == 0) {
+          slot->reset();
+          clear_bit(cur_);
+        }
+        return ev;
+      }
+    }
+    BSPLOGP_ASSERT(false && "corrupt bucket: remaining > 0 but lanes empty");
+    return Event{};
+  }
+
+ private:
+  static constexpr int kWheelBits = 10;
+  static constexpr Time kWheelSize = Time{1} << kWheelBits;
+  static constexpr std::uint64_t kMask = kWheelSize - 1;
+  static constexpr std::size_t kWords = kWheelSize / 64;
+
+  struct Slot {
+    std::vector<Event> lanes[3];  // one append-only lane per phase
+    std::size_t taken[3] = {0, 0, 0};
+    std::size_t remaining = 0;
+    void reset() {
+      for (auto& lane : lanes) lane.clear();  // keeps capacity for reuse
+      taken[0] = taken[1] = taken[2] = 0;
+      remaining = 0;
+    }
+  };
+
+  static std::size_t index_of(Time t) {
+    return static_cast<std::size_t>(static_cast<std::uint64_t>(t) & kMask);
+  }
+
+  Slot& slot_at(Time t) { return wheel_[index_of(t)]; }
+
+  void set_bit(Time t) {
+    const std::size_t i = index_of(t);
+    occupied_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+  void clear_bit(Time t) {
+    const std::size_t i = index_of(t);
+    occupied_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+
+  void push_wheel(const Event& ev) {
+    Slot& slot = slot_at(ev.t);
+    if (slot.remaining == 0) set_bit(ev.t);
+    slot.lanes[static_cast<int>(ev.phase)].push_back(ev);
+    slot.remaining += 1;
+    wheel_count_ += 1;
+  }
+
+  /// Pulls overflow entries that now fall inside the wheel horizon. An
+  /// overflow entry for time t is always migrated before any direct wheel
+  /// push at t can happen (pushes at t require t < cur + W, and migration
+  /// runs on every cursor advance), so lane seq-order is preserved.
+  void migrate() {
+    while (!overflow_.empty() && overflow_.begin()->first < cur_ + kWheelSize) {
+      for (const Event& ev : overflow_.begin()->second) push_wheel(ev);
+      overflow_.erase(overflow_.begin());
+    }
+  }
+
+  /// Moves the cursor to the next time step with events. All wheel events
+  /// live in [cur_, cur_ + W), so the bitmap scan starting at the cursor's
+  /// slot finds the minimum wheel time; after migrate(), any remaining
+  /// overflow time is beyond the horizon and therefore later.
+  void advance() {
+    cur_ += 1;
+    migrate();
+    if (wheel_count_ == 0) {
+      BSPLOGP_ASSERT(!overflow_.empty());
+      cur_ = overflow_.begin()->first;
+      migrate();
+    }
+    BSPLOGP_ASSERT(wheel_count_ > 0);
+    cur_ = scan_from(cur_);
+  }
+
+  /// Smallest t' in [t, t + W) whose slot is occupied.
+  [[nodiscard]] Time scan_from(Time t) const {
+    const std::size_t start = index_of(t);
+    std::size_t word = start >> 6;
+    std::uint64_t bits = occupied_[word] & (~std::uint64_t{0} << (start & 63));
+    for (std::size_t i = 0; i <= kWords; ++i) {
+      if (bits != 0) {
+        const auto idx =
+            (word << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+        return t + static_cast<Time>((idx - start) & kMask);
+      }
+      word = (word + 1) & (kWords - 1);
+      bits = occupied_[word];
+    }
+    BSPLOGP_ASSERT(false && "occupancy bitmap empty despite wheel_count_ > 0");
+    return t;
+  }
+
+  std::vector<Slot> wheel_{static_cast<std::size_t>(kWheelSize)};
+  std::uint64_t occupied_[kWords] = {};
+  std::map<Time, std::vector<Event>> overflow_;
+  Time cur_ = 0;
+  std::size_t size_ = 0;
+  std::size_t wheel_count_ = 0;
+};
+
+/// Scheduler selector: dispatches to the bucket queue (default) or the
+/// reference heap, per logp::Machine::Options.
+class EventQueue {
+ public:
+  void reset(bool use_bucket) {
+    bucket_mode_ = use_bucket;
+    bucket_.clear();
+    heap_.clear();
+  }
+  void push(const Event& ev) {
+    if (bucket_mode_) {
+      bucket_.push(ev);
+    } else {
+      heap_.push(ev);
+    }
+  }
+  [[nodiscard]] bool empty() const {
+    return bucket_mode_ ? bucket_.empty() : heap_.empty();
+  }
+  Event pop() { return bucket_mode_ ? bucket_.pop() : heap_.pop(); }
+
+ private:
+  bool bucket_mode_ = true;
+  BucketQueue bucket_;
+  HeapQueue heap_;
+};
+
+}  // namespace bsplogp::logp::detail

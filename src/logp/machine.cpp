@@ -37,18 +37,16 @@ void EngineProc::issue_send(Message m, std::coroutine_handle<> frame) {
 
 void EngineProc::issue_recv(std::coroutine_handle<> frame) {
   frame_ = frame;
-  Time e = clock_;
-  if (has_acquired_) e = std::max(e, last_acquire_ + machine_.params().G);
-  recv_earliest_ = e;
+  recv_earliest_ = earliest_acquire();  // clock, pushed by the gap rule
   status_ = Status::RecvPoll;
-  machine_.push(e, Machine::Phase::Processor, Machine::EventKind::RecvCheck,
-                id_);
+  machine_.push(recv_earliest_, Machine::Phase::Processor,
+                Machine::EventKind::RecvCheck, id_);
 }
 
 // ---- Machine --------------------------------------------------------------
 
 Machine::Machine(ProcId nprocs, Params params, Options options)
-    : nprocs_(nprocs), params_(params), options_(options) {
+    : nprocs_(nprocs), params_(params), options_(std::move(options)) {
   BSPLOGP_EXPECTS(nprocs >= 1);
   params_.validate();
   BSPLOGP_EXPECTS(options_.max_time >= 1);
@@ -67,19 +65,36 @@ void Machine::push(Time t, Phase phase, EventKind kind, ProcId proc,
 Time Machine::choose_delivery_slot(DstState& dst, Time accept_time) {
   const Time lo = accept_time + 1;
   const Time hi = accept_time + params_.L;
-  auto free_slot = [&](Time s) { return dst.delivery_slots.count(s) == 0; };
+  const bool ref = reference_scheduler();
+  auto free_slot = [&](Time s) {
+    return ref ? dst.slots_ref.count(s) == 0 : !dst.slots.occupied(s);
+  };
   switch (options_.delivery) {
-    case DeliverySchedule::Earliest:
+    case DeliverySchedule::Earliest: {
+      if (!ref) {
+        const Time s = dst.slots.first_free(lo, hi);
+        BSPLOGP_ASSERT(s >= 0);
+        return s;
+      }
       for (Time s = lo; s <= hi; ++s)
         if (free_slot(s)) return s;
       break;
-    case DeliverySchedule::Latest:
+    }
+    case DeliverySchedule::Latest: {
+      if (!ref) {
+        const Time s = dst.slots.last_free(lo, hi);
+        BSPLOGP_ASSERT(s >= 0);
+        return s;
+      }
       for (Time s = hi; s >= lo; --s)
         if (free_slot(s)) return s;
       break;
+    }
     case DeliverySchedule::UniformRandom: {
       // Occupied slots number < capacity <= L, so random probing converges
-      // fast; fall back to an exhaustive scan for tiny windows.
+      // fast; fall back to an exhaustive scan for tiny windows. The rng
+      // draw sequence is identical under both schedulers, keeping runs
+      // bit-reproducible across SchedulerKind.
       for (int tries = 0; tries < 64; ++tries) {
         const Time s = lo + static_cast<Time>(rng_.below(
                                  static_cast<std::uint64_t>(hi - lo + 1)));
@@ -101,10 +116,12 @@ void Machine::resume(EngineProc& p) {
   p.status_ = EngineProc::Status::Running;
   p.frame_.resume();
   if (p.root_.done()) {
+    // A program that ended by exception did not finish: surface the error
+    // before any completion bookkeeping so stats reflect the failure.
+    p.root_.rethrow_if_failed();
     p.status_ = EngineProc::Status::Done;
     done_count_ += 1;
     stats_.proc_finish[static_cast<std::size_t>(p.id_)] = p.clock_;
-    p.root_.rethrow_if_failed();
   }
 }
 
@@ -126,21 +143,25 @@ void Machine::handle_accept(ProcId dst_id, Time t) {
   // s is the number of free capacity slots. Which ones is unspecified by
   // the model; options_.accept_order decides.
   while (!dst.pending.empty() && dst.in_transit < params_.capacity()) {
-    std::size_t idx = 0;
+    PendingSubmission ps;
     switch (options_.accept_order) {
       case AcceptOrder::Fifo:
-        idx = 0;
+        ps = dst.pending.front();
+        dst.pending.pop_front();
         break;
       case AcceptOrder::Lifo:
-        idx = dst.pending.size() - 1;
+        ps = dst.pending.back();
+        dst.pending.pop_back();
         break;
-      case AcceptOrder::Random:
-        idx = static_cast<std::size_t>(rng_.below(dst.pending.size()));
+      case AcceptOrder::Random: {
+        const auto idx =
+            static_cast<std::size_t>(rng_.below(dst.pending.size()));
+        ps = dst.pending[idx];
+        dst.pending.erase(dst.pending.begin() +
+                          static_cast<std::ptrdiff_t>(idx));
         break;
+      }
     }
-    PendingSubmission ps = dst.pending[idx];
-    dst.pending.erase(dst.pending.begin() +
-                      static_cast<std::ptrdiff_t>(idx));
 
     EngineProc& sender = *procs_[static_cast<std::size_t>(ps.msg.src)];
     BSPLOGP_ASSERT(sender.status_ == EngineProc::Status::Stalling);
@@ -156,7 +177,11 @@ void Machine::handle_accept(ProcId dst_id, Time t) {
     stats_.max_in_transit = std::max(stats_.max_in_transit, dst.in_transit);
     BSPLOGP_ASSERT(dst.in_transit <= params_.capacity());
     const Time slot = choose_delivery_slot(dst, t);
-    dst.delivery_slots.insert(slot);
+    if (reference_scheduler()) {
+      dst.slots_ref.insert(slot);
+    } else {
+      dst.slots.set(slot);
+    }
     push(slot, Phase::Delivery, EventKind::Delivery, dst_id, ps.msg);
 
     // The sender reverts to the operational state at acceptance.
@@ -169,7 +194,12 @@ void Machine::handle_delivery(ProcId dst_id, Time t, const Message& msg) {
   DstState& dst = dsts_[static_cast<std::size_t>(dst_id)];
   dst.in_transit -= 1;
   BSPLOGP_ASSERT(dst.in_transit >= 0);
-  dst.delivery_slots.erase(t);
+  if (reference_scheduler()) {
+    dst.slots_ref.erase(t);
+  } else {
+    dst.slots.clear(t);
+  }
+  if (options_.on_delivery) options_.on_delivery(dst_id, t);
 
   EngineProc& p = *procs_[static_cast<std::size_t>(dst_id)];
   p.inbox_.push_back(msg);
@@ -212,7 +242,10 @@ RunStats Machine::run(std::span<const ProgramFn> programs) {
   // Reset per-run state so a Machine can be reused.
   procs_.clear();
   dsts_.assign(static_cast<std::size_t>(nprocs_), DstState{});
-  events_ = {};
+  if (!reference_scheduler()) {
+    for (DstState& dst : dsts_) dst.slots.init(params_.L);
+  }
+  events_.reset(!reference_scheduler());
   next_seq_ = 0;
   rng_ = core::Rng(options_.seed);
   stats_ = RunStats{};
@@ -230,12 +263,12 @@ RunStats Machine::run(std::span<const ProgramFn> programs) {
   }
 
   while (!events_.empty()) {
-    const Event ev = events_.top();
-    events_.pop();
+    const Event ev = events_.pop();
     if (ev.t > options_.max_time) {
       stats_.timed_out = true;
       break;
     }
+    stats_.events_processed += 1;
     EngineProc& p = *procs_[static_cast<std::size_t>(ev.proc)];
     switch (ev.kind) {
       case EventKind::Start:
@@ -271,6 +304,10 @@ RunStats Machine::run(std::span<const ProgramFn> programs) {
     }
     finish = std::max(finish, p->now());
   }
+  // A processor parked past the horizon (e.g. in SubmitWait or ComputeWait)
+  // has a local clock beyond max_time; a timed-out run still ends at the
+  // horizon.
+  if (stats_.timed_out) finish = std::min(finish, options_.max_time);
   stats_.finish_time = finish;
   stats_.deadlock = !stats_.timed_out && !stats_.blocked_procs.empty();
   return stats_;

@@ -22,18 +22,28 @@
 //    discussion relies on exactly this).
 //  * Delivered messages sit in an unbounded input buffer until the owner
 //    acquires them (o steps each, G apart).
+//
+// Scheduling core (see event_queue.h / slot_bitmap.h): events live in a
+// calendar/bucket queue indexed by (time step, phase), per-destination
+// delivery slots in a circular bitmap over the L-window. The original
+// priority-queue scheduler is retained as SchedulerKind::ReferenceHeap;
+// both schedulers process the identical event sequence, so a fixed seed
+// and options yield bit-identical RunStats — the determinism guard in
+// tests/logp/scheduler_equivalence_test.cpp enforces this.
 #pragma once
 
+#include <functional>
 #include <memory>
-#include <queue>
 #include <set>
 #include <span>
 #include <vector>
 
 #include "src/core/rng.h"
 #include "src/core/types.h"
+#include "src/logp/event_queue.h"
 #include "src/logp/params.h"
 #include "src/logp/proc.h"
+#include "src/logp/slot_bitmap.h"
 #include "src/logp/stats.h"
 #include "src/logp/task.h"
 
@@ -50,6 +60,11 @@ enum class AcceptOrder { Fifo, Lifo, Random };
 /// (adversarial for latency — the default, since correctness claims in the
 /// paper are worst-case), earliest admissible, or uniformly random.
 enum class DeliverySchedule { Latest, Earliest, UniformRandom };
+
+/// Event-scheduler implementation. Bucket is the calendar-queue core and
+/// the default; ReferenceHeap is the original priority-queue scheduler,
+/// kept for equivalence testing and as the throughput baseline.
+enum class SchedulerKind { Bucket, ReferenceHeap };
 
 /// The engine's Proc implementation: scheduling state for the
 /// discrete-event loop.
@@ -97,6 +112,11 @@ class Machine {
     DeliverySchedule delivery = DeliverySchedule::Latest;
     /// Seed for the Random policies.
     std::uint64_t seed = 0;
+    /// Event-scheduler implementation (identical semantics either way).
+    SchedulerKind scheduler = SchedulerKind::Bucket;
+    /// Test/observability hook: called for every message delivery with
+    /// (destination, delivery time). Leave empty for production runs.
+    std::function<void(ProcId, Time)> on_delivery;
   };
 
   Machine(ProcId nprocs, Params params) : Machine(nprocs, params, Options{}) {}
@@ -112,49 +132,29 @@ class Machine {
   [[nodiscard]] const Params& params() const { return params_; }
   [[nodiscard]] const Options& options() const { return options_; }
 
+  /// Statistics of the most recent run(), including a run that ended by a
+  /// program exception (in which case the stats reflect the failure: the
+  /// throwing processor is not recorded as finished).
+  [[nodiscard]] const RunStats& last_run_stats() const { return stats_; }
+
  private:
   friend class EngineProc;
 
-  // Event phases within one time step: deliveries free capacity slots
-  // before processor actions, and acceptance (the Stalling Rule) runs after
-  // all submissions of the step are in.
-  enum class Phase : int { Delivery = 0, Processor = 1, Accept = 2 };
-  enum class EventKind {
-    Start,
-    Resume,
-    Delivery,
-    Submit,
-    RecvCheck,
-    Acquire,
-    Accept,
-  };
-
-  struct Event {
-    Time t;
-    Phase phase;
-    std::int64_t seq;  // FIFO tie-break for determinism
-    EventKind kind;
-    ProcId proc;  // acting processor, or destination for Delivery/Accept
-    Message msg;  // payload for Delivery
-  };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      if (a.phase != b.phase) return a.phase > b.phase;
-      return a.seq > b.seq;
-    }
-  };
+  using Event = detail::Event;
+  using Phase = detail::Phase;
+  using EventKind = detail::EventKind;
 
   struct PendingSubmission {
     Message msg;
-    Time submit_time;
-    std::int64_t seq;
+    Time submit_time = 0;
+    std::int64_t seq = 0;
   };
 
   struct DstState {
     std::deque<PendingSubmission> pending;  // submitted, not accepted
     Time in_transit = 0;                    // accepted, not delivered
-    std::set<Time> delivery_slots;          // scheduled delivery times
+    detail::SlotBitmap slots;     // scheduled delivery times (Bucket)
+    std::set<Time> slots_ref;     // scheduled delivery times (ReferenceHeap)
   };
 
   void push(Time t, Phase phase, EventKind kind, ProcId proc,
@@ -166,6 +166,9 @@ class Machine {
   void do_acquire(EngineProc& p, Time t);
   void resume(EngineProc& p);
   [[nodiscard]] Time choose_delivery_slot(DstState& dst, Time accept_time);
+  [[nodiscard]] bool reference_scheduler() const {
+    return options_.scheduler == SchedulerKind::ReferenceHeap;
+  }
 
   ProcId nprocs_;
   Params params_;
@@ -174,7 +177,7 @@ class Machine {
   // Per-run state (reset by run()).
   std::vector<std::unique_ptr<EngineProc>> procs_;
   std::vector<DstState> dsts_;
-  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  detail::EventQueue events_;
   std::int64_t next_seq_ = 0;
   core::Rng rng_{0};
   RunStats stats_;

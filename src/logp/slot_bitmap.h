@@ -1,0 +1,87 @@
+// Circular occupancy bitmap for per-destination delivery slots.
+//
+// The engine schedules at most one delivery per destination per time step,
+// choosing a slot inside the window (accept, accept + L]. At any accept
+// time t every still-occupied slot lies in [t + 1, t + L] (earlier slots
+// were delivered and cleared before the Accept phase of step t runs), so a
+// power-of-two ring of >= L bits maps each live slot time to a unique bit.
+// This replaces the per-destination std::set<Time> — no node allocations,
+// and the Earliest/Latest scans advance a word (64 slots) per iteration.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/contracts.h"
+#include "src/core/types.h"
+
+namespace bsplogp::logp::detail {
+
+class SlotBitmap {
+ public:
+  /// Sizes the ring for slot windows spanning at most `span` consecutive
+  /// time steps and clears it.
+  void init(Time span) {
+    BSPLOGP_EXPECTS(span >= 1);
+    const auto bits = std::max<std::uint64_t>(
+        64, std::bit_ceil(static_cast<std::uint64_t>(span)));
+    words_.assign(bits / 64, 0);
+    mask_ = bits - 1;
+  }
+
+  [[nodiscard]] bool occupied(Time s) const {
+    const std::uint64_t i = static_cast<std::uint64_t>(s) & mask_;
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void set(Time s) {
+    const std::uint64_t i = static_cast<std::uint64_t>(s) & mask_;
+    words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+
+  void clear(Time s) {
+    const std::uint64_t i = static_cast<std::uint64_t>(s) & mask_;
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+
+  /// Smallest free slot in [lo, hi], or -1 if the whole window is taken.
+  /// Requires hi - lo + 1 <= ring size (the L-window guarantees this).
+  [[nodiscard]] Time first_free(Time lo, Time hi) const {
+    Time s = lo;
+    while (s <= hi) {
+      const std::uint64_t i = static_cast<std::uint64_t>(s) & mask_;
+      const unsigned bitpos = static_cast<unsigned>(i & 63);
+      const Time chunk =
+          std::min<Time>(static_cast<Time>(64 - bitpos), hi - s + 1);
+      std::uint64_t free = ~words_[i >> 6] >> bitpos;  // bit 0 == time s
+      if (chunk < 64) free &= (std::uint64_t{1} << chunk) - 1;
+      if (free != 0) return s + std::countr_zero(free);
+      s += chunk;
+    }
+    return -1;
+  }
+
+  /// Largest free slot in [lo, hi], or -1 if the whole window is taken.
+  [[nodiscard]] Time last_free(Time lo, Time hi) const {
+    Time s = hi;
+    while (s >= lo) {
+      const std::uint64_t i = static_cast<std::uint64_t>(s) & mask_;
+      const unsigned bitpos = static_cast<unsigned>(i & 63);
+      const Time chunk =
+          std::min<Time>(static_cast<Time>(bitpos) + 1, s - lo + 1);
+      std::uint64_t free = ~words_[i >> 6]
+                           << (63 - bitpos);  // bit 63 == time s
+      if (chunk < 64) free &= ~std::uint64_t{0} << (64 - chunk);
+      if (free != 0) return s - std::countl_zero(free);
+      s -= chunk;
+    }
+    return -1;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::uint64_t mask_ = 63;
+};
+
+}  // namespace bsplogp::logp::detail

@@ -30,6 +30,12 @@ struct RunStats {
   std::int64_t messages_delivered = 0;
   std::int64_t messages_acquired = 0;
 
+  /// Engine events processed by the run loop (wall-clock throughput of the
+  /// scheduler is events_processed / elapsed time; see
+  /// bench_engine_throughput). Identical across SchedulerKind for a fixed
+  /// seed — the schedulers replay the same event sequence.
+  std::int64_t events_processed = 0;
+
   /// Number of submissions whose acceptance was delayed (stalls) and the
   /// total/maximum processor time lost to stalling.
   std::int64_t stall_events = 0;
@@ -44,6 +50,10 @@ struct RunStats {
 
   [[nodiscard]] bool stall_free() const { return stall_events == 0; }
   [[nodiscard]] bool completed() const { return !deadlock && !timed_out; }
+
+  /// Field-wise equality: the scheduler-equivalence guard compares entire
+  /// RunStats across SchedulerKind at fixed seeds.
+  friend bool operator==(const RunStats&, const RunStats&) = default;
 };
 
 }  // namespace bsplogp::logp

@@ -68,14 +68,67 @@ TEST(BspMachine, HaltsOnlyWhenAllProcessorsAgree) {
   std::vector<int> steps(static_cast<std::size_t>(p), 0);
   auto progs = make_programs(p, [&](Ctx& c) {
     steps[static_cast<std::size_t>(c.pid())] += 1;
-    // Processor i wants to run i+1 supersteps; the machine must keep
-    // everyone stepping until the slowest halts.
+    // Processor i wants to run i+1 supersteps; the machine keeps running
+    // until the slowest halts, but a halted processor is never re-stepped.
     return c.superstep() < c.pid();
   });
   Machine m(p, Params{1, 1});
   const RunStats st = m.run(progs);
   EXPECT_EQ(st.supersteps, p);
-  for (int s : steps) EXPECT_EQ(s, p);
+  for (ProcId i = 0; i < p; ++i)
+    EXPECT_EQ(steps[static_cast<std::size_t>(i)], i + 1);
+}
+
+TEST(BspMachine, HaltedProcessorCannotResurrect) {
+  // Processor 0 halts in superstep 0 but would return true (and emit
+  // traffic) on any later step; processor 1 runs three supersteps. The
+  // halted program must stay halted: with re-stepping it would resurrect
+  // and the machine would never reach the all-halted exit.
+  const ProcId p = 2;
+  std::vector<int> steps(static_cast<std::size_t>(p), 0);
+  std::vector<std::unique_ptr<ProcProgram>> progs;
+  progs.push_back(std::make_unique<FnProgram>([&](Ctx& c) {
+    steps[0] += 1;
+    if (c.superstep() > 0) {
+      c.send(1, 99);  // resurrection traffic: must never happen
+      return true;
+    }
+    return false;
+  }));
+  progs.push_back(std::make_unique<FnProgram>([&](Ctx& c) {
+    steps[1] += 1;
+    for (const Message& m : c.inbox()) EXPECT_NE(m.payload, 99);
+    return c.superstep() < 2;
+  }));
+  Machine::Options opt;
+  opt.max_supersteps = 50;
+  Machine m(p, Params{1, 1}, opt);
+  const RunStats st = m.run(progs);
+  EXPECT_FALSE(st.hit_superstep_limit);
+  EXPECT_EQ(st.supersteps, 3);
+  EXPECT_EQ(steps[0], 1);
+  EXPECT_EQ(steps[1], 3);
+  EXPECT_EQ(st.messages, 0);
+}
+
+TEST(BspMachine, StaggeredHaltsStepEachProcessorExactlyUntilItsHalt) {
+  // Staggered halt times with ongoing traffic: processor i halts after
+  // superstep 2*i; messages sent to already-halted processors are still
+  // delivered (and charged to h) even though nobody extracts them.
+  const ProcId p = 3;
+  std::vector<int> steps(static_cast<std::size_t>(p), 0);
+  auto progs = make_programs(p, [&](Ctx& c) {
+    steps[static_cast<std::size_t>(c.pid())] += 1;
+    c.send(static_cast<ProcId>((c.pid() + 1) % c.nprocs()), c.superstep());
+    return c.superstep() < 2 * c.pid();
+  });
+  Machine m(p, Params{1, 1});
+  const RunStats st = m.run(progs);
+  EXPECT_EQ(st.supersteps, 5);  // proc 2 halts after superstep 4
+  EXPECT_EQ(steps[0], 1);
+  EXPECT_EQ(steps[1], 3);
+  EXPECT_EQ(steps[2], 5);
+  EXPECT_EQ(st.messages, 1 + 3 + 5);
 }
 
 TEST(BspMachine, SuperstepLimitStopsRunawayPrograms) {

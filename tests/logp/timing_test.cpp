@@ -2,6 +2,7 @@
 // their interplay, checked against hand-computed schedules.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <vector>
 
 #include "src/logp/machine.h"
@@ -229,6 +230,88 @@ TEST(LogpTiming, FutureEventPastLimitStopsRun) {
   progs.emplace_back([](Proc& p) -> Task<> { (void)co_await p.recv(); });
   const RunStats st = m.run(progs);
   EXPECT_TRUE(st.timed_out);
+}
+
+TEST(LogpTiming, AcquisitionGapAppliesAcrossCloseArrivals) {
+  // Two senders hit one receiver with deliveries 1 step apart (Earliest
+  // slots 2 and 3); the second acquisition must wait for the acquisition
+  // gap: start = max(clock, last_acquire + G) = max(3, 2 + 4) = 6, done 7.
+  const Params prm{12, 1, 4};
+  Machine m(3, prm, opts(Earliest));
+  std::vector<ProgramFn> progs;
+  progs.emplace_back([](Proc& p) -> Task<> {
+    for (int i = 0; i < 2; ++i) (void)co_await p.recv();
+  });
+  progs.emplace_back([](Proc& p) -> Task<> { co_await p.send(0, 1); });
+  progs.emplace_back([](Proc& p) -> Task<> { co_await p.send(0, 2); });
+  const RunStats st = m.run(progs);
+  EXPECT_TRUE(st.completed());
+  EXPECT_TRUE(st.stall_free());
+  EXPECT_EQ(st.messages_acquired, 2);
+  EXPECT_EQ(st.proc_finish[0], 7);
+}
+
+TEST(LogpTiming, TimeoutClampsFinishTimeForParkedComputeWait) {
+  // A processor that jumped its clock past the horizon must not push the
+  // reported finish time beyond max_time.
+  const Params prm{8, 1, 2};
+  Machine::Options o;
+  o.max_time = 50;
+  Machine m(2, prm, o);
+  std::vector<ProgramFn> progs;
+  progs.emplace_back([](Proc& p) -> Task<> {
+    co_await p.compute(200);  // parked in ComputeWait with clock 200
+    co_await p.send(1, 0);
+  });
+  progs.emplace_back([](Proc& p) -> Task<> { (void)co_await p.recv(); });
+  const RunStats st = m.run(progs);
+  EXPECT_TRUE(st.timed_out);
+  EXPECT_EQ(st.finish_time, 50);
+  ASSERT_EQ(st.blocked_procs.size(), 2u);
+  EXPECT_EQ(st.blocked_procs[0], 0);
+  EXPECT_EQ(st.blocked_procs[1], 1);
+}
+
+TEST(LogpTiming, TimeoutClampsFinishTimeForParkedSubmitWait) {
+  // G = 8 pushes the second submission to t = 9 > max_time = 5: the sender
+  // sits in SubmitWait with clock 9, but the run ends at the horizon.
+  const Params prm{8, 1, 8};
+  Machine::Options o;
+  o.max_time = 5;
+  Machine m(2, prm, o);
+  std::vector<ProgramFn> progs;
+  progs.emplace_back([](Proc& p) -> Task<> {
+    co_await p.send(1, 0);
+    co_await p.send(1, 1);
+  });
+  progs.emplace_back([](Proc& p) -> Task<> {
+    for (int i = 0; i < 2; ++i) (void)co_await p.recv();
+  });
+  const RunStats st = m.run(progs);
+  EXPECT_TRUE(st.timed_out);
+  EXPECT_FALSE(st.deadlock);
+  EXPECT_EQ(st.finish_time, 5);
+  ASSERT_EQ(st.blocked_procs.size(), 2u);
+}
+
+TEST(LogpTiming, ThrowingProgramIsNotRecordedAsFinished) {
+  const Params prm{8, 1, 2};
+  Machine m(2, prm);
+  std::vector<ProgramFn> progs;
+  progs.emplace_back([](Proc& p) -> Task<> { co_await p.send(1, 1); });
+  progs.emplace_back([](Proc& p) -> Task<> {
+    (void)co_await p.recv();
+    throw std::runtime_error("program failure");
+  });
+  EXPECT_THROW(m.run(progs), std::runtime_error);
+  // The failure surfaced before completion bookkeeping: the thrower has no
+  // recorded finish time.
+  EXPECT_EQ(m.last_run_stats().proc_finish[1], 0);
+
+  // The machine stays usable after a failed run.
+  progs.pop_back();
+  progs.emplace_back([](Proc& p) -> Task<> { (void)co_await p.recv(); });
+  EXPECT_TRUE(m.run(progs).completed());
 }
 
 TEST(LogpTiming, MachineIsReusableAcrossRuns) {
