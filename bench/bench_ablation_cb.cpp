@@ -222,7 +222,7 @@ int main(int argc, char** argv) {
       const auto rp = sim.run(make());
       std::string label = core::fmt(cycle);
       if (cycle == prm.L / 2) label += " (= L/2, paper)";
-      table.row({label, rp.bsp.supersteps, rp.bsp.time,
+      table.row({label, rp.bsp.supersteps, rp.bsp.finish_time,
                  rp.capacity_ok ? "yes" : "NO", rp.max_cycle_fan_in});
     }
     table.print(std::cout);

@@ -135,6 +135,16 @@ int main(int argc, char** argv) {
     rep.metric("events_per_sec_bucket_" + w.name, bucket.events_per_sec);
     rep.metric("events_per_sec_heap_" + w.name, heap.events_per_sec);
     rep.metric("speedup_" + w.name, speedup);
+    if (rep.trace_sink() != nullptr) {
+      // One extra traced run per workload, outside the timed loops above:
+      // the throughput numbers always measure the sink-free path.
+      logp::Machine::Options o;
+      o.scheduler = logp::SchedulerKind::Bucket;
+      o.delivery = w.delivery;
+      o.sink = rep.trace_sink();
+      logp::Machine machine(w.p, w.prm, o);
+      (void)machine.run(std::span<const logp::ProgramFn>(w.progs));
+    }
   }
   s.print(std::cout);
   std::cout << "\nspeedup = bucket events/sec over the priority-queue "

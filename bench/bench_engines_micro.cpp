@@ -29,7 +29,7 @@ void BM_BspAllToAllSuperstep(benchmark::State& state) {
   for (auto _ : state) {
     const auto st = machine.run(progs);
     messages += st.messages;
-    benchmark::DoNotOptimize(st.time);
+    benchmark::DoNotOptimize(st.finish_time);
   }
   state.SetItemsProcessed(messages);
 }
@@ -49,7 +49,7 @@ void BM_LogpAllToAll(benchmark::State& state) {
   std::int64_t messages = 0;
   for (auto _ : state) {
     const auto st = machine.run(progs);
-    messages += st.messages_delivered;
+    messages += st.messages;
     benchmark::DoNotOptimize(st.finish_time);
   }
   state.SetItemsProcessed(messages);

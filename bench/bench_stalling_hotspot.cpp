@@ -24,7 +24,8 @@ struct Outcome {
   Time stall_max = 0;
 };
 
-Outcome hotspot(ProcId p, Time k, const logp::Params& prm, bool staged) {
+Outcome hotspot(ProcId p, Time k, const logp::Params& prm, bool staged,
+                trace::TraceSink* sink) {
   std::vector<logp::ProgramFn> progs;
   progs.emplace_back([p, k](logp::Proc& pr) -> logp::Task<> {
     for (Time j = 0; j < static_cast<Time>(p - 1) * k; ++j)
@@ -42,7 +43,9 @@ Outcome hotspot(ProcId p, Time k, const logp::Params& prm, bool staged) {
         co_await pr.send(0, j);
       }
     });
-  logp::Machine machine(p, prm);
+  logp::Machine::Options mo;
+  mo.sink = sink;
+  logp::Machine machine(p, prm, mo);
   const auto st = machine.run(progs);
   return Outcome{st.finish_time, st.stall_events, st.stall_time_total,
                  st.stall_time_max};
@@ -67,8 +70,8 @@ int main(int argc, char** argv) {
   for (const ProcId p : ps) {
     for (const Time k : ks) {
       const Time n = static_cast<Time>(p - 1) * k;
-      const auto naive = hotspot(p, k, prm, false);
-      const auto staged = hotspot(p, k, prm, true);
+      const auto naive = hotspot(p, k, prm, false, rep.trace_sink());
+      const auto staged = hotspot(p, k, prm, true, rep.trace_sink());
       table.row({p, n, prm.o + n * prm.G + prm.L, naive.finish,
                  staged.finish, naive.stalls, naive.stall_total,
                  naive.stall_max, prm.G * n * n});

@@ -69,8 +69,8 @@ int main(int argc, char** argv) {
                           static_cast<double>(prm.G)) *
                          std::log2(static_cast<double>(p));
     table.row({p, static_cast<Time>(p - 1) * k, nat.finish_time,
-               rp.bsp.time,
-               bench::Cell(static_cast<double>(rp.bsp.time) / tn, 2),
+               rp.bsp.finish_time,
+               bench::Cell(static_cast<double>(rp.bsp.finish_time) / tn, 2),
                preproc, bench::Cell(static_cast<double>(preproc) / tn, 2),
                bench::Cell(bound, 1), rp.stall_events,
                rp.overloaded_supersteps});

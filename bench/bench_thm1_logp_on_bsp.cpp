@@ -43,7 +43,7 @@ std::vector<logp::ProgramFn> cb_rounds(ProcId p, int rounds) {
 void sweep(const std::string& name,
            const std::function<std::vector<logp::ProgramFn>()>& make,
            ProcId p, const logp::Params& prm, bool smoke, bench::Series& s,
-           double& worst_ratio) {
+           double& worst_ratio, trace::TraceSink* sink) {
   logp::Machine native(p, prm);
   const auto native_stats = native.run(make());
   const std::vector<Time> grs = smoke ? std::vector<Time>{1, 4}
@@ -54,13 +54,14 @@ void sweep(const std::string& name,
     for (const Time lr : lrs) {
       xsim::LogpOnBspOptions opt;
       opt.bsp = bsp::Params{gr * prm.G, lr * prm.L};
+      opt.sink = sink;
       xsim::LogpOnBsp sim(p, prm, opt);
       const auto rep = sim.run(make());
-      const double slow = static_cast<double>(rep.bsp.time) /
+      const double slow = static_cast<double>(rep.bsp.finish_time) /
                           static_cast<double>(native_stats.finish_time);
       const double predicted = xsim::predicted_slowdown_thm1(prm, opt.bsp);
       worst_ratio = std::max(worst_ratio, slow / predicted);
-      s.row({name, p, gr, lr, native_stats.finish_time, rep.bsp.time,
+      s.row({name, p, gr, lr, native_stats.finish_time, rep.bsp.finish_time,
              bench::Cell(slow, 2), bench::Cell(predicted, 1),
              bench::Cell(slow / predicted, 2),
              rep.capacity_ok ? "yes" : "NO"});
@@ -84,9 +85,9 @@ int main(int argc, char** argv) {
       rep.smoke() ? std::vector<ProcId>{8} : std::vector<ProcId>{16, 64};
   for (const ProcId p : ps) {
     sweep("all-to-all", [p] { return all_to_all(p); }, p, prm, rep.smoke(),
-          s, worst_ratio);
+          s, worst_ratio, rep.trace_sink());
     sweep("cb-x4", [p] { return cb_rounds(p, 4); }, p, prm, rep.smoke(), s,
-          worst_ratio);
+          worst_ratio, rep.trace_sink());
   }
   s.print(std::cout);
   rep.metric("worst_ratio", worst_ratio);

@@ -63,7 +63,9 @@ int main(int argc, char** argv) {
     for (const Time h : hs) {
       const auto rel = routing::random_regular(p, h, rng);
       auto progs = relation_program(rel);
-      xsim::BspOnLogp sim(p, prm);
+      xsim::BspOnLogpOptions opt;
+      opt.engine.sink = rep.trace_sink();
+      xsim::BspOnLogp sim(p, prm, opt);
       const auto rp = sim.run(progs);
       // The reference BSP cost of the communication superstep alone.
       Time ref = 0, tsim = rp.logp.finish_time;

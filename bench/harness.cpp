@@ -118,9 +118,13 @@ Reporter::Reporter(int argc, char** argv, std::string bench_name)
       smoke_ = true;
     } else if (arg == "--json" && i + 1 < argc) {
       json_path_ = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path_ = argv[++i];
     }
     // Unknown flags are ignored so wrappers can pass extra options through.
   }
+  if (!trace_path_.empty())
+    trace_ = std::make_unique<trace::ChromeTraceSink>();
 }
 
 Series& Reporter::series(std::string id, std::vector<std::string> columns) {
@@ -139,6 +143,15 @@ void Reporter::metric(const std::string& key, std::int64_t value) {
 }
 
 int Reporter::finish() {
+  if (trace_ != nullptr) {
+    if (!trace_->write_file(trace_path_)) {
+      std::cerr << "harness: cannot write trace to " << trace_path_ << "\n";
+      return 1;
+    }
+    std::cerr << "trace: " << trace_->event_rows() << " events over "
+              << trace_->runs() << " run(s) -> " << trace_path_
+              << " (open in ui.perfetto.dev)\n";
+  }
   if (json_path_.empty()) return 0;
   std::ofstream os(json_path_);
   if (!os) {

@@ -7,6 +7,8 @@
 //   bench_foo                  # tables on stdout, as before
 //   bench_foo --json out.json  # tables on stdout + JSON written to out.json
 //   bench_foo --smoke          # tiny sweep: CI smoke label (ctest -L bench_smoke)
+//   bench_foo --trace t.json   # Chrome trace-event JSON of the traced runs
+//                              # (open in Perfetto / chrome://tracing)
 //
 // JSON shape:
 //   { "bench": "<name>", "smoke": false,
@@ -21,8 +23,11 @@
 #include <cstdint>
 #include <deque>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "src/trace/chrome_sink.h"
 
 namespace bsplogp::bench {
 
@@ -71,14 +76,22 @@ class Series {
   std::vector<std::vector<Cell>> rows_;
 };
 
-/// Per-binary harness: parses `--json <path>` and `--smoke`, collects
-/// series and scalar metrics, and writes the JSON document in finish().
+/// Per-binary harness: parses `--json <path>`, `--smoke` and
+/// `--trace <path>`, collects series and scalar metrics, and writes the
+/// JSON document (and the Chrome trace, if requested) in finish().
 class Reporter {
  public:
   Reporter(int argc, char** argv, std::string bench_name);
 
   /// CI smoke mode: benches shrink their sweeps to one tiny configuration.
   [[nodiscard]] bool smoke() const { return smoke_; }
+
+  /// Null unless `--trace <path>` was given; otherwise a ChromeTraceSink
+  /// the bench plugs into machine Options. Every traced run becomes one
+  /// Perfetto "process" (pid = run index). Benches pass this unchecked:
+  /// the null case is exactly the sinks' zero-overhead production path,
+  /// which is what the timing loops must measure.
+  [[nodiscard]] trace::TraceSink* trace_sink() const { return trace_.get(); }
 
   /// Starts (and owns) a new series; the reference stays valid for the
   /// Reporter's lifetime.
@@ -95,6 +108,8 @@ class Reporter {
  private:
   std::string name_;
   std::string json_path_;
+  std::string trace_path_;
+  std::unique_ptr<trace::ChromeTraceSink> trace_;
   bool smoke_ = false;
   std::deque<Series> series_;  // deque: stable references across growth
   std::vector<std::pair<std::string, std::string>> metrics_;  // key -> json

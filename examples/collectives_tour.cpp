@@ -27,7 +27,7 @@ Row run(const std::string& name, ProcId p, const logp::Params& prm,
         MakeProgs make, std::string result) {
   logp::Machine m(p, prm);
   const logp::RunStats st = m.run(make());
-  return Row{name, st.finish_time, st.messages_delivered, st.stall_free(),
+  return Row{name, st.finish_time, st.messages, st.stall_free(),
              std::move(result)};
 }
 

@@ -58,7 +58,7 @@ void theorem1() {
       std::cout << "BSP host g=" << opt.bsp.g << " l=" << opt.bsp.l
                 << ": results match=" << (sims == native ? "yes" : "NO")
                 << "  capacity-ok=" << (rep.capacity_ok ? "yes" : "NO")
-                << "  BSP time=" << rep.bsp.time
+                << "  BSP time=" << rep.bsp.finish_time
                 << "  slowdown=" << rep.slowdown() << "  predicted O("
                 << xsim::predicted_slowdown_thm1(logp_params, opt.bsp)
                 << ")\n";
@@ -93,7 +93,7 @@ void theorem2() {
 
   std::cout << "results match native   = "
             << (sim_out == native_out ? "yes" : "NO") << "\n"
-            << "native BSP time (g=G,l=L) = " << native_stats.time << "\n"
+            << "native BSP time (g=G,l=L) = " << native_stats.finish_time << "\n"
             << "simulated LogP time    = " << rep.logp.finish_time << "\n"
             << "slowdown               = " << rep.slowdown(logp_params)
             << "  (Theorem 2: O(S(L,G,p,h)), at most O(log p))\n"

@@ -8,10 +8,19 @@
 // carefully staged stall-free program (each sender waits for its own
 // G-aligned slot) and show both finish in ~ o + nG + L time — i.e. the
 // model does not penalize stalling here, it only burns the senders' time.
+//
+// With `--trace <path>` the runs are recorded through the src/trace
+// observer API: a ChromeTraceSink writes a Perfetto-loadable timeline
+// (stall spans, deliveries, inbox depth per processor) and an
+// InvariantSink re-checks the capacity constraint and the
+// one-delivery-per-destination-per-step rule from the same event stream.
 #include <iostream>
+#include <string>
 
 #include "src/core/table.h"
 #include "src/logp/machine.h"
+#include "src/trace/chrome_sink.h"
+#include "src/trace/invariant_sink.h"
 
 using namespace bsplogp;
 
@@ -23,7 +32,8 @@ struct Outcome {
   Time stall_time = 0;
 };
 
-Outcome run_hotspot(ProcId p, logp::Params prm, bool staged) {
+Outcome run_hotspot(ProcId p, logp::Params prm, bool staged,
+                    trace::TraceSink* sink) {
   std::vector<logp::ProgramFn> progs;
   progs.emplace_back([p](logp::Proc& pr) -> logp::Task<> {
     for (ProcId k = 1; k < p; ++k) (void)co_await pr.recv();
@@ -38,14 +48,30 @@ Outcome run_hotspot(ProcId p, logp::Params prm, bool staged) {
       }
       co_await pr.send(0, i);
     });
-  logp::Machine machine(p, prm);
+  logp::Machine::Options opt;
+  opt.sink = sink;
+  logp::Machine machine(p, prm, opt);
   const logp::RunStats st = machine.run(progs);
   return Outcome{st.finish_time, st.stall_events, st.stall_time_total};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--trace") trace_path = argv[i + 1];
+
+  // Observers are optional: null means the engine runs its production
+  // (zero-emission) path. The invariant checker rides the same stream as
+  // the Chrome exporter through a TeeSink.
+  trace::ChromeTraceSink chrome;
+  trace::InvariantSink invariants;
+  trace::TeeSink tee;
+  tee.add(&chrome);
+  tee.add(&invariants);
+  trace::TraceSink* sink = trace_path.empty() ? nullptr : &tee;
+
   const logp::Params prm{16, 1, 4};  // capacity 4
   std::cout << "hot spot: p-1 senders -> processor 0, L=16 o=1 G=4 "
                "(capacity 4)\n\n";
@@ -54,8 +80,8 @@ int main() {
                      "stalling: time", "stalls", "stall steps",
                      "staged: time", "stalls"});
   for (const ProcId p : {9, 17, 33, 65, 129}) {
-    const auto naive = run_hotspot(p, prm, /*staged=*/false);
-    const auto staged = run_hotspot(p, prm, /*staged=*/true);
+    const auto naive = run_hotspot(p, prm, /*staged=*/false, sink);
+    const auto staged = run_hotspot(p, prm, /*staged=*/true, sink);
     const Time n = p - 1;
     table.add_row({core::fmt(static_cast<std::int64_t>(p)), core::fmt(n),
                    core::fmt(prm.o + n * prm.G + prm.L),
@@ -75,5 +101,24 @@ int main() {
          "pay with stalled cycles (column 'stall steps'), nothing else. "
          "This is the\n"
          "anomaly Section 2.2 flags for further investigation.\n";
+
+  if (sink != nullptr) {
+    if (!chrome.write_file(trace_path)) {
+      std::cerr << "cannot write trace to " << trace_path << "\n";
+      return 1;
+    }
+    std::cout << "\ntrace: " << chrome.event_rows() << " events over "
+              << chrome.runs() << " runs -> " << trace_path
+              << " (open in ui.perfetto.dev)\n"
+              << "invariants: "
+              << (invariants.ok() ? "ok"
+                                  : std::to_string(invariants.violations()) +
+                                        " violation(s)")
+              << " (capacity, one delivery per destination per step)\n";
+    if (!invariants.ok()) {
+      for (const auto& m : invariants.messages()) std::cerr << m << "\n";
+      return 1;
+    }
+  }
   return 0;
 }

@@ -38,7 +38,7 @@ void run_bsp() {
             << "       last prefix   = " << prefix.back() << " (expect 136)\n"
             << "       supersteps    = " << stats.supersteps << "\n"
             << "       messages      = " << stats.messages << "\n"
-            << "       model time    = " << stats.time << " steps\n";
+            << "       model time    = " << stats.finish_time << " steps\n";
   std::cout << "       per superstep (w, h, cost):";
   for (const auto& ss : stats.trace)
     std::cout << " (" << ss.w << "," << ss.h << "," << ss.total(params)
@@ -68,7 +68,7 @@ void run_logp() {
             << "       completion    = " << stats.finish_time << " steps\n"
             << "       T_CB bound    = " << algo::cb_time_bound(params, p)
             << " (Proposition 2 shape)\n"
-            << "       messages      = " << stats.messages_delivered << "\n"
+            << "       messages      = " << stats.messages << "\n"
             << "       stall-free    = " << (stats.stall_free() ? "yes" : "no")
             << "  (CB is stall-free by construction)\n"
             << "       max in-transit/dest = " << stats.max_in_transit

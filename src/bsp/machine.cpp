@@ -30,9 +30,18 @@ Machine::Machine(ProcId nprocs, Params params, Options options)
   BSPLOGP_EXPECTS(options_.max_supersteps >= 1);
 }
 
+RunStats Machine::run(const std::function<bool(Ctx&)>& step_fn) {
+  const auto programs = make_programs(nprocs_, step_fn);
+  return run(programs);
+}
+
 RunStats Machine::run(std::span<const std::unique_ptr<ProcProgram>> programs) {
   BSPLOGP_EXPECTS(std::cmp_equal(programs.size(), nprocs_));
   for (const auto& prog : programs) BSPLOGP_EXPECTS(prog != nullptr);
+
+  if (options_.sink != nullptr)
+    options_.sink->run_begin(trace::RunInfo{"bsp", nprocs_, 0, 0, 0, 0,
+                                            params_.g, params_.l});
 
   const auto np = static_cast<std::size_t>(nprocs_);
   // inboxes[i]: messages delivered to processor i at the start of the
@@ -47,16 +56,21 @@ RunStats Machine::run(std::span<const std::unique_ptr<ProcProgram>> programs) {
   core::Rng shuffle_rng(options_.shuffle_seed);
 
   RunStats stats;
+  stats.proc_finish.assign(np, 0);
   for (std::int64_t step = 0;; ++step) {
     if (step >= options_.max_supersteps) {
       stats.hit_superstep_limit = true;
       break;
     }
+    if (options_.sink != nullptr)
+      options_.sink->emit(
+          trace::Event::superstep_begin(stats.finish_time, step));
 
     // --- Local computation phase (all processors, any order: they cannot
     // observe each other within a superstep).
     SuperstepCost cost;
     bool any_continue = false;
+    std::vector<ProcId> halted_now;
     for (ProcId i = 0; i < nprocs_; ++i) {
       if (halted[static_cast<std::size_t>(i)]) continue;
       auto& inbox = inboxes[static_cast<std::size_t>(i)];
@@ -64,7 +78,10 @@ RunStats Machine::run(std::span<const std::unique_ptr<ProcProgram>> programs) {
       Time work = static_cast<Time>(inbox.size());  // pool extraction cost
       Ctx ctx(i, nprocs_, step, inbox, outbox, work);
       const bool wants_more = programs[static_cast<std::size_t>(i)]->step(ctx);
-      if (!wants_more) halted[static_cast<std::size_t>(i)] = true;
+      if (!wants_more) {
+        halted[static_cast<std::size_t>(i)] = true;
+        halted_now.push_back(i);
+      }
       any_continue = any_continue || wants_more;
       cost.w = std::max(cost.w, work);
     }
@@ -99,9 +116,17 @@ RunStats Machine::run(std::span<const std::unique_ptr<ProcProgram>> programs) {
         std::shuffle(inbox.begin(), inbox.end(), shuffle_rng);
     }
 
-    stats.time += cost.total(params_);
+    const Time before = stats.finish_time;
+    stats.finish_time += cost.total(params_);
     stats.supersteps += 1;
     stats.trace.push_back(cost);
+    // A processor that halted this superstep finished at its closing
+    // barrier: the cumulative cost including this superstep.
+    for (const ProcId i : halted_now)
+      stats.proc_finish[static_cast<std::size_t>(i)] = stats.finish_time;
+    if (options_.sink != nullptr)
+      options_.sink->emit(trace::Event::superstep_end(
+          stats.finish_time, before, cost.w, cost.h, step));
 
     if (!any_continue) {
       // The model delivers the final pools, but no processor will look at
@@ -109,6 +134,11 @@ RunStats Machine::run(std::span<const std::unique_ptr<ProcProgram>> programs) {
       break;
     }
   }
+  for (ProcId i = 0; i < nprocs_; ++i)
+    if (!halted[static_cast<std::size_t>(i)])
+      stats.blocked_procs.push_back(i);
+  if (options_.sink != nullptr) options_.sink->run_end(stats.finish_time);
+  stats_ = stats;
   return stats;
 }
 

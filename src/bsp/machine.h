@@ -2,14 +2,16 @@
 // superstep and accounts the exact model cost  sum_s (w_s + g*h_s + l).
 #pragma once
 
+#include <functional>
 #include <memory>
-#include <optional>
+#include <span>
 #include <vector>
 
 #include "src/bsp/params.h"
 #include "src/bsp/program.h"
 #include "src/core/rng.h"
 #include "src/core/types.h"
+#include "src/trace/sink.h"
 
 namespace bsplogp::bsp {
 
@@ -26,6 +28,11 @@ class Machine {
     InboxOrder inbox_order = InboxOrder::SourceOrder;
     /// Seed for InboxOrder::Shuffled.
     std::uint64_t shuffle_seed = 0;
+    /// Observer for the run's event stream (src/trace): superstep begin/
+    /// end records carrying (w_s, h_s). Not owned; must outlive run().
+    /// Leave null for production runs — emission is a single pointer test
+    /// per site, and tracing never alters the execution.
+    trace::TraceSink* sink = nullptr;
   };
 
   Machine(ProcId nprocs, Params params) : Machine(nprocs, params, Options{}) {}
@@ -37,13 +44,24 @@ class Machine {
   /// afterwards.
   RunStats run(std::span<const std::unique_ptr<ProcProgram>> programs);
 
+  /// Runs `step_fn` on every processor (SPMD), mirroring
+  /// logp::Machine::run(const ProgramFn&). State shared between supersteps
+  /// lives in the function's captures.
+  RunStats run(const std::function<bool(Ctx&)>& step_fn);
+
   [[nodiscard]] ProcId nprocs() const { return nprocs_; }
   [[nodiscard]] const Params& params() const { return params_; }
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  /// Statistics of the most recent run(), mirroring
+  /// logp::Machine::last_run_stats().
+  [[nodiscard]] const RunStats& last_run_stats() const { return stats_; }
 
  private:
   ProcId nprocs_;
   Params params_;
   Options options_;
+  RunStats stats_;
 };
 
 }  // namespace bsplogp::bsp

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/core/contracts.h"
+#include "src/core/run_stats.h"
 #include "src/core/types.h"
 
 namespace bsplogp::bsp {
@@ -41,14 +42,16 @@ struct SuperstepCost {
 };
 
 /// Aggregate result of running a BSP program.
-struct RunStats {
-  /// Total model time: sum of superstep costs.
-  Time time = 0;
+struct RunStats : core::RunStatsBase {
+  // Inherited: finish_time (total model time, the sum of superstep costs),
+  // proc_finish (cumulative cost at the end of the superstep in which each
+  // processor halted), blocked_procs (processors still running when the
+  // superstep limit cut the run off), messages (pool-to-pool transfers
+  // across all supersteps).
+
   /// Number of supersteps executed (>= 1 for any program that ran).
   std::int64_t supersteps = 0;
-  /// Total messages transferred across all supersteps.
-  std::int64_t messages = 0;
-  /// Per-superstep breakdown, in execution order.
+  /// Per-superstep cost breakdown, in execution order.
   std::vector<SuperstepCost> trace;
   /// True if the run stopped because it hit the superstep limit rather than
   /// because every processor halted.

@@ -29,6 +29,10 @@ void EngineProc::issue_send(Message m, std::coroutine_handle<> frame) {
   frame_ = frame;
   status_ = Status::SubmitWait;
   const Time s = earliest_submit();
+  if (trace::TraceSink* sink = machine_.options_.sink;
+      sink != nullptr && s > clock_ + machine_.params_.o)
+    sink->emit(trace::Event::gap_wait(id_, clock_, s,
+                                      s - (clock_ + machine_.params_.o)));
   submit_time_ = s;
   clock_ = s;  // occupied (prep + gap wait) until the submission step
   out_ = m;
@@ -38,6 +42,10 @@ void EngineProc::issue_send(Message m, std::coroutine_handle<> frame) {
 void EngineProc::issue_recv(std::coroutine_handle<> frame) {
   frame_ = frame;
   recv_earliest_ = earliest_acquire();  // clock, pushed by the gap rule
+  if (trace::TraceSink* sink = machine_.options_.sink;
+      sink != nullptr && recv_earliest_ > clock_)
+    sink->emit(trace::Event::gap_wait(id_, clock_, recv_earliest_,
+                                      recv_earliest_ - clock_));
   status_ = Status::RecvPoll;
   machine_.push(recv_earliest_, Machine::Phase::Processor,
                 Machine::EventKind::RecvCheck, id_);
@@ -132,6 +140,8 @@ void Machine::handle_submit(EngineProc& p, Time t) {
   p.has_submitted_ = true;
   p.status_ = EngineProc::Status::Stalling;
   stats_.messages_submitted += 1;
+  if (options_.sink != nullptr)
+    options_.sink->emit(trace::Event::submit(p.id_, t, p.out_.dst));
   dsts_[static_cast<std::size_t>(p.out_.dst)].pending.push_back(
       PendingSubmission{p.out_, t, next_seq_++});
   push(t, Phase::Accept, EventKind::Accept, p.out_.dst);
@@ -171,7 +181,13 @@ void Machine::handle_accept(ProcId dst_id, Time t) {
       stats_.stall_time_total += stalled;
       stats_.stall_time_max = std::max(stats_.stall_time_max, stalled);
       sender.stall_time_ += stalled;
+      if (options_.sink != nullptr)
+        options_.sink->emit(
+            trace::Event::stall_end(ps.msg.src, t, dst_id, ps.submit_time));
     }
+    if (options_.sink != nullptr)
+      options_.sink->emit(
+          trace::Event::accept(ps.msg.src, t, dst_id, ps.submit_time));
 
     dst.in_transit += 1;
     stats_.max_in_transit = std::max(stats_.max_in_transit, dst.in_transit);
@@ -188,6 +204,16 @@ void Machine::handle_accept(ProcId dst_id, Time t) {
     sender.clock_ = t;
     resume(sender);
   }
+  // Submissions still pending were refused by the Stalling Rule at this
+  // step: their senders are stalling from here until acceptance.
+  if (options_.sink != nullptr) {
+    for (PendingSubmission& ps : dst.pending) {
+      if (ps.stall_traced) continue;
+      ps.stall_traced = true;
+      options_.sink->emit(
+          trace::Event::stall_begin(ps.msg.src, ps.submit_time, dst_id));
+    }
+  }
 }
 
 void Machine::handle_delivery(ProcId dst_id, Time t, const Message& msg) {
@@ -199,13 +225,16 @@ void Machine::handle_delivery(ProcId dst_id, Time t, const Message& msg) {
   } else {
     dst.slots.clear(t);
   }
-  if (options_.on_delivery) options_.on_delivery(dst_id, t);
-
   EngineProc& p = *procs_[static_cast<std::size_t>(dst_id)];
   p.inbox_.push_back(msg);
-  stats_.messages_delivered += 1;
+  stats_.messages += 1;
   stats_.max_inbox =
       std::max(stats_.max_inbox, static_cast<std::int64_t>(p.inbox_.size()));
+  if (options_.sink != nullptr) {
+    options_.sink->emit(trace::Event::delivery(dst_id, t, msg.src));
+    options_.sink->emit(trace::Event::queue_depth(
+        dst_id, t, static_cast<std::int64_t>(p.inbox_.size())));
+  }
 
   if (p.status_ == EngineProc::Status::RecvWait) {
     p.status_ = EngineProc::Status::AcquireWait;
@@ -233,11 +262,21 @@ void Machine::do_acquire(EngineProc& p, Time t) {
   p.has_acquired_ = true;
   p.clock_ = t + params_.o;  // acquisition overhead
   stats_.messages_acquired += 1;
+  if (options_.sink != nullptr) {
+    options_.sink->emit(trace::Event::acquire(p.id_, t, p.acquired_.src));
+    options_.sink->emit(trace::Event::queue_depth(
+        p.id_, t, static_cast<std::int64_t>(p.inbox_.size())));
+  }
   resume(p);
 }
 
 RunStats Machine::run(std::span<const ProgramFn> programs) {
   BSPLOGP_EXPECTS(std::cmp_equal(programs.size(), nprocs_));
+
+  if (options_.sink != nullptr)
+    options_.sink->run_begin(trace::RunInfo{"logp", nprocs_, params_.L,
+                                            params_.o, params_.G,
+                                            params_.capacity(), 0, 0});
 
   // Reset per-run state so a Machine can be reused.
   procs_.clear();
@@ -310,6 +349,7 @@ RunStats Machine::run(std::span<const ProgramFn> programs) {
   if (stats_.timed_out) finish = std::min(finish, options_.max_time);
   stats_.finish_time = finish;
   stats_.deadlock = !stats_.timed_out && !stats_.blocked_procs.empty();
+  if (options_.sink != nullptr) options_.sink->run_end(stats_.finish_time);
   return stats_;
 }
 

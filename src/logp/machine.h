@@ -32,7 +32,6 @@
 // tests/logp/scheduler_equivalence_test.cpp enforces this.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <set>
 #include <span>
@@ -46,6 +45,7 @@
 #include "src/logp/slot_bitmap.h"
 #include "src/logp/stats.h"
 #include "src/logp/task.h"
+#include "src/trace/sink.h"
 
 namespace bsplogp::logp {
 
@@ -114,9 +114,12 @@ class Machine {
     std::uint64_t seed = 0;
     /// Event-scheduler implementation (identical semantics either way).
     SchedulerKind scheduler = SchedulerKind::Bucket;
-    /// Test/observability hook: called for every message delivery with
-    /// (destination, delivery time). Leave empty for production runs.
-    std::function<void(ProcId, Time)> on_delivery;
+    /// Observer for the run's event stream (src/trace): submissions,
+    /// acceptances, stall spans, deliveries, acquisitions, gap waits,
+    /// queue-depth samples. Not owned; must outlive run(). Leave null for
+    /// production runs — emission is a single pointer test per site, and
+    /// tracing never alters the execution.
+    trace::TraceSink* sink = nullptr;
   };
 
   Machine(ProcId nprocs, Params params) : Machine(nprocs, params, Options{}) {}
@@ -148,6 +151,9 @@ class Machine {
     Message msg;
     Time submit_time = 0;
     std::int64_t seq = 0;
+    /// A StallBegin was emitted for this submission (trace bookkeeping
+    /// only; never affects scheduling or RunStats).
+    bool stall_traced = false;
   };
 
   struct DstState {

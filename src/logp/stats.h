@@ -1,33 +1,32 @@
-// Run-level observability for the LogP engine: besides the completion time,
-// the paper's discussion makes three quantities first-class — stalling
-// (Section 2.2's Stalling Rule), in-transit load versus the capacity
-// threshold, and input-buffer occupancy (the G <= L bounded-buffer
-// argument). All are recorded exactly.
+// Run-level observability for the LogP engine: besides the shared result
+// core (core::RunStatsBase — finish time, per-proc finish/blocked,
+// delivered-message count), the paper's discussion makes three quantities
+// first-class — stalling (Section 2.2's Stalling Rule), in-transit load
+// versus the capacity threshold, and input-buffer occupancy (the G <= L
+// bounded-buffer argument). All are recorded exactly. For a full event
+// timeline instead of aggregates, install a trace::TraceSink
+// (Machine::Options::sink).
 #pragma once
 
 #include <vector>
 
+#include "src/core/run_stats.h"
 #include "src/core/types.h"
 
 namespace bsplogp::logp {
 
-struct RunStats {
-  /// Completion time of the computation: max over processors of the model
-  /// time at which its program finished.
-  Time finish_time = 0;
-  /// Per-processor finish times.
-  std::vector<Time> proc_finish;
+struct RunStats : core::RunStatsBase {
+  // Inherited: finish_time (max over processors of the model time its
+  // program finished), proc_finish, blocked_procs, messages (delivered
+  // into destination input buffers).
 
   /// True if some processors never finished and no event could make
   /// progress (e.g. a recv with no matching send).
   bool deadlock = false;
-  /// Ids of processors still blocked when the run ended.
-  std::vector<ProcId> blocked_procs;
   /// True if the run was cut off at Options::max_time.
   bool timed_out = false;
 
   std::int64_t messages_submitted = 0;
-  std::int64_t messages_delivered = 0;
   std::int64_t messages_acquired = 0;
 
   /// Engine events processed by the run loop (wall-clock throughput of the
@@ -51,8 +50,8 @@ struct RunStats {
   [[nodiscard]] bool stall_free() const { return stall_events == 0; }
   [[nodiscard]] bool completed() const { return !deadlock && !timed_out; }
 
-  /// Field-wise equality: the scheduler-equivalence guard compares entire
-  /// RunStats across SchedulerKind at fixed seeds.
+  /// Field-wise equality (base included): the scheduler-equivalence guard
+  /// compares entire RunStats across SchedulerKind at fixed seeds.
   friend bool operator==(const RunStats&, const RunStats&) = default;
 };
 

@@ -1,0 +1,156 @@
+#include "src/trace/chrome_sink.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace bsplogp::trace {
+
+namespace {
+
+std::string num(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  return buf;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void ChromeTraceSink::push(Row row) {
+  if (row.ph != 'M') event_rows_ += 1;
+  rows_.push_back(std::move(row));
+}
+
+void ChromeTraceSink::meta(const std::string& name, std::int64_t tid,
+                           const std::string& value) {
+  Row row;
+  row.name = name;
+  row.ph = 'M';
+  row.pid = static_cast<ProcId>(pid_);
+  row.tid = tid;
+  row.args = "\"name\": \"" + json_escape(value) + "\"";
+  rows_.push_back(std::move(row));
+}
+
+void ChromeTraceSink::run_begin(const RunInfo& info) {
+  pid_ += 1;
+  nprocs_ = info.nprocs;
+  meta("process_name", 0,
+       info.machine + " run " + num(pid_) + " (p=" + num(info.nprocs) + ")");
+  for (ProcId i = 0; i < info.nprocs; ++i)
+    meta("thread_name", i, "proc " + num(i));
+  meta("thread_name", info.nprocs, "machine");
+}
+
+void ChromeTraceSink::run_end(Time finish) {
+  (void)finish;
+  if (!path_.empty()) (void)write_file();
+}
+
+void ChromeTraceSink::emit(const Event& event) {
+  Row row;
+  row.pid = static_cast<ProcId>(pid_);
+  row.tid = event.proc >= 0 ? event.proc : nprocs_;
+  row.ts = event.t;
+  switch (event.kind) {
+    case EventKind::StallEnd:
+      row.name = "stall";
+      row.ph = 'X';
+      row.ts = event.t2;
+      row.dur = event.t - event.t2;
+      row.args = "\"dst\": " + num(event.peer);
+      break;
+    case EventKind::GapWait:
+      row.name = "gap_wait";
+      row.ph = 'X';
+      row.dur = event.t2 - event.t;
+      row.args = "\"lost\": " + num(event.a);
+      break;
+    case EventKind::SuperstepEnd:
+      row.name = "superstep " + num(event.idx);
+      row.ph = 'X';
+      row.ts = event.t2;
+      row.dur = event.t - event.t2;
+      row.args = "\"w\": " + num(event.a) + ", \"h\": " + num(event.b);
+      break;
+    case EventKind::PhaseBegin:
+      row.name = phase_name(static_cast<SimPhase>(event.a));
+      row.ph = 'B';
+      break;
+    case EventKind::PhaseEnd:
+      row.name = phase_name(static_cast<SimPhase>(event.a));
+      row.ph = 'E';
+      break;
+    case EventKind::QueueDepth:
+      // Counters key on (pid, name): one series per processor.
+      row.name = "inbox " + num(event.proc);
+      row.ph = 'C';
+      row.args = "\"depth\": " + num(event.a);
+      break;
+    case EventKind::Submit:
+    case EventKind::Accept:
+    case EventKind::StallBegin:
+    case EventKind::Delivery:
+    case EventKind::Acquire:
+      row.name = kind_name(event.kind);
+      row.ph = 'i';
+      row.args = "\"peer\": " + num(event.peer);
+      break;
+    case EventKind::SuperstepBegin:
+      // The matching SuperstepEnd renders the interval; nothing to draw.
+      return;
+  }
+  push(std::move(row));
+}
+
+void ChromeTraceSink::write(std::ostream& os) const {
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (const Row& row : rows_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\": \"" << json_escape(row.name) << "\", \"ph\": \""
+       << row.ph << "\", \"pid\": " << row.pid << ", \"tid\": " << row.tid;
+    if (row.ph != 'M') os << ", \"ts\": " << row.ts;
+    if (row.ph == 'X') os << ", \"dur\": " << row.dur;
+    if (row.ph == 'i') os << ", \"s\": \"t\"";
+    if (!row.args.empty()) os << ", \"args\": {" << row.args << "}";
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
+bool ChromeTraceSink::write_file(const std::string& path) const {
+  const std::string& target = path.empty() ? path_ : path;
+  if (target.empty()) return false;
+  std::ofstream os(target);
+  if (!os) return false;
+  write(os);
+  return os.good();
+}
+
+}  // namespace bsplogp::trace

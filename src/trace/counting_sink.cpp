@@ -1,0 +1,147 @@
+#include "src/trace/counting_sink.h"
+
+#include <algorithm>
+
+#include "src/core/contracts.h"
+#include "src/core/stats.h"
+
+namespace bsplogp::trace {
+
+namespace {
+
+std::size_t kind_index(EventKind kind) {
+  const auto i = static_cast<std::size_t>(kind);
+  BSPLOGP_ASSERT(i < static_cast<std::size_t>(kNumEventKinds));
+  return i;
+}
+
+std::size_t phase_index(std::int64_t phase) {
+  BSPLOGP_ASSERT(phase >= 0 && phase < kNumSimPhases);
+  return static_cast<std::size_t>(phase);
+}
+
+}  // namespace
+
+void CountingSink::run_begin(const RunInfo& info) {
+  runs_ += 1;
+  ensure_proc(info.nprocs > 0 ? info.nprocs - 1 : 0);
+  // Counters accumulate across runs; only the open-phase pairing state is
+  // per-run.
+  for (auto& open : phase_open_) std::fill(open.begin(), open.end(), -1);
+}
+
+void CountingSink::run_end(Time finish) { finish_ = finish; }
+
+void CountingSink::ensure_proc(ProcId proc) {
+  const auto need = static_cast<std::size_t>(proc) + 1;
+  if (stall_time_.size() >= need) return;
+  for (auto& v : per_proc_) v.resize(need, 0);
+  for (auto& v : phase_open_) v.resize(need, -1);
+  stall_time_.resize(need, 0);
+  gap_time_.resize(need, 0);
+}
+
+void CountingSink::emit(const Event& event) {
+  counts_[kind_index(event.kind)] += 1;
+  if (event.proc >= 0) {
+    ensure_proc(event.proc);
+    per_proc_[kind_index(event.kind)][static_cast<std::size_t>(event.proc)] +=
+        1;
+  }
+  switch (event.kind) {
+    case EventKind::StallEnd: {
+      const Time span = event.t - event.t2;
+      stall_samples_.push_back(static_cast<double>(span));
+      if (event.proc >= 0)
+        stall_time_[static_cast<std::size_t>(event.proc)] += span;
+      break;
+    }
+    case EventKind::GapWait: {
+      gap_samples_.push_back(static_cast<double>(event.a));
+      if (event.proc >= 0)
+        gap_time_[static_cast<std::size_t>(event.proc)] += event.a;
+      break;
+    }
+    case EventKind::QueueDepth:
+      max_depth_ = std::max(max_depth_, event.a);
+      break;
+    case EventKind::PhaseBegin: {
+      phase_counts_[phase_index(event.a)] += 1;
+      if (event.proc >= 0)
+        phase_open_[phase_index(event.a)][static_cast<std::size_t>(
+            event.proc)] = event.t;
+      break;
+    }
+    case EventKind::PhaseEnd: {
+      if (event.proc < 0) break;
+      Time& open =
+          phase_open_[phase_index(event.a)][static_cast<std::size_t>(
+              event.proc)];
+      if (open >= 0) {
+        phase_time_[phase_index(event.a)] += event.t - open;
+        open = -1;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+std::int64_t CountingSink::count(EventKind kind) const {
+  return counts_[kind_index(kind)];
+}
+
+std::int64_t CountingSink::count(EventKind kind, ProcId proc) const {
+  const auto& v = per_proc_[kind_index(kind)];
+  const auto i = static_cast<std::size_t>(proc);
+  return i < v.size() ? v[i] : 0;
+}
+
+std::int64_t CountingSink::total() const {
+  std::int64_t sum = 0;
+  for (const std::int64_t c : counts_) sum += c;
+  return sum;
+}
+
+std::int64_t CountingSink::phase_count(SimPhase phase) const {
+  return phase_counts_[phase_index(static_cast<std::int64_t>(phase))];
+}
+
+Time CountingSink::time_in_phase(SimPhase phase) const {
+  return phase_time_[phase_index(static_cast<std::int64_t>(phase))];
+}
+
+Time CountingSink::stall_time(ProcId proc) const {
+  const auto i = static_cast<std::size_t>(proc);
+  return i < stall_time_.size() ? stall_time_[i] : 0;
+}
+
+Time CountingSink::gap_wait_time(ProcId proc) const {
+  const auto i = static_cast<std::size_t>(proc);
+  return i < gap_time_.size() ? gap_time_[i] : 0;
+}
+
+DurationSummary CountingSink::summarize(const std::vector<double>& samples) {
+  DurationSummary s;
+  s.count = static_cast<std::int64_t>(samples.size());
+  if (samples.empty()) return s;
+  for (const double v : samples) {
+    s.total += static_cast<Time>(v);
+    s.max = std::max(s.max, static_cast<Time>(v));
+  }
+  s.mean = core::mean(samples);
+  s.p50 = core::quantile(samples, 0.5);
+  s.p95 = core::quantile(samples, 0.95);
+  return s;
+}
+
+DurationSummary CountingSink::stall_summary() const {
+  return summarize(stall_samples_);
+}
+
+DurationSummary CountingSink::gap_wait_summary() const {
+  return summarize(gap_samples_);
+}
+
+}  // namespace bsplogp::trace

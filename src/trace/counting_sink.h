@@ -1,0 +1,82 @@
+// CountingSink: aggregate view of a trace — per-kind / per-processor event
+// counters, per-phase occupancy, and time-in-state distributions (stall
+// spans, gap waits) summarized through core::stats.
+//
+// This is the cheap always-on sink: it keeps O(p + kinds) counters plus
+// the duration samples, so it can ride along full bench sweeps where a
+// verbatim recorder would not fit.
+#pragma once
+
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/trace/sink.h"
+
+namespace bsplogp::trace {
+
+/// Summary of a duration distribution (model-time steps).
+struct DurationSummary {
+  std::int64_t count = 0;
+  Time total = 0;
+  Time max = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+};
+
+class CountingSink final : public TraceSink {
+ public:
+  void run_begin(const RunInfo& info) override;
+  void run_end(Time finish) override;
+  void emit(const Event& event) override;
+
+  /// Events of `kind` across all processors (accumulated over all runs
+  /// observed since construction).
+  [[nodiscard]] std::int64_t count(EventKind kind) const;
+  /// Events of `kind` attributed to processor `proc`.
+  [[nodiscard]] std::int64_t count(EventKind kind, ProcId proc) const;
+  /// Total events of every kind.
+  [[nodiscard]] std::int64_t total() const;
+
+  /// PhaseBegin markers seen for `phase` (xsim runs only).
+  [[nodiscard]] std::int64_t phase_count(SimPhase phase) const;
+  /// Summed processor-time between each PhaseBegin/PhaseEnd pair.
+  [[nodiscard]] Time time_in_phase(SimPhase phase) const;
+
+  /// Distribution of StallEnd spans (time senders spent blocked by the
+  /// Stalling Rule).
+  [[nodiscard]] DurationSummary stall_summary() const;
+  /// Distribution of GapWait spans (idle imposed by the G-spacing rule).
+  [[nodiscard]] DurationSummary gap_wait_summary() const;
+  /// Per-processor totals of the same two quantities.
+  [[nodiscard]] Time stall_time(ProcId proc) const;
+  [[nodiscard]] Time gap_wait_time(ProcId proc) const;
+
+  /// Largest QueueDepth sample seen.
+  [[nodiscard]] std::int64_t max_queue_depth() const { return max_depth_; }
+
+  [[nodiscard]] int runs() const { return runs_; }
+  [[nodiscard]] Time last_finish() const { return finish_; }
+
+ private:
+  [[nodiscard]] static DurationSummary summarize(
+      const std::vector<double>& samples);
+  void ensure_proc(ProcId proc);
+
+  std::int64_t counts_[kNumEventKinds] = {};
+  // per_proc_[kind][proc]; sized lazily from the largest proc id seen.
+  std::vector<std::int64_t> per_proc_[kNumEventKinds];
+  std::int64_t phase_counts_[kNumSimPhases] = {};
+  Time phase_time_[kNumSimPhases] = {};
+  // Open phase entry time per processor, per phase (for PhaseEnd pairing).
+  std::vector<Time> phase_open_[kNumSimPhases];
+  std::vector<double> stall_samples_;
+  std::vector<double> gap_samples_;
+  std::vector<Time> stall_time_;
+  std::vector<Time> gap_time_;
+  std::int64_t max_depth_ = 0;
+  int runs_ = 0;
+  Time finish_ = 0;
+};
+
+}  // namespace bsplogp::trace

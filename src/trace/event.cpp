@@ -1,0 +1,34 @@
+#include "src/trace/event.h"
+
+namespace bsplogp::trace {
+
+const char* kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::Submit: return "submit";
+    case EventKind::Accept: return "accept";
+    case EventKind::StallBegin: return "stall_begin";
+    case EventKind::StallEnd: return "stall_end";
+    case EventKind::Delivery: return "delivery";
+    case EventKind::Acquire: return "acquire";
+    case EventKind::GapWait: return "gap_wait";
+    case EventKind::QueueDepth: return "queue_depth";
+    case EventKind::SuperstepBegin: return "superstep_begin";
+    case EventKind::SuperstepEnd: return "superstep_end";
+    case EventKind::PhaseBegin: return "phase_begin";
+    case EventKind::PhaseEnd: return "phase_end";
+  }
+  return "unknown";
+}
+
+const char* phase_name(SimPhase phase) {
+  switch (phase) {
+    case SimPhase::Local: return "local";
+    case SimPhase::Cb: return "cb";
+    case SimPhase::Sort: return "sort";
+    case SimPhase::Route: return "route";
+    case SimPhase::Drain: return "drain";
+  }
+  return "unknown";
+}
+
+}  // namespace bsplogp::trace

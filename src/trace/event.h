@@ -1,0 +1,126 @@
+// Typed trace event records: the vocabulary in which the machines narrate
+// an execution to a TraceSink (sink.h).
+//
+// The paper's claims are about where time goes — overhead vs. gap vs.
+// latency vs. stalling in LogP (Section 2.2), the per-superstep
+// w_s + g*h_s + l decomposition in BSP (Section 2.1) — so the event set
+// mirrors exactly those accounting boundaries:
+//
+//   * LogP engine:  Submit, Accept, StallBegin/StallEnd (the Stalling
+//     Rule's sender-blocked interval), Delivery, Acquire, GapWait (idle
+//     imposed by the G-spacing rule), QueueDepth (input-buffer samples);
+//   * BSP machine:  SuperstepBegin/SuperstepEnd carrying (w_s, h_s);
+//   * cross-simulations: PhaseBegin/PhaseEnd markers for the protocol
+//     phases of Theorem 2's superstep simulation (local computation, CB
+//     barrier, global sort, routing cycles, drain).
+//
+// One POD record serves every kind; the field-mapping table below is the
+// contract. Events carry model time, never wall-clock. Emission order is
+// the order the simulation discovers events, which for a single kind on a
+// single processor is non-decreasing in t; sinks that need a globally
+// time-sorted view (e.g. the Chrome exporter) sort by t themselves.
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/types.h"
+
+namespace bsplogp::trace {
+
+enum class EventKind : std::uint8_t {
+  // -- LogP engine ----------------------------------------------------------
+  Submit,      // proc=sender   t=submission step        peer=destination
+  Accept,      // proc=sender   t=acceptance step        peer=dst  t2=submit
+  StallBegin,  // proc=sender   t=first blocked step     peer=dst
+  StallEnd,    // proc=sender   t=acceptance step        peer=dst  t2=begin
+  Delivery,    // proc=dst      t=delivery step          peer=src
+  Acquire,     // proc=owner    t=acquisition start      peer=src
+  GapWait,     // proc          t=issue time  t2=resume  a=steps lost to gap
+  QueueDepth,  // proc          t=sample time            a=input-buffer depth
+  // -- BSP machine ----------------------------------------------------------
+  SuperstepBegin,  // proc=-1  t=cumulative cost before  idx=superstep
+  SuperstepEnd,    // proc=-1  t=cumulative cost after   idx  t2=begin
+                   //          a=w_s  b=h_s
+  // -- Cross-simulation protocol phases -------------------------------------
+  PhaseBegin,  // proc  t=phase entry  a=SimPhase  idx=superstep
+  PhaseEnd,    // proc  t=phase exit   a=SimPhase  idx=superstep
+};
+
+/// Protocol phases of the Theorem-2 superstep simulation (bsp_on_logp),
+/// carried in the `a` field of PhaseBegin/PhaseEnd.
+enum class SimPhase : std::int64_t { Local, Cb, Sort, Route, Drain };
+
+struct Event {
+  EventKind kind = EventKind::Submit;
+  /// Subject processor (-1 for machine-wide events).
+  ProcId proc = -1;
+  /// Model time of the event.
+  Time t = 0;
+  /// The other endpoint, where there is one (see the table above).
+  ProcId peer = -1;
+  /// Secondary time: interval start for *End records, submit time for
+  /// Accept.
+  Time t2 = 0;
+  /// Kind-specific payloads (see the table above).
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  /// Superstep index for BSP/phase records, -1 elsewhere.
+  std::int64_t idx = -1;
+
+  friend bool operator==(const Event&, const Event&) = default;
+
+  // Named constructors: call sites stay typed even though the record is
+  // generic.
+  static Event submit(ProcId sender, Time t, ProcId dst) {
+    return {EventKind::Submit, sender, t, dst, 0, 0, 0, -1};
+  }
+  static Event accept(ProcId sender, Time t, ProcId dst, Time submit_t) {
+    return {EventKind::Accept, sender, t, dst, submit_t, 0, 0, -1};
+  }
+  static Event stall_begin(ProcId sender, Time t, ProcId dst) {
+    return {EventKind::StallBegin, sender, t, dst, 0, 0, 0, -1};
+  }
+  static Event stall_end(ProcId sender, Time t, ProcId dst, Time begin_t) {
+    return {EventKind::StallEnd, sender, t, dst, begin_t, 0, 0, -1};
+  }
+  static Event delivery(ProcId dst, Time t, ProcId src) {
+    return {EventKind::Delivery, dst, t, src, 0, 0, 0, -1};
+  }
+  static Event acquire(ProcId owner, Time t, ProcId src) {
+    return {EventKind::Acquire, owner, t, src, 0, 0, 0, -1};
+  }
+  static Event gap_wait(ProcId proc, Time issue_t, Time resume_t,
+                        Time lost) {
+    return {EventKind::GapWait, proc, issue_t, -1, resume_t, lost, 0, -1};
+  }
+  static Event queue_depth(ProcId proc, Time t, std::int64_t depth) {
+    return {EventKind::QueueDepth, proc, t, -1, 0, depth, 0, -1};
+  }
+  static Event superstep_begin(Time cost_before, std::int64_t step) {
+    return {EventKind::SuperstepBegin, -1, cost_before, -1, 0, 0, 0, step};
+  }
+  static Event superstep_end(Time cost_after, Time cost_before, Time w,
+                             Time h, std::int64_t step) {
+    return {EventKind::SuperstepEnd, -1, cost_after, -1, cost_before, w, h,
+            step};
+  }
+  static Event phase_begin(ProcId proc, Time t, SimPhase phase,
+                           std::int64_t step) {
+    return {EventKind::PhaseBegin, proc, t, -1, 0,
+            static_cast<std::int64_t>(phase), 0, step};
+  }
+  static Event phase_end(ProcId proc, Time t, SimPhase phase,
+                         std::int64_t step) {
+    return {EventKind::PhaseEnd, proc, t, -1, 0,
+            static_cast<std::int64_t>(phase), 0, step};
+  }
+};
+
+inline constexpr int kNumEventKinds =
+    static_cast<int>(EventKind::PhaseEnd) + 1;
+inline constexpr int kNumSimPhases = static_cast<int>(SimPhase::Drain) + 1;
+
+[[nodiscard]] const char* kind_name(EventKind kind);
+[[nodiscard]] const char* phase_name(SimPhase phase);
+
+}  // namespace bsplogp::trace

@@ -1,0 +1,82 @@
+#include "src/trace/invariant_sink.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace bsplogp::trace {
+
+namespace {
+
+std::string at(Time t) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, " at step %" PRId64, t);
+  return buf;
+}
+
+std::string proc_str(ProcId p) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "proc %d", p);
+  return buf;
+}
+
+}  // namespace
+
+void InvariantSink::run_begin(const RunInfo& info) {
+  capacity_ = info.capacity;
+  nprocs_ = info.nprocs;
+  in_transit_.assign(static_cast<std::size_t>(info.nprocs), 0);
+  last_delivery_.assign(static_cast<std::size_t>(info.nprocs), -1);
+}
+
+void InvariantSink::run_end(Time finish) { (void)finish; }
+
+void InvariantSink::violation(std::string what) {
+  violations_ += 1;
+  if (messages_.size() < kMaxMessages) messages_.push_back(std::move(what));
+}
+
+void InvariantSink::emit(const Event& event) {
+  auto dst_ok = [&](ProcId dst) { return dst >= 0 && dst < nprocs_; };
+  switch (event.kind) {
+    case EventKind::Accept: {
+      if (event.t < event.t2)
+        violation("acceptance before submission for " + proc_str(event.proc) +
+                  at(event.t));
+      const ProcId dst = event.peer;
+      if (!dst_ok(dst)) break;
+      Time& transit = in_transit_[static_cast<std::size_t>(dst)];
+      transit += 1;
+      if (capacity_ > 0 && transit > capacity_)
+        violation("capacity constraint violated: " +
+                  std::to_string(transit) + " in transit to " +
+                  proc_str(dst) + at(event.t));
+      break;
+    }
+    case EventKind::Delivery: {
+      const ProcId dst = event.proc;
+      if (!dst_ok(dst)) break;
+      Time& transit = in_transit_[static_cast<std::size_t>(dst)];
+      if (transit <= 0) {
+        violation("delivery without a matching acceptance to " +
+                  proc_str(dst) + at(event.t));
+      } else {
+        transit -= 1;
+      }
+      Time& last = last_delivery_[static_cast<std::size_t>(dst)];
+      if (last == event.t)
+        violation("two deliveries to " + proc_str(dst) + " in one step" +
+                  at(event.t));
+      last = event.t;
+      break;
+    }
+    case EventKind::StallEnd:
+      if (event.t < event.t2)
+        violation("negative stall span for " + proc_str(event.proc) +
+                  at(event.t));
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace bsplogp::trace

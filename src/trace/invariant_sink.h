@@ -1,0 +1,53 @@
+// InvariantSink: replays the model rules over the event stream and
+// records violations — an independent re-check of the engine, for tests.
+//
+// Invariants enforced (paper, Section 2.2):
+//   * Capacity constraint: accepted-but-undelivered messages per
+//     destination never exceed ceil(L/G) (RunInfo::capacity).
+//   * The medium delivers at most one message per destination per step.
+//   * Interval sanity: acceptance at or after submission (Accept.t >=
+//     Accept.t2), stall spans non-negative, deliveries only of accepted
+//     messages (per-destination accept/delivery conservation).
+//
+// The sink is deliberately machine-independent: it sees only the event
+// stream, so feeding it a corrupted stream (tests/trace) proves the
+// checks have teeth.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/trace/sink.h"
+
+namespace bsplogp::trace {
+
+class InvariantSink final : public TraceSink {
+ public:
+  void run_begin(const RunInfo& info) override;
+  void run_end(Time finish) override;
+  void emit(const Event& event) override;
+
+  /// Total violations recorded (accumulated across runs).
+  [[nodiscard]] std::int64_t violations() const { return violations_; }
+  [[nodiscard]] bool ok() const { return violations_ == 0; }
+  /// Human-readable description of each violation, in stream order
+  /// (capped; see kMaxMessages).
+  [[nodiscard]] const std::vector<std::string>& messages() const {
+    return messages_;
+  }
+
+  static constexpr std::size_t kMaxMessages = 64;
+
+ private:
+  void violation(std::string what);
+
+  Time capacity_ = 0;
+  ProcId nprocs_ = 0;
+  std::vector<Time> in_transit_;      // accepted, not yet delivered, per dst
+  std::vector<Time> last_delivery_;   // step of the last delivery, per dst
+  std::int64_t violations_ = 0;
+  std::vector<std::string> messages_;
+};
+
+}  // namespace bsplogp::trace

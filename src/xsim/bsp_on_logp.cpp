@@ -104,6 +104,21 @@ struct Shared {
   ProcId p = 0;
   logp::Params prm;
   BspOnLogpOptions opt;
+  /// Same sink the LogP engine reports to (opt.engine.sink): the protocol
+  /// coroutines add PhaseBegin/PhaseEnd markers for the superstep
+  /// structure on top of the engine's message-level events.
+  trace::TraceSink* sink = nullptr;
+
+  void phase_begin(ProcId proc, Time t, trace::SimPhase ph,
+                   std::int64_t step) {
+    if (sink != nullptr)
+      sink->emit(trace::Event::phase_begin(proc, t, ph, step));
+  }
+  void phase_end(ProcId proc, Time t, trace::SimPhase ph,
+                 std::int64_t step) {
+    if (sink != nullptr)
+      sink->emit(trace::Event::phase_end(proc, t, ph, step));
+  }
   // Host-side aggregation; the engine is single-threaded so shared writes
   // from the per-processor coroutines are safe.
   std::vector<BspOnLogpReport::SuperstepInfo> steps;
@@ -464,8 +479,10 @@ Task<RouteResult> route_superstep(Mailbox& mb, std::vector<Message> outbox,
 
   // Step 1+2 of the paper's superstep structure: the CB computing
   // r = max out-degree is also the barrier.
+  sh.phase_begin(me, pr.now(), trace::SimPhase::Cb, step);
   const Word r_raw = co_await combine_broadcast(
       mb, static_cast<Word>(recs.size()), ReduceOp::Max);
+  sh.phase_end(me, pr.now(), trace::SimPhase::Cb, step);
 
   if (r_raw == 0) {
     res.continue_flag =
@@ -477,6 +494,7 @@ Task<RouteResult> route_superstep(Mailbox& mb, std::vector<Message> outbox,
     co_return res;
   }
 
+  sh.phase_begin(me, pr.now(), trace::SimPhase::Sort, step);
   const auto [method, r] = choose_sort(sh, r_raw);
   while (std::cmp_less(recs.size(), r))
     recs.push_back(Record{p, 0, 0, me});  // dummies sort after real keys
@@ -503,8 +521,10 @@ Task<RouteResult> route_superstep(Mailbox& mb, std::vector<Message> outbox,
   }
   if (pr.now() > t_sort_end) sh.schedule_violations += 1;
   co_await pr.wait_until(t_sort_end);
+  sh.phase_end(me, pr.now(), trace::SimPhase::Sort, step);
 
   // Step 3: exact max receive degree.
+  sh.phase_begin(me, pr.now(), trace::SimPhase::Route, step);
   const Time s = co_await compute_s(mb, recs, r, t_sort_end, sh);
   const Time h = std::max<Time>(r, s);
 
@@ -539,6 +559,8 @@ Task<RouteResult> route_superstep(Mailbox& mb, std::vector<Message> outbox,
     co_await pr.send(static_cast<ProcId>(rec.key), rec.payload, rec.tag,
                      rec.src, Channel::kData);
   }
+  sh.phase_end(me, pr.now(), trace::SimPhase::Route, step);
+  sh.phase_begin(me, pr.now(), trace::SimPhase::Drain, step);
 
   // Termination. Clocked: the last cycle's submissions happen by
   // t_cycles + (h-1)G and are delivered within L, so at t_drain every
@@ -568,6 +590,7 @@ Task<RouteResult> route_superstep(Mailbox& mb, std::vector<Message> outbox,
       res.incoming.push_back(m);
     }
   }
+  sh.phase_end(me, pr.now(), trace::SimPhase::Drain, step);
   std::stable_sort(
       res.incoming.begin(), res.incoming.end(),
       [](const Message& a, const Message& b) { return a.src < b.src; });
@@ -587,8 +610,10 @@ Task<> simulate_proc(Proc& pr, bsp::ProcProgram& prog, Shared& sh) {
     std::vector<Message> outbox;
     Time work = static_cast<Time>(inbox.size());  // pool extraction cost
     bsp::Ctx ctx(pr.id(), sh.p, step, inbox, outbox, work);
+    sh.phase_begin(pr.id(), pr.now(), trace::SimPhase::Local, step);
     const bool more = prog.step(ctx);
     co_await pr.compute(work);
+    sh.phase_end(pr.id(), pr.now(), trace::SimPhase::Local, step);
     auto& info = sh.info(step);
     info.w_max = std::max(info.w_max, work);
 
@@ -634,6 +659,7 @@ BspOnLogpReport BspOnLogp::run(
   sh.p = nprocs_;
   sh.prm = params_;
   sh.opt = opt_;
+  sh.sink = opt_.engine.sink;
   if (is_pow2(nprocs_) && nprocs_ > 1) {
     for (const auto& round : routing::bitonic_schedule(nprocs_)) {
       std::vector<std::pair<ProcId, bool>> partners(

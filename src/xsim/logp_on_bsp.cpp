@@ -16,8 +16,9 @@ namespace {
 /// pool; arrivals come from the input pool at cycle starts).
 class CycleProc final : public logp::Proc {
  public:
-  CycleProc(ProcId id, ProcId nprocs, const logp::Params& prm)
-      : Proc(id), nprocs_(nprocs), prm_(prm) {}
+  CycleProc(ProcId id, ProcId nprocs, const logp::Params& prm,
+            trace::TraceSink* sink)
+      : Proc(id), nprocs_(nprocs), prm_(prm), sink_(sink) {}
 
   [[nodiscard]] ProcId nprocs() const override { return nprocs_; }
   [[nodiscard]] const logp::Params& params() const override { return prm_; }
@@ -35,6 +36,11 @@ class CycleProc final : public logp::Proc {
   void deliver(const Message& m, Time arrival) {
     inbox_.push_back(m);
     arrivals_.push_back(arrival);
+    if (sink_ != nullptr) {
+      sink_->emit(trace::Event::delivery(id_, arrival, m.src));
+      sink_->emit(trace::Event::queue_depth(
+          id_, arrival, static_cast<std::int64_t>(inbox_.size())));
+    }
   }
 
   /// Drives the program while its next interaction resolves before
@@ -89,6 +95,8 @@ class CycleProc final : public logp::Proc {
           last_acquire_ = a;
           has_acquired_ = true;
           clock_ = a + prm_.o;
+          if (sink_ != nullptr)
+            sink_->emit(trace::Event::acquire(id_, a, acquired_.src));
           break;
         }
       }
@@ -126,6 +134,7 @@ class CycleProc final : public logp::Proc {
 
   ProcId nprocs_;
   logp::Params prm_;
+  trace::TraceSink* sink_;
   logp::Task<> root_;
   std::coroutine_handle<> frame_;
   bool started_ = false;
@@ -211,7 +220,7 @@ LogpOnBspReport LogpOnBsp::run(std::span<const logp::ProgramFn> programs) {
   cprocs.reserve(static_cast<std::size_t>(nprocs_));
   for (ProcId i = 0; i < nprocs_; ++i) {
     cprocs.push_back(
-        std::make_unique<CycleProc>(i, nprocs_, logp_params_));
+        std::make_unique<CycleProc>(i, nprocs_, logp_params_, opt_.sink));
     cprocs.back()->start(programs[static_cast<std::size_t>(i)]);
   }
 
@@ -277,6 +286,18 @@ LogpOnBspReport LogpOnBsp::run(std::span<const logp::ProgramFn> programs) {
                  cyc <= accept / cycle_len; ++cyc)
               shared->overloaded_cycles.insert(cyc);
           }
+          if (opt_.sink != nullptr) {
+            opt_.sink->emit(
+                trace::Event::submit(c.pid(), submit_time, m.dst));
+            if (accept > submit_time) {
+              opt_.sink->emit(trace::Event::stall_begin(c.pid(), submit_time,
+                                                        m.dst));
+              opt_.sink->emit(trace::Event::stall_end(c.pid(), accept, m.dst,
+                                                      submit_time));
+            }
+            opt_.sink->emit(
+                trace::Event::accept(c.pid(), accept, m.dst, submit_time));
+          }
           return accept;
         },
         [&](const Message& m) { c.send_msg(m); });
@@ -290,6 +311,10 @@ LogpOnBspReport LogpOnBsp::run(std::span<const logp::ProgramFn> programs) {
 
   bsp::Machine::Options bsp_opt;
   bsp_opt.max_supersteps = opt_.max_supersteps;
+  // The host machine narrates the supersteps to the same sink; the
+  // simulated LogP interactions above ride within that run (their
+  // timestamps are LogP model times, the superstep records BSP cost).
+  bsp_opt.sink = opt_.sink;
   bsp::Machine machine(nprocs_, opt_.bsp, bsp_opt);
 
   LogpOnBspReport report;

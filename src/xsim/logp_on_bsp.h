@@ -41,6 +41,11 @@ struct LogpOnBspOptions {
   /// Superstep budget before the run is declared stuck (covers LogP
   /// deadlock, which BSP cannot detect locally).
   std::int64_t max_supersteps = 1'000'000;
+  /// Observer for the simulation's event stream (src/trace): the host BSP
+  /// machine's superstep records plus the simulated LogP interactions
+  /// (submit/accept/stall/delivery/acquire, at LogP model times). Not
+  /// owned; must outlive run(). Leave null for production runs.
+  trace::TraceSink* sink = nullptr;
 };
 
 struct LogpOnBspReport {
@@ -73,7 +78,7 @@ struct LogpOnBspReport {
 
   /// Measured slowdown: BSP time per simulated LogP step.
   [[nodiscard]] double slowdown() const {
-    return logical_finish > 0 ? static_cast<double>(bsp.time) /
+    return logical_finish > 0 ? static_cast<double>(bsp.finish_time) /
                                     static_cast<double>(logical_finish)
                               : 0.0;
   }

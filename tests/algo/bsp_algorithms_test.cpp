@@ -49,7 +49,7 @@ TEST(BspAlgorithms, TreeVsDirectBroadcastCostTradeoff) {
   auto time_of = [&](bsp::Params prm, bool tree) {
     const auto progs = tree ? bsp_broadcast_tree(p, 2, 1, out)
                             : bsp_broadcast_direct(p, 1, out);
-    return run(p, prm, progs).time;
+    return run(p, prm, progs).finish_time;
   };
   EXPECT_LT(time_of(bsp::Params{100, 1}, true),
             time_of(bsp::Params{100, 1}, false));

@@ -25,13 +25,13 @@ TEST(BspCost, PureComputeSuperstep) {
   ASSERT_EQ(st.trace.size(), 1u);
   EXPECT_EQ(st.trace[0].w, 100);
   EXPECT_EQ(st.trace[0].h, 0);
-  EXPECT_EQ(st.time, 100 + 17);
+  EXPECT_EQ(st.finish_time, 100 + 17);
 }
 
 TEST(BspCost, EmptySuperstepStillPaysBarrier) {
   const Params prm{5, 23};
   const RunStats st = run_one(3, prm, [](Ctx&) { return false; });
-  EXPECT_EQ(st.time, 23);
+  EXPECT_EQ(st.finish_time, 23);
 }
 
 TEST(BspCost, HCountsMaxOfFanInAndFanOut) {
@@ -93,7 +93,7 @@ TEST(BspCost, TotalIsSumOfSupersteps) {
   ASSERT_EQ(st.trace.size(), 3u);
   Time expect = 0;
   for (const SuperstepCost& sc : st.trace) expect += sc.total(prm);
-  EXPECT_EQ(st.time, expect);
+  EXPECT_EQ(st.finish_time, expect);
   // Steps 0,1: w=5+1(send)+extraction(1 except step 0), h=1.
   EXPECT_EQ(st.trace[0].w, 6);
   EXPECT_EQ(st.trace[0].h, 1);
@@ -110,7 +110,7 @@ TEST(BspCost, GScalesCommunicationOnly) {
         for (ProcId d = 0; d < 4; ++d)
           if (d != c.pid()) c.send(d, 0);
       return c.superstep() < 1;
-    }).time;
+    }).finish_time;
   };
   const Time t1 = time_with_g(1);
   const Time t10 = time_with_g(10);
@@ -121,7 +121,7 @@ TEST(BspCost, GScalesCommunicationOnly) {
 TEST(BspCost, LChargedPerSuperstep) {
   auto time_with_l = [&](Time l) {
     return run_one(2, Params{1, l},
-                   [](Ctx& c) { return c.superstep() < 4; }).time;
+                   [](Ctx& c) { return c.superstep() < 4; }).finish_time;
   };
   EXPECT_EQ(time_with_l(100) - time_with_l(1), 99 * 5);  // 5 supersteps run
 }

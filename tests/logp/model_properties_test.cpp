@@ -80,7 +80,7 @@ TEST(ModelProperties, BspGlobalBarrierCouplesDisjointGroups) {
       return c.superstep() < (busy ? busy_steps : 1);
     });
     bsp::Machine m(p, prm);
-    return m.run(progs).time;
+    return m.run(progs).finish_time;
   };
   const Time short_run = run_cost(8, 1);
   const Time long_run = run_cost(8, 20);

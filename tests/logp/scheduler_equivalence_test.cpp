@@ -5,7 +5,7 @@
 // combination and on workloads that exercise hotspot stalling, randomized
 // traffic, and sparse timers beyond the wheel horizon. Engine invariants
 // (capacity threshold, one delivery per destination per step) are asserted
-// via the delivery probe.
+// from the trace sink's Delivery events.
 #include <gtest/gtest.h>
 
 #include <map>
@@ -15,6 +15,7 @@
 
 #include "src/core/rng.h"
 #include "src/logp/machine.h"
+#include "src/trace/sink.h"
 
 namespace bsplogp::logp {
 namespace {
@@ -75,17 +76,34 @@ std::vector<ProgramFn> random_traffic(ProcId p, int msgs_per_proc,
   return progs;
 }
 
+/// Sink that records each Delivery event's (destination, step), checking
+/// that the medium never delivers twice to one destination in one step —
+/// the successor of the old Options::on_delivery probe.
+class DeliveryProbe final : public trace::TraceSink {
+ public:
+  void emit(const trace::Event& e) override {
+    if (e.kind != trace::EventKind::Delivery) return;
+    deliveries += 1;
+    const bool fresh = delivered[e.proc].insert(e.t).second;
+    EXPECT_TRUE(fresh) << "two deliveries to proc " << e.proc << " at step "
+                       << e.t;
+  }
+
+  std::map<ProcId, std::set<Time>> delivered;
+  std::int64_t deliveries = 0;
+};
+
 RunStats run_with(SchedulerKind sched, AcceptOrder accept,
                   DeliverySchedule delivery, std::uint64_t seed,
                   const Params& prm, ProcId p,
                   std::span<const ProgramFn> progs,
-                  std::function<void(ProcId, Time)> probe = {}) {
+                  trace::TraceSink* sink = nullptr) {
   Machine::Options o;
   o.scheduler = sched;
   o.accept_order = accept;
   o.delivery = delivery;
   o.seed = seed;
-  o.on_delivery = std::move(probe);
+  o.sink = sink;
   Machine m(p, prm, o);
   return m.run(progs);
 }
@@ -150,26 +168,19 @@ TEST(SchedulerEquivalence, InvariantsHoldUnderStress) {
   // Randomized stress across the full policy grid: capacity never exceeds
   // ceil(L/G), the medium delivers at most one message per destination per
   // step, and every message is delivered within (accept, accept + L] —
-  // observed through the delivery probe.
+  // observed through the trace sink's Delivery events.
   const ProcId p = 24;
   const Params prm{16, 2, 4};  // capacity 4
   const auto progs = hotspot(p, 2);
   for (const AcceptOrder ao : kAccepts)
     for (const DeliverySchedule ds : kDeliveries) {
-      std::map<ProcId, std::set<Time>> delivered;
-      std::int64_t probes = 0;
-      auto probe = [&](ProcId dst, Time t) {
-        probes += 1;
-        const bool fresh = delivered[dst].insert(t).second;
-        EXPECT_TRUE(fresh) << "two deliveries to proc " << dst << " at step "
-                           << t;
-      };
+      DeliveryProbe probe;
       const RunStats st = run_with(SchedulerKind::Bucket, ao, ds, 5, prm, p,
-                                   progs, probe);
+                                   progs, &probe);
       EXPECT_TRUE(st.completed());
       EXPECT_LE(st.max_in_transit, prm.capacity());
-      EXPECT_EQ(probes, st.messages_delivered);
-      EXPECT_EQ(st.messages_delivered, static_cast<Time>(p - 1) * 2);
+      EXPECT_EQ(probe.deliveries, st.messages);
+      EXPECT_EQ(st.messages, static_cast<Time>(p - 1) * 2);
     }
 }
 

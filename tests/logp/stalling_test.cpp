@@ -29,7 +29,7 @@ TEST(LogpStalling, WithinCapacityNeverStalls) {
   Machine m(5, prm);
   const RunStats st = m.run(hotspot(5));
   EXPECT_TRUE(st.stall_free());
-  EXPECT_EQ(st.messages_delivered, 4);
+  EXPECT_EQ(st.messages, 4);
   EXPECT_LE(st.max_in_transit, prm.capacity());
 }
 
@@ -38,7 +38,7 @@ TEST(LogpStalling, OneOverCapacityStallsExactlyOne) {
   Machine m(6, prm);
   const RunStats st = m.run(hotspot(6));
   EXPECT_EQ(st.stall_events, 1);
-  EXPECT_EQ(st.messages_delivered, 5);
+  EXPECT_EQ(st.messages, 5);
 }
 
 TEST(LogpStalling, StallCountIsExcessOverCapacity) {
@@ -50,7 +50,7 @@ TEST(LogpStalling, StallCountIsExcessOverCapacity) {
     // acceptance is a recorded stall.
     EXPECT_EQ(st.stall_events, (p - 1) - prm.capacity()) << "p=" << p;
     EXPECT_LE(st.max_in_transit, prm.capacity());
-    EXPECT_EQ(st.messages_delivered, p - 1);
+    EXPECT_EQ(st.messages, p - 1);
     EXPECT_TRUE(st.completed());
   }
 }
@@ -67,7 +67,7 @@ TEST(LogpStalling, CapacityInvariantHoldsUnderAllPolicies) {
       Machine m(10, prm, o);
       const RunStats st = m.run(hotspot(10));
       EXPECT_LE(st.max_in_transit, prm.capacity());
-      EXPECT_EQ(st.messages_delivered, 9);
+      EXPECT_EQ(st.messages, 9);
       EXPECT_TRUE(st.completed());
     }
 }

@@ -323,8 +323,8 @@ TEST(LogpTiming, MachineIsReusableAcrossRuns) {
   const RunStats a = m.run(progs);
   const RunStats b = m.run(progs);
   EXPECT_EQ(a.finish_time, b.finish_time);
-  EXPECT_EQ(a.messages_delivered, 1);
-  EXPECT_EQ(b.messages_delivered, 1);
+  EXPECT_EQ(a.messages, 1);
+  EXPECT_EQ(b.messages, 1);
 }
 
 TEST(LogpTimingDeath, SelfSendViolatesModel) {

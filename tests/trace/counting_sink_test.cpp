@@ -1,0 +1,130 @@
+// CountingSink: the aggregate view must agree with the engine's own
+// RunStats accounting, attribute events to the right processors, pair
+// phase markers, and accumulate across runs.
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "src/bsp/machine.h"
+#include "src/logp/machine.h"
+#include "src/trace/counting_sink.h"
+#include "src/xsim/bsp_on_logp.h"
+
+namespace bsplogp::trace {
+namespace {
+
+std::vector<logp::ProgramFn> hotspot(ProcId p, Time k) {
+  std::vector<logp::ProgramFn> progs;
+  progs.emplace_back([p, k](logp::Proc& pr) -> logp::Task<> {
+    for (Time j = 0; j < static_cast<Time>(p - 1) * k; ++j)
+      (void)co_await pr.recv();
+  });
+  for (ProcId i = 1; i < p; ++i)
+    progs.emplace_back([k](logp::Proc& pr) -> logp::Task<> {
+      for (Time j = 0; j < k; ++j) co_await pr.send(0, j);
+    });
+  return progs;
+}
+
+logp::RunStats run_logp(CountingSink& sink, ProcId p, Time k,
+                        const logp::Params& prm) {
+  const auto progs = hotspot(p, k);
+  logp::Machine::Options o;
+  o.sink = &sink;
+  logp::Machine m(p, prm, o);
+  return m.run(std::span<const logp::ProgramFn>(progs));
+}
+
+TEST(CountingSink, CountersAgreeWithRunStats) {
+  CountingSink sink;
+  const ProcId p = 9;
+  const logp::Params prm{16, 1, 4};
+  const logp::RunStats st = run_logp(sink, p, 3, prm);
+
+  EXPECT_EQ(sink.runs(), 1);
+  EXPECT_EQ(sink.last_finish(), st.finish_time);
+  EXPECT_EQ(sink.count(EventKind::Submit), st.messages_submitted);
+  EXPECT_EQ(sink.count(EventKind::Delivery), st.messages);
+  EXPECT_EQ(sink.count(EventKind::Acquire), st.messages_acquired);
+  EXPECT_EQ(sink.count(EventKind::StallEnd), st.stall_events);
+
+  const DurationSummary stalls = sink.stall_summary();
+  EXPECT_EQ(stalls.count, st.stall_events);
+  EXPECT_EQ(stalls.total, st.stall_time_total);
+  EXPECT_EQ(stalls.max, st.stall_time_max);
+  EXPECT_LE(sink.max_queue_depth(), st.max_inbox);
+}
+
+TEST(CountingSink, AttributesEventsToProcessors) {
+  CountingSink sink;
+  const ProcId p = 5;
+  run_logp(sink, p, 2, logp::Params{16, 1, 4});
+  // All deliveries land on the hot spot (processor 0); every sender
+  // submitted, the receiver submitted nothing.
+  EXPECT_EQ(sink.count(EventKind::Delivery, 0), sink.count(EventKind::Delivery));
+  EXPECT_EQ(sink.count(EventKind::Submit, 0), 0);
+  std::int64_t submits = 0;
+  for (ProcId i = 1; i < p; ++i)
+    submits += sink.count(EventKind::Submit, i);
+  EXPECT_EQ(submits, sink.count(EventKind::Submit));
+  // Out-of-range processors simply count zero.
+  EXPECT_EQ(sink.count(EventKind::Submit, 1000), 0);
+}
+
+TEST(CountingSink, AccumulatesAcrossRuns) {
+  CountingSink sink;
+  const logp::Params prm{16, 1, 4};
+  const logp::RunStats first = run_logp(sink, 7, 2, prm);
+  run_logp(sink, 7, 2, prm);
+  EXPECT_EQ(sink.runs(), 2);
+  EXPECT_EQ(sink.count(EventKind::Delivery), 2 * first.messages);
+  EXPECT_EQ(sink.total(),
+            sink.count(EventKind::Submit) + sink.count(EventKind::Accept) +
+                sink.count(EventKind::StallBegin) +
+                sink.count(EventKind::StallEnd) +
+                sink.count(EventKind::Delivery) +
+                sink.count(EventKind::Acquire) +
+                sink.count(EventKind::GapWait) +
+                sink.count(EventKind::QueueDepth));
+}
+
+TEST(CountingSink, PhaseOccupancyFromXsimMarkers) {
+  const ProcId p = 4;
+  auto progs = bsp::make_programs(p, [p](bsp::Ctx& c) {
+    for (ProcId d = 0; d < p; ++d)
+      if (d != c.pid()) c.send(d, 1);
+    return c.superstep() < 1;
+  });
+  CountingSink sink;
+  xsim::BspOnLogpOptions opt;
+  opt.engine.sink = &sink;
+  xsim::BspOnLogp sim(p, logp::Params{8, 1, 2}, opt);
+  (void)sim.run(progs);
+
+  for (int ph = 0; ph < kNumSimPhases; ++ph) {
+    const auto phase = static_cast<SimPhase>(ph);
+    EXPECT_GT(sink.phase_count(phase), 0) << phase_name(phase);
+    EXPECT_GE(sink.time_in_phase(phase), 0) << phase_name(phase);
+  }
+  // Phases with network round-trips occupy real model time.
+  EXPECT_GT(sink.time_in_phase(SimPhase::Cb), 0);
+  EXPECT_GT(sink.time_in_phase(SimPhase::Sort), 0);
+}
+
+TEST(CountingSink, BspSuperstepCounting) {
+  const ProcId p = 3;
+  auto progs = bsp::make_programs(p, [](bsp::Ctx& c) {
+    return c.superstep() < 3;
+  });
+  CountingSink sink;
+  bsp::Machine::Options o;
+  o.sink = &sink;
+  bsp::Machine m(p, bsp::Params{2, 8}, o);
+  const bsp::RunStats st = m.run(progs);
+  EXPECT_EQ(sink.count(EventKind::SuperstepBegin), st.supersteps);
+  EXPECT_EQ(sink.count(EventKind::SuperstepEnd), st.supersteps);
+}
+
+}  // namespace
+}  // namespace bsplogp::trace

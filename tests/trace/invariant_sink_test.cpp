@@ -1,0 +1,105 @@
+// InvariantSink: clean engine runs must produce zero violations, and a
+// deliberately corrupted stream must be caught — proof the checks re-derive
+// the model rules from the events rather than trusting the engine.
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "src/logp/machine.h"
+#include "src/trace/invariant_sink.h"
+
+namespace bsplogp::trace {
+namespace {
+
+RunInfo logp_info(ProcId p, const logp::Params& prm) {
+  return RunInfo{"logp", p, prm.L, prm.o, prm.G, prm.capacity(), 0, 0};
+}
+
+TEST(InvariantSink, CleanHotspotRunHasZeroViolations) {
+  const ProcId p = 17;
+  const logp::Params prm{16, 1, 4};  // capacity 4: heavy stalling
+  std::vector<logp::ProgramFn> progs;
+  progs.emplace_back([p](logp::Proc& pr) -> logp::Task<> {
+    for (ProcId k = 1; k < p; ++k) (void)co_await pr.recv();
+  });
+  for (ProcId i = 1; i < p; ++i)
+    progs.emplace_back([](logp::Proc& pr) -> logp::Task<> {
+      co_await pr.send(0, 1);
+    });
+  InvariantSink sink;
+  logp::Machine::Options o;
+  o.sink = &sink;
+  logp::Machine m(p, prm, o);
+  const logp::RunStats st = m.run(std::span<const logp::ProgramFn>(progs));
+  EXPECT_TRUE(st.completed());
+  EXPECT_GT(st.stall_events, 0);  // the capacity constraint was binding
+  EXPECT_TRUE(sink.ok()) << (sink.messages().empty()
+                                 ? std::string{}
+                                 : sink.messages().front());
+  EXPECT_EQ(sink.violations(), 0);
+}
+
+TEST(InvariantSink, CatchesCapacityOverrun) {
+  const logp::Params prm{8, 1, 2};  // capacity 4
+  InvariantSink sink;
+  sink.run_begin(logp_info(4, prm));
+  // Five acceptances for destination 0 with no intervening delivery: one
+  // beyond ceil(L/G).
+  for (Time t = 0; t < 5; ++t)
+    sink.emit(Event::accept(1, t * prm.G, 0, t * prm.G));
+  sink.run_end(100);
+  EXPECT_FALSE(sink.ok());
+  EXPECT_EQ(sink.violations(), 1);
+}
+
+TEST(InvariantSink, CatchesDoubleDeliveryInOneStep) {
+  const logp::Params prm{8, 1, 2};
+  InvariantSink sink;
+  sink.run_begin(logp_info(4, prm));
+  sink.emit(Event::accept(1, 0, 0, 0));
+  sink.emit(Event::accept(2, 2, 0, 2));
+  sink.emit(Event::delivery(0, 6, 1));
+  sink.emit(Event::delivery(0, 6, 2));  // same destination, same step
+  sink.run_end(10);
+  EXPECT_FALSE(sink.ok());
+  EXPECT_GE(sink.violations(), 1);
+}
+
+TEST(InvariantSink, CatchesDeliveryWithoutAcceptance) {
+  const logp::Params prm{8, 1, 2};
+  InvariantSink sink;
+  sink.run_begin(logp_info(4, prm));
+  sink.emit(Event::delivery(0, 5, 1));  // nothing was ever accepted
+  sink.run_end(10);
+  EXPECT_FALSE(sink.ok());
+}
+
+TEST(InvariantSink, CatchesAcceptanceBeforeSubmission) {
+  const logp::Params prm{8, 1, 2};
+  InvariantSink sink;
+  sink.run_begin(logp_info(4, prm));
+  sink.emit(Event::accept(1, 3, 0, 7));  // accepted before submitted
+  sink.run_end(10);
+  EXPECT_FALSE(sink.ok());
+}
+
+TEST(InvariantSink, RunBeginResetsPerRunState) {
+  const logp::Params prm{8, 1, 2};
+  InvariantSink sink;
+  sink.run_begin(logp_info(4, prm));
+  for (Time t = 0; t < 4; ++t)
+    sink.emit(Event::accept(1, t * prm.G, 0, t * prm.G));  // at capacity
+  sink.run_end(50);
+  ASSERT_TRUE(sink.ok());
+  // A fresh run starts from an empty medium: four more acceptances are
+  // fine; violations would only accumulate if state leaked across runs.
+  sink.run_begin(logp_info(4, prm));
+  for (Time t = 0; t < 4; ++t)
+    sink.emit(Event::accept(1, t * prm.G, 0, t * prm.G));
+  sink.run_end(50);
+  EXPECT_TRUE(sink.ok());
+}
+
+}  // namespace
+}  // namespace bsplogp::trace

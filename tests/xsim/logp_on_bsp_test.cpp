@@ -58,7 +58,7 @@ TEST(LogpOnBsp, AllToAllMatchesNativeResults) {
   // L/2 = 4 steps: at most 2 per cycle <= capacity 4.
   EXPECT_TRUE(rep.capacity_ok);
   EXPECT_GT(rep.logical_finish, 0);
-  EXPECT_GT(rep.bsp.time, 0);
+  EXPECT_GT(rep.bsp.finish_time, 0);
 }
 
 TEST(LogpOnBsp, CyclesAreHalfL) {
@@ -99,7 +99,7 @@ TEST(LogpOnBsp, SlowdownScalesWithGRatio) {
     LogpOnBspOptions opt;
     opt.bsp = bsp::Params{g, prm.L};
     LogpOnBsp sim(p, prm, opt);
-    return sim.run(all_to_all(p, sums)).bsp.time;
+    return sim.run(all_to_all(p, sums)).bsp.finish_time;
   };
   const Time t1 = bsp_time(prm.G);
   const Time t8 = bsp_time(8 * prm.G);

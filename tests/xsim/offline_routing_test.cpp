@@ -25,7 +25,7 @@ TEST(OfflineRouting, RegularRelationHitsOptimalBound) {
       EXPECT_LE(rep.logp.finish_time, bound + prm.G + prm.o)
           << "p=" << p << " h=" << h;
       EXPECT_GE(rep.logp.finish_time, prm.o + (h - 1) * prm.G + 1);
-      EXPECT_EQ(rep.logp.messages_delivered,
+      EXPECT_EQ(rep.logp.messages,
                 static_cast<std::int64_t>(rel.size()));
     }
   }

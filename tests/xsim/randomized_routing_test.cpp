@@ -20,7 +20,7 @@ TEST(RandomizedRouting, DeliversEverything) {
       opt.seed = 42;
       const auto rep = route_randomized(rel, prm, opt);
       EXPECT_TRUE(rep.logp.completed()) << "p=" << p << " h=" << h;
-      EXPECT_EQ(rep.logp.messages_delivered,
+      EXPECT_EQ(rep.logp.messages,
                 static_cast<std::int64_t>(rel.size()));
       EXPECT_EQ(rep.logp.messages_acquired,
                 static_cast<std::int64_t>(rel.size()));
@@ -90,7 +90,7 @@ TEST(RandomizedRouting, HotspotCompletesDespiteStalling) {
   const auto rel = routing::hotspot(9, 0, 4);
   const auto rep = route_randomized(rel, prm);
   EXPECT_TRUE(rep.logp.completed());
-  EXPECT_EQ(rep.logp.messages_delivered,
+  EXPECT_EQ(rep.logp.messages,
             static_cast<std::int64_t>(rel.size()));
 }
 

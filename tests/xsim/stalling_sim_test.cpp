@@ -110,7 +110,7 @@ TEST(StallingSim, PreprocessedTimeChargesOnlyOverloadedSupersteps) {
   const auto rep = sim.run(hotspot(p, 2, out));
   ASSERT_GT(rep.overloaded_supersteps, 0);
 
-  const Time naive = rep.bsp.time;
+  const Time naive = rep.bsp.finish_time;
   const Time preproc =
       rep.preprocessed_time(opt.bsp, p, prm.capacity());
   EXPECT_GT(preproc, naive);
