@@ -6,6 +6,10 @@
 // (SchedulerKind::ReferenceHeap) — so BENCH_engine.json records events/sec,
 // model finish times, and the bucket/heap speedup per workload.
 //
+// It also anchors the sweep-runner trajectory: a deterministic model-time
+// grid is run serially and with --jobs N, the model results are asserted
+// identical, and the wall-clock ratio is recorded as `sweep_speedup`.
+//
 //   bench_engine_throughput --json BENCH_engine.json
 #include <chrono>
 #include <iostream>
@@ -14,6 +18,7 @@
 
 #include "bench/harness.h"
 #include "src/logp/machine.h"
+#include "src/workload/workload.h"
 
 using namespace bsplogp;
 
@@ -26,38 +31,6 @@ struct Workload {
   logp::DeliverySchedule delivery;
   std::vector<logp::ProgramFn> progs;
 };
-
-/// Hotspot: every other processor fires k messages at processor 0. The
-/// acceptance queue stays long (heavy Stalling Rule traffic) and processor
-/// 0's delivery window stays full — the exact pattern that stressed the
-/// std::set delivery slots and the priority queue.
-Workload hotspot(std::string name, ProcId p, Time k, logp::Params prm,
-                 logp::DeliverySchedule delivery) {
-  std::vector<logp::ProgramFn> progs;
-  progs.emplace_back([p, k](logp::Proc& pr) -> logp::Task<> {
-    for (Time j = 0; j < static_cast<Time>(p - 1) * k; ++j)
-      (void)co_await pr.recv();
-  });
-  for (ProcId i = 1; i < p; ++i)
-    progs.emplace_back([k](logp::Proc& pr) -> logp::Task<> {
-      for (Time j = 0; j < k; ++j) co_await pr.send(0, j);
-    });
-  return Workload{std::move(name), prm, p, delivery, std::move(progs)};
-}
-
-/// All-to-all: p(p-1) messages, deep event queue, every destination's
-/// window active at once.
-Workload all_to_all(std::string name, ProcId p, logp::Params prm) {
-  std::vector<logp::ProgramFn> progs;
-  for (ProcId i = 0; i < p; ++i)
-    progs.emplace_back([p](logp::Proc& pr) -> logp::Task<> {
-      for (ProcId d = 1; d < p; ++d)
-        co_await pr.send(static_cast<ProcId>((pr.id() + d) % p), d);
-      for (ProcId kk = 1; kk < p; ++kk) (void)co_await pr.recv();
-    });
-  return Workload{std::move(name), prm, p, logp::DeliverySchedule::Latest,
-                  std::move(progs)};
-}
 
 struct Measurement {
   double events_per_sec = 0;
@@ -94,28 +67,40 @@ Measurement measure(const Workload& w, logp::SchedulerKind sched,
 
 int main(int argc, char** argv) {
   bench::Reporter rep(argc, argv, "engine_throughput");
-  const double min_seconds = rep.smoke() ? 0.01 : 0.4;
-
-  std::vector<Workload> workloads;
-  if (rep.smoke()) {
-    workloads.push_back(hotspot("hotspot", 9, 2, logp::Params{64, 1, 2},
-                                logp::DeliverySchedule::Earliest));
-    workloads.push_back(all_to_all("alltoall", 8, logp::Params{16, 1, 2}));
-  } else {
-    workloads.push_back(hotspot("hotspot", 256, 4, logp::Params{256, 1, 2},
-                                logp::DeliverySchedule::Earliest));
-    workloads.push_back(hotspot("hotspot_smallcap", 65, 8,
-                                logp::Params{16, 1, 4},
-                                logp::DeliverySchedule::Latest));
-    workloads.push_back(all_to_all("alltoall", 128, logp::Params{16, 1, 2}));
-  }
-
-  std::cout << "Engine scheduler throughput: calendar/bucket queue vs the "
-               "priority-queue baseline\n\n";
+  rep.use_workloads({"hotspot", "all-to-all"});
   auto& s = rep.series(
       "throughput",
       {"workload", "p", "events/run", "bucket ev/s", "heap ev/s", "speedup",
        "model finish"});
+  auto& sweep_series = rep.series(
+      "sweep_scaling", {"grid points", "jobs", "serial s", "parallel s",
+                        "speedup", "model times equal"});
+  if (rep.list()) return rep.finish();
+
+  const double min_seconds = rep.smoke() ? 0.01 : 0.4;
+
+  std::vector<Workload> workloads;
+  if (rep.smoke()) {
+    workloads.push_back(Workload{"hotspot", logp::Params{64, 1, 2}, 9,
+                                 logp::DeliverySchedule::Earliest,
+                                 workload::hotspot(9, 2)});
+    workloads.push_back(Workload{"alltoall", logp::Params{16, 1, 2}, 8,
+                                 logp::DeliverySchedule::Latest,
+                                 workload::all_to_all(8)});
+  } else {
+    workloads.push_back(Workload{"hotspot", logp::Params{256, 1, 2}, 256,
+                                 logp::DeliverySchedule::Earliest,
+                                 workload::hotspot(256, 4)});
+    workloads.push_back(Workload{"hotspot_smallcap", logp::Params{16, 1, 4},
+                                 65, logp::DeliverySchedule::Latest,
+                                 workload::hotspot(65, 8)});
+    workloads.push_back(Workload{"alltoall", logp::Params{16, 1, 2}, 128,
+                                 logp::DeliverySchedule::Latest,
+                                 workload::all_to_all(128)});
+  }
+
+  std::cout << "Engine scheduler throughput: calendar/bucket queue vs the "
+               "priority-queue baseline\n\n";
   for (const Workload& w : workloads) {
     const Measurement bucket =
         measure(w, logp::SchedulerKind::Bucket, min_seconds);
@@ -149,6 +134,60 @@ int main(int argc, char** argv) {
   s.print(std::cout);
   std::cout << "\nspeedup = bucket events/sec over the priority-queue "
                "baseline; both schedulers\nreplay the identical event "
-               "sequence (RunStats are bit-identical per seed).\n";
+               "sequence (RunStats are bit-identical per seed).\n\n";
+
+  // SweepRunner scaling: the same deterministic model-time grid, run
+  // serially and with --jobs N. Model times must be identical (that is
+  // the sweep contract); the wall-clock ratio is the `sweep_speedup`
+  // trajectory metric.
+  {
+    struct Point {
+      ProcId p;
+      Time k;
+    };
+    std::vector<Point> grid;
+    const std::vector<ProcId> ps =
+        rep.smoke() ? std::vector<ProcId>{9, 17}
+                    : std::vector<ProcId>{17, 33, 65, 97, 129};
+    const std::vector<Time> ks = rep.smoke() ? std::vector<Time>{1, 2}
+                                             : std::vector<Time>{2, 4, 8, 16};
+    for (const ProcId p : ps)
+      for (const Time k : ks) grid.push_back(Point{p, k});
+
+    auto run_grid = [&](int jobs, double* seconds) {
+      using clock = std::chrono::steady_clock;
+      const auto t0 = clock::now();
+      const bench::SweepRunner grid_runner(jobs);
+      auto finishes =
+          grid_runner.map<Time>(grid.size(), [&](std::size_t i) {
+            logp::Machine m(grid[i].p, logp::Params{16, 1, 2});
+            return m.run(workload::hotspot(grid[i].p, grid[i].k))
+                .finish_time;
+          });
+      *seconds = std::chrono::duration<double>(clock::now() - t0).count();
+      return finishes;
+    };
+    double serial_s = 0, parallel_s = 0;
+    const auto serial = run_grid(1, &serial_s);
+    const auto parallel = run_grid(rep.jobs(), &parallel_s);
+    const bool equal = serial == parallel;
+    if (!equal) {
+      std::cerr << "sweep model times diverge between --jobs 1 and --jobs "
+                << rep.jobs() << "!\n";
+      return 1;
+    }
+    const double sweep_speedup = serial_s / parallel_s;
+    sweep_series.row({static_cast<std::int64_t>(grid.size()), rep.jobs(),
+                      bench::Cell(serial_s, 3), bench::Cell(parallel_s, 3),
+                      bench::Cell(sweep_speedup, 2), equal ? "yes" : "NO"});
+    sweep_series.print(std::cout);
+    rep.metric("sweep_speedup", sweep_speedup);
+    rep.metric("sweep_jobs", static_cast<std::int64_t>(rep.jobs()));
+    std::cout << "\nsweep_speedup = serial wall-clock over --jobs "
+              << rep.jobs()
+              << " wall-clock for the same grid;\nmodel finish times are "
+                 "asserted identical — parallelism never changes "
+                 "results.\n";
+  }
   return rep.finish();
 }

@@ -3,14 +3,13 @@
 // fast the engines chew through model events, so you can size sweeps.
 #include <benchmark/benchmark.h>
 
-#include "src/algo/logp_collectives.h"
-#include "src/algo/mailbox.h"
 #include "src/bsp/machine.h"
 #include "src/core/rng.h"
 #include "src/logp/machine.h"
 #include "src/net/packet_sim.h"
 #include "src/routing/bitonic.h"
 #include "src/routing/decompose.h"
+#include "src/workload/workload.h"
 
 using namespace bsplogp;
 
@@ -18,12 +17,7 @@ namespace {
 
 void BM_BspAllToAllSuperstep(benchmark::State& state) {
   const auto p = static_cast<ProcId>(state.range(0));
-  auto progs = bsp::make_programs(p, [p](bsp::Ctx& c) {
-    if (c.superstep() == 0)
-      for (ProcId d = 0; d < p; ++d)
-        if (d != c.pid()) c.send(d, 1);
-    return c.superstep() < 1;
-  });
+  auto progs = workload::relation_step(workload::all_pairs(p));
   bsp::Machine machine(p, bsp::Params{2, 8});
   std::int64_t messages = 0;
   for (auto _ : state) {
@@ -39,13 +33,7 @@ void BM_LogpAllToAll(benchmark::State& state) {
   const auto p = static_cast<ProcId>(state.range(0));
   const logp::Params prm{16, 1, 2};
   logp::Machine machine(p, prm);
-  std::vector<logp::ProgramFn> progs;
-  for (ProcId i = 0; i < p; ++i)
-    progs.emplace_back([p](logp::Proc& pr) -> logp::Task<> {
-      for (ProcId d = 1; d < p; ++d)
-        co_await pr.send(static_cast<ProcId>((pr.id() + d) % p), 1);
-      for (ProcId k = 1; k < p; ++k) (void)co_await pr.recv();
-    });
+  const auto progs = workload::all_to_all(p);
   std::int64_t messages = 0;
   for (auto _ : state) {
     const auto st = machine.run(progs);
@@ -60,12 +48,7 @@ void BM_LogpCombineBroadcast(benchmark::State& state) {
   const auto p = static_cast<ProcId>(state.range(0));
   const logp::Params prm{16, 1, 2};
   logp::Machine machine(p, prm);
-  std::vector<logp::ProgramFn> progs;
-  for (ProcId i = 0; i < p; ++i)
-    progs.emplace_back([i](logp::Proc& pr) -> logp::Task<> {
-      algo::Mailbox mb(pr);
-      (void)co_await algo::combine_broadcast(mb, i, algo::ReduceOp::Max);
-    });
+  const auto progs = workload::cb_rounds(p, 1);
   for (auto _ : state) {
     const auto st = machine.run(progs);
     benchmark::DoNotOptimize(st.finish_time);

@@ -17,18 +17,31 @@
 
 using namespace bsplogp;
 
+namespace {
+
+struct PointResult {
+  std::int64_t nprocs = 0;
+  double gamma_small = 0;
+  double gamma_large = 0;
+  double delta_small = 0;
+  double delta_large = 0;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bench::Reporter rep(argc, argv, "obs1_model_support");
   const int reps = rep.smoke() ? 2 : 6;
+  auto& table = rep.series(
+      "gamma_ratio", {"topology", "p", "gamma(small h)", "gamma(large h)",
+                      "ratio", "delta(small h)", "delta(large h)"});
+  if (rep.list()) return rep.finish();
+
   std::cout << "E8 / Observation 1: does restricting to small-degree "
                "relations buy better\nparameters? gamma fitted over h<=8 "
                "(LogP regime) vs h in [8,64] (BSP regime).\n\n";
   const std::vector<Time> small_h{1, 2, 4, 8};
   const std::vector<Time> large_h{8, 16, 32, 64};
-
-  auto& table = rep.series(
-      "gamma_ratio", {"topology", "p", "gamma(small h)", "gamma(large h)",
-                      "ratio", "delta(small h)", "delta(large h)"});
   const std::vector<net::TopologyKind> kinds =
       rep.smoke()
           ? std::vector<net::TopologyKind>{net::TopologyKind::Ring,
@@ -42,20 +55,26 @@ int main(int argc, char** argv) {
                 net::TopologyKind::CubeConnectedCycles,
                 net::TopologyKind::ShuffleExchange,
                 net::TopologyKind::MeshOfTrees};
-  for (const auto kind : kinds) {
-    const ProcId p = rep.smoke() ? 16 : 64;
-    const net::Topology topo = net::make_topology(kind, p);
-    const net::PacketSim sim(topo);
-    const auto fs = net::fit_route_params(sim, small_h, reps, 31);
-    const auto fl = net::fit_route_params(sim, large_h, reps, 37);
-    table.row({net::to_string(kind),
-               static_cast<std::int64_t>(topo.nprocs()),
-               bench::Cell(fs.gamma_hat(), 2),
-               bench::Cell(fl.gamma_hat(), 2),
-               bench::Cell(fl.gamma_hat() / std::max(fs.gamma_hat(), 0.05),
-                           2),
-               bench::Cell(fs.delta_hat(), 1),
-               bench::Cell(fl.delta_hat(), 1)});
+  const ProcId p = rep.smoke() ? 16 : 64;
+
+  const bench::SweepRunner runner(rep);
+  const auto results =
+      runner.map<PointResult>(kinds.size(), [&](std::size_t i) {
+        const net::Topology topo = net::make_topology(kinds[i], p);
+        const net::PacketSim sim(topo);
+        const auto fs = net::fit_route_params(sim, small_h, reps, 31);
+        const auto fl = net::fit_route_params(sim, large_h, reps, 37);
+        return PointResult{static_cast<std::int64_t>(topo.nprocs()),
+                           fs.gamma_hat(), fl.gamma_hat(), fs.delta_hat(),
+                           fl.delta_hat()};
+      });
+
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    const PointResult& r = results[i];
+    table.row({net::to_string(kinds[i]), r.nprocs,
+               bench::Cell(r.gamma_small, 2), bench::Cell(r.gamma_large, 2),
+               bench::Cell(r.gamma_large / std::max(r.gamma_small, 0.05), 2),
+               bench::Cell(r.delta_small, 1), bench::Cell(r.delta_large, 1)});
   }
   table.print(std::cout);
   std::cout << "\nShape check: the 'ratio' column stays within a small "

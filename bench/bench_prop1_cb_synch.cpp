@@ -7,61 +7,75 @@
 #include <iostream>
 
 #include "bench/harness.h"
-#include "src/algo/logp_collectives.h"
-#include "src/algo/mailbox.h"
 #include "src/logp/machine.h"
+#include "src/workload/workload.h"
 
 using namespace bsplogp;
 
 namespace {
 
-Time measure_cb(ProcId p, const logp::Params& prm) {
-  std::vector<logp::ProgramFn> progs;
-  for (ProcId i = 0; i < p; ++i)
-    progs.emplace_back([i](logp::Proc& pr) -> logp::Task<> {
-      algo::Mailbox mb(pr);
-      (void)co_await algo::combine_broadcast(mb, i, algo::ReduceOp::Max);
-    });
-  logp::Machine machine(p, prm);
-  const auto st = machine.run(progs);
-  if (!st.stall_free())
-    std::cerr << "WARNING: CB stalled at p=" << p << "\n";
-  return st.finish_time;
+struct Regime {
+  logp::Params prm;
+  const char* label;
+};
+
+struct Point {
+  const Regime* regime;
+  ProcId p;
+};
+
+struct PointResult {
+  Time t = 0;
+  bool stall_free = true;
+};
+
+PointResult run_point(const Point& pt) {
+  logp::Machine machine(pt.p, pt.regime->prm);
+  const auto st = machine.run(workload::cb_rounds(pt.p, 1));
+  return PointResult{st.finish_time, st.stall_free()};
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::Reporter rep(argc, argv, "prop1_cb_synch");
+  rep.use_workloads({"cb-rounds"});
+  auto& table = rep.series(
+      "cb_time", {"regime", "L", "G", "cap", "p", "T_CB", "formula",
+                  "ratio"});
+  if (rep.list()) return rep.finish();
+
   std::cout << "E3 / Propositions 1-2: Combine-and-Broadcast time\n"
                "T_CB = Theta(L log p / log(1 + ceil(L/G)))\n\n";
-  struct Regime {
-    logp::Params prm;
-    const char* label;
-  };
   const Regime regimes[] = {
       {{4, 1, 4}, "cap=1 (binary + parity rule)"},
       {{8, 1, 4}, "cap=2"},
       {{16, 1, 2}, "cap=8"},
       {{64, 1, 2}, "cap=32"},
   };
-  auto& table = rep.series(
-      "cb_time", {"regime", "L", "G", "cap", "p", "T_CB", "formula",
-                  "ratio"});
   const std::vector<ProcId> ps =
       rep.smoke() ? std::vector<ProcId>{4, 16}
                   : std::vector<ProcId>{4, 16, 64, 256, 1024};
-  for (const auto& [prm, label] : regimes) {
-    for (const ProcId p : ps) {
-      const Time t = measure_cb(p, prm);
-      const double cap = static_cast<double>(prm.capacity());
-      const double formula =
-          static_cast<double>(prm.L) *
-          std::log2(static_cast<double>(p)) / std::log2(1.0 + cap);
-      table.row({label, prm.L, prm.G, prm.capacity(), p, t,
-                 bench::Cell(formula, 1),
-                 bench::Cell(static_cast<double>(t) / formula, 2)});
-    }
+  std::vector<Point> grid;
+  for (const auto& regime : regimes)
+    for (const ProcId p : ps) grid.push_back(Point{&regime, p});
+
+  const bench::SweepRunner runner(rep);
+  const auto results = runner.map<PointResult>(
+      grid.size(), [&](std::size_t i) { return run_point(grid[i]); });
+
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto& [prm, label] = *grid[i].regime;
+    const ProcId p = grid[i].p;
+    if (!results[i].stall_free)
+      std::cerr << "WARNING: CB stalled at p=" << p << "\n";
+    const double cap = static_cast<double>(prm.capacity());
+    const double formula = static_cast<double>(prm.L) *
+                           std::log2(static_cast<double>(p)) /
+                           std::log2(1.0 + cap);
+    table.row({label, prm.L, prm.G, prm.capacity(), p, results[i].t,
+               bench::Cell(formula, 1),
+               bench::Cell(static_cast<double>(results[i].t) / formula, 2)});
   }
   table.print(std::cout);
   std::cout << "\nShape check: within each regime the ratio stabilizes as "

@@ -12,69 +12,68 @@
 #include <iostream>
 
 #include "bench/harness.h"
-#include "src/bsp/machine.h"
 #include "src/core/rng.h"
 #include "src/routing/h_relation.h"
+#include "src/workload/workload.h"
 #include "src/xsim/bsp_on_logp.h"
 
 using namespace bsplogp;
 
 namespace {
 
-std::vector<std::unique_ptr<bsp::ProcProgram>> relation_program(
-    const routing::HRelation& rel) {
-  auto messages = std::make_shared<std::vector<std::vector<Message>>>(
-      static_cast<std::size_t>(rel.nprocs()));
-  for (const Message& m : rel.messages())
-    (*messages)[static_cast<std::size_t>(m.src)].push_back(m);
-  return bsp::make_programs(rel.nprocs(), [messages](bsp::Ctx& c) {
-    if (c.superstep() == 0) {
-      for (const Message& m :
-           (*messages)[static_cast<std::size_t>(c.pid())])
-        c.send(m.dst, m.payload, m.tag);
-      return true;
-    }
-    return false;
-  });
-}
-
 Time simulate(const routing::HRelation& rel, const logp::Params& prm,
-              xsim::SortMethod method) {
-  auto progs = relation_program(rel);
+              xsim::SortMethod method, bool* clean) {
+  auto progs = workload::relation_step(rel);
   xsim::BspOnLogpOptions opt;
   opt.sort = method;
   xsim::BspOnLogp sim(rel.nprocs(), prm, opt);
   const auto rep = sim.run(progs);
-  if (!rep.logp.stall_free() || rep.schedule_violations != 0)
-    std::cerr << "WARNING: unclean run (method "
-              << static_cast<int>(method) << ")\n";
+  if (!rep.logp.stall_free() || rep.schedule_violations != 0) *clean = false;
   return rep.logp.finish_time;
 }
+
+struct PointResult {
+  Time bitonic = 0;
+  Time columnsort = 0;
+  bool clean = true;
+};
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::Reporter rep(argc, argv, "sorting_crossover");
+  rep.use_workloads({"h-relation-step"});
   const ProcId p = 8;  // columnsort threshold 2(p-1)^2 = 98
   const logp::Params prm{16, 1, 2};
-  std::cout << "E6 / Section 4.2: sorting-scheme crossover at p=" << p
-            << " (columnsort validity threshold r >= " << 2 * (p - 1) * (p - 1)
-            << ")\nLogP machine: L=16, o=1, G=2\n\n";
-  core::Rng rng(31);
-
   auto& table = rep.series(
       "crossover", {"r (=h)", "bitonic time", "columnsort time", "winner",
                     "col/bit ratio"});
+  if (rep.list()) return rep.finish();
+
+  std::cout << "E6 / Section 4.2: sorting-scheme crossover at p=" << p
+            << " (columnsort validity threshold r >= " << 2 * (p - 1) * (p - 1)
+            << ")\nLogP machine: L=16, o=1, G=2\n\n";
   const std::vector<Time> rs =
       rep.smoke() ? std::vector<Time>{1, 16, 128}
                   : std::vector<Time>{1, 4, 16, 64, 128, 256, 512, 1024};
-  for (const Time r : rs) {
-    const auto rel = routing::random_regular(p, r, rng);
-    const Time tb = simulate(rel, prm, xsim::SortMethod::Bitonic);
-    const Time tc = simulate(rel, prm, xsim::SortMethod::Columnsort);
-    table.row({r, tb, tc, tb <= tc ? "bitonic" : "columnsort",
-               bench::Cell(static_cast<double>(tc) /
-                               static_cast<double>(tb),
+
+  const bench::SweepRunner runner(rep);
+  const auto results = runner.map<PointResult>(rs.size(), [&](std::size_t i) {
+    core::Rng rng = core::rng_for_index(31, i);
+    const auto rel = routing::random_regular(p, rs[i], rng);
+    PointResult r;
+    r.bitonic = simulate(rel, prm, xsim::SortMethod::Bitonic, &r.clean);
+    r.columnsort = simulate(rel, prm, xsim::SortMethod::Columnsort, &r.clean);
+    return r;
+  });
+
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    const PointResult& r = results[i];
+    if (!r.clean) std::cerr << "WARNING: unclean run at r=" << rs[i] << "\n";
+    table.row({rs[i], r.bitonic, r.columnsort,
+               r.bitonic <= r.columnsort ? "bitonic" : "columnsort",
+               bench::Cell(static_cast<double>(r.columnsort) /
+                               static_cast<double>(r.bitonic),
                            2)});
   }
   table.print(std::cout);

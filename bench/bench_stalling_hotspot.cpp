@@ -12,10 +12,16 @@
 
 #include "bench/harness.h"
 #include "src/logp/machine.h"
+#include "src/workload/workload.h"
 
 using namespace bsplogp;
 
 namespace {
+
+struct Point {
+  ProcId p;
+  Time k;
+};
 
 struct Outcome {
   Time finish = 0;
@@ -24,60 +30,66 @@ struct Outcome {
   Time stall_max = 0;
 };
 
-Outcome hotspot(ProcId p, Time k, const logp::Params& prm, bool staged,
-                trace::TraceSink* sink) {
-  std::vector<logp::ProgramFn> progs;
-  progs.emplace_back([p, k](logp::Proc& pr) -> logp::Task<> {
-    for (Time j = 0; j < static_cast<Time>(p - 1) * k; ++j)
-      (void)co_await pr.recv();
-  });
-  for (ProcId i = 1; i < p; ++i)
-    progs.emplace_back([i, k, p, staged](logp::Proc& pr) -> logp::Task<> {
-      for (Time j = 0; j < k; ++j) {
-        if (staged) {
-          const Time slot =
-              (j * static_cast<Time>(p - 1) + i) * pr.params().G;
-          co_await pr.wait_until(
-              std::max<Time>(0, slot - pr.params().o));
-        }
-        co_await pr.send(0, j);
-      }
-    });
+Outcome run_hotspot(ProcId p, Time k, const logp::Params& prm, bool staged,
+                    trace::TraceSink* sink) {
   logp::Machine::Options mo;
   mo.sink = sink;
   logp::Machine machine(p, prm, mo);
-  const auto st = machine.run(progs);
+  const auto st = machine.run(workload::hotspot(p, k, staged));
   return Outcome{st.finish_time, st.stall_events, st.stall_time_total,
                  st.stall_time_max};
 }
+
+struct PointResult {
+  Outcome naive;
+  Outcome staged;
+};
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::Reporter rep(argc, argv, "stalling_hotspot");
+  rep.use_workloads({"hotspot"});
   const logp::Params prm{16, 1, 4};  // capacity 4
-  std::cout << "E5 / Section 2.2: Stalling Rule at a hot spot "
-               "(L=16, o=1, G=4, capacity 4)\n\n";
-
   auto& table = rep.series(
       "hotspot", {"p", "msgs n", "o+nG+L", "stall run", "staged run",
                   "stalls", "stall steps", "max stall", "G*n^2 bound"});
+  if (rep.list()) return rep.finish();
+
+  std::cout << "E5 / Section 2.2: Stalling Rule at a hot spot "
+               "(L=16, o=1, G=4, capacity 4)\n\n";
   const std::vector<ProcId> ps = rep.smoke()
                                      ? std::vector<ProcId>{9}
                                      : std::vector<ProcId>{9, 17, 33, 65};
   const std::vector<Time> ks =
       rep.smoke() ? std::vector<Time>{1} : std::vector<Time>{1, 4};
-  for (const ProcId p : ps) {
-    for (const Time k : ks) {
-      const Time n = static_cast<Time>(p - 1) * k;
-      const auto naive = hotspot(p, k, prm, false, rep.trace_sink());
-      const auto staged = hotspot(p, k, prm, true, rep.trace_sink());
-      table.row({p, n, prm.o + n * prm.G + prm.L, naive.finish,
-                 staged.finish, naive.stalls, naive.stall_total,
-                 naive.stall_max, prm.G * n * n});
-    }
+  std::vector<Point> grid;
+  for (const ProcId p : ps)
+    for (const Time k : ks) grid.push_back(Point{p, k});
+
+  const bench::SweepRunner runner(rep);
+  const auto results =
+      runner.map<PointResult>(grid.size(), [&](std::size_t i) {
+        return PointResult{
+            run_hotspot(grid[i].p, grid[i].k, prm, false, nullptr),
+            run_hotspot(grid[i].p, grid[i].k, prm, true, nullptr)};
+      });
+
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto& [p, k] = grid[i];
+    const Time n = static_cast<Time>(p - 1) * k;
+    const auto& r = results[i];
+    table.row({p, n, prm.o + n * prm.G + prm.L, r.naive.finish,
+               r.staged.finish, r.naive.stalls, r.naive.stall_total,
+               r.naive.stall_max, prm.G * n * n});
   }
   table.print(std::cout);
+  if (rep.trace_sink() != nullptr) {
+    (void)run_hotspot(grid.front().p, grid.front().k, prm, false,
+                      rep.trace_sink());
+    (void)run_hotspot(grid.front().p, grid.front().k, prm, true,
+                      rep.trace_sink());
+  }
   std::cout << "\nShape check: both runs track o+nG+L (bandwidth-bound "
                "drain, claim a+c); the\nstalling run is far below the "
                "G*n^2 worst case (claim b); senders' lost time\ngrows "

@@ -17,63 +17,78 @@
 
 #include "bench/harness.h"
 #include "src/logp/machine.h"
+#include "src/workload/workload.h"
 #include "src/xsim/logp_on_bsp.h"
 
 using namespace bsplogp;
 
 namespace {
 
-std::vector<logp::ProgramFn> hotspot_program(ProcId p, Time k) {
-  std::vector<logp::ProgramFn> progs;
-  progs.emplace_back([p, k](logp::Proc& pr) -> logp::Task<> {
-    for (Time j = 0; j < static_cast<Time>(p - 1) * k; ++j)
-      (void)co_await pr.recv();
-  });
-  for (ProcId i = 1; i < p; ++i)
-    progs.emplace_back([k](logp::Proc& pr) -> logp::Task<> {
-      for (Time j = 0; j < k; ++j) co_await pr.send(0, j);
-    });
-  return progs;
+struct PointResult {
+  Time t_native = 0;
+  Time t_bsp = 0;
+  Time t_preproc = 0;
+  std::int64_t stalls = 0;
+  std::int64_t overloaded = 0;
+};
+
+PointResult run_point(ProcId p, Time k, const logp::Params& prm,
+                      const bsp::Params& host) {
+  logp::Machine native(p, prm);
+  const auto nat = native.run(workload::hotspot(p, k));
+
+  xsim::LogpOnBspOptions opt;
+  opt.bsp = host;
+  xsim::LogpOnBsp sim(p, prm, opt);
+  const auto rp = sim.run(workload::hotspot(p, k));
+
+  PointResult r;
+  r.t_native = nat.finish_time;
+  r.t_bsp = rp.bsp.finish_time;
+  r.t_preproc = rp.preprocessed_time(opt.bsp, p, prm.capacity());
+  r.stalls = rp.stall_events;
+  r.overloaded = rp.overloaded_supersteps;
+  return r;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::Reporter rep(argc, argv, "stalling_sim_gap");
+  rep.use_workloads({"hotspot"});
   const logp::Params prm{16, 1, 4};  // capacity 4
-  std::cout << "E9 / Section 3: stalling LogP programs on BSP\n"
-               "workload: all-to-one (stalls by design); L=16, o=1, G=4; "
-               "BSP host g=G, l=L\n\n";
-
+  const bsp::Params host{prm.G, prm.L};
   auto& table = rep.series(
       "stalling_sim",
       {"p", "msgs", "T_LogP", "T_BSP(oracle)", "oracle slow",
        "T_BSP(preproc)", "preproc slow", "((l+g)/G)log p", "stalls",
        "overloaded steps"});
+  if (rep.list()) return rep.finish();
+
+  std::cout << "E9 / Section 3: stalling LogP programs on BSP\n"
+               "workload: all-to-one (stalls by design); L=16, o=1, G=4; "
+               "BSP host g=G, l=L\n\n";
   const std::vector<ProcId> ps = rep.smoke()
                                      ? std::vector<ProcId>{9}
                                      : std::vector<ProcId>{9, 17, 33, 65};
-  for (const ProcId p : ps) {
-    const Time k = 2;
-    logp::Machine native(p, prm);
-    const auto nat = native.run(hotspot_program(p, k));
+  const Time k = 2;
 
-    xsim::LogpOnBspOptions opt;
-    opt.bsp = bsp::Params{prm.G, prm.L};
-    xsim::LogpOnBsp sim(p, prm, opt);
-    const auto rp = sim.run(hotspot_program(p, k));
+  const bench::SweepRunner runner(rep);
+  const auto results = runner.map<PointResult>(ps.size(), [&](std::size_t i) {
+    return run_point(ps[i], k, prm, host);
+  });
 
-    const auto tn = static_cast<double>(nat.finish_time);
-    const Time preproc = rp.preprocessed_time(opt.bsp, p, prm.capacity());
-    const double bound = (static_cast<double>(opt.bsp.l + opt.bsp.g) /
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    const ProcId p = ps[i];
+    const PointResult& r = results[i];
+    const auto tn = static_cast<double>(r.t_native);
+    const double bound = (static_cast<double>(host.l + host.g) /
                           static_cast<double>(prm.G)) *
                          std::log2(static_cast<double>(p));
-    table.row({p, static_cast<Time>(p - 1) * k, nat.finish_time,
-               rp.bsp.finish_time,
-               bench::Cell(static_cast<double>(rp.bsp.finish_time) / tn, 2),
-               preproc, bench::Cell(static_cast<double>(preproc) / tn, 2),
-               bench::Cell(bound, 1), rp.stall_events,
-               rp.overloaded_supersteps});
+    table.row({p, static_cast<Time>(p - 1) * k, r.t_native, r.t_bsp,
+               bench::Cell(static_cast<double>(r.t_bsp) / tn, 2), r.t_preproc,
+               bench::Cell(static_cast<double>(r.t_preproc) / tn, 2),
+               bench::Cell(bound, 1), r.stalls, r.overloaded});
   }
   table.print(std::cout);
   std::cout

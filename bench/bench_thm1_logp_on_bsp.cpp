@@ -8,89 +8,104 @@
 #include <iostream>
 
 #include "bench/harness.h"
-#include "src/algo/logp_collectives.h"
-#include "src/algo/mailbox.h"
 #include "src/logp/machine.h"
+#include "src/workload/workload.h"
 #include "src/xsim/logp_on_bsp.h"
 
 using namespace bsplogp;
 
 namespace {
 
-std::vector<logp::ProgramFn> all_to_all(ProcId p) {
-  std::vector<logp::ProgramFn> progs;
-  for (ProcId i = 0; i < p; ++i)
-    progs.emplace_back([p](logp::Proc& pr) -> logp::Task<> {
-      for (ProcId d = 1; d < p; ++d)
-        co_await pr.send(static_cast<ProcId>((pr.id() + d) % p), d);
-      for (ProcId k = 1; k < p; ++k) (void)co_await pr.recv();
-    });
-  return progs;
-}
+/// One cell of the (workload, p, g/G, l/L) sweep grid.
+struct Point {
+  const char* name;
+  std::function<std::vector<logp::ProgramFn>()> make;
+  ProcId p;
+  Time gr;
+  Time lr;
+};
 
-std::vector<logp::ProgramFn> cb_rounds(ProcId p, int rounds) {
-  std::vector<logp::ProgramFn> progs;
-  for (ProcId i = 0; i < p; ++i)
-    progs.emplace_back([i, rounds](logp::Proc& pr) -> logp::Task<> {
-      algo::Mailbox mb(pr);
-      Word v = i;
-      for (int k = 0; k < rounds; ++k)
-        v = co_await algo::combine_broadcast(mb, v, algo::ReduceOp::Max);
-    });
-  return progs;
-}
+/// What one grid point measures. Everything the table row needs comes back
+/// in one value, so points can run on any thread in any order.
+struct PointResult {
+  Time t_native = 0;
+  Time t_bsp = 0;
+  double slowdown = 0;
+  double predicted = 0;
+  bool capacity_ok = false;
+};
 
-void sweep(const std::string& name,
-           const std::function<std::vector<logp::ProgramFn>()>& make,
-           ProcId p, const logp::Params& prm, bool smoke, bench::Series& s,
-           double& worst_ratio, trace::TraceSink* sink) {
-  logp::Machine native(p, prm);
-  const auto native_stats = native.run(make());
-  const std::vector<Time> grs = smoke ? std::vector<Time>{1, 4}
-                                      : std::vector<Time>{1, 2, 4, 8};
-  const std::vector<Time> lrs =
-      smoke ? std::vector<Time>{1} : std::vector<Time>{1, 4, 16};
-  for (const Time gr : grs) {
-    for (const Time lr : lrs) {
-      xsim::LogpOnBspOptions opt;
-      opt.bsp = bsp::Params{gr * prm.G, lr * prm.L};
-      opt.sink = sink;
-      xsim::LogpOnBsp sim(p, prm, opt);
-      const auto rep = sim.run(make());
-      const double slow = static_cast<double>(rep.bsp.finish_time) /
-                          static_cast<double>(native_stats.finish_time);
-      const double predicted = xsim::predicted_slowdown_thm1(prm, opt.bsp);
-      worst_ratio = std::max(worst_ratio, slow / predicted);
-      s.row({name, p, gr, lr, native_stats.finish_time, rep.bsp.finish_time,
-             bench::Cell(slow, 2), bench::Cell(predicted, 1),
-             bench::Cell(slow / predicted, 2),
-             rep.capacity_ok ? "yes" : "NO"});
-    }
-  }
+PointResult run_point(const Point& pt, const logp::Params& prm,
+                      trace::TraceSink* sink) {
+  logp::Machine native(pt.p, prm);
+  const auto native_stats = native.run(pt.make());
+  xsim::LogpOnBspOptions opt;
+  opt.bsp = bsp::Params{pt.gr * prm.G, pt.lr * prm.L};
+  opt.sink = sink;
+  xsim::LogpOnBsp sim(pt.p, prm, opt);
+  const auto rep = sim.run(pt.make());
+  PointResult r;
+  r.t_native = native_stats.finish_time;
+  r.t_bsp = rep.bsp.finish_time;
+  r.slowdown =
+      static_cast<double>(r.t_bsp) / static_cast<double>(r.t_native);
+  r.predicted = xsim::predicted_slowdown_thm1(prm, opt.bsp);
+  r.capacity_ok = rep.capacity_ok;
+  return r;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::Reporter rep(argc, argv, "thm1_logp_on_bsp");
-  std::cout << "E1 / Theorem 1: stall-free LogP on BSP, slowdown "
-               "O(1 + g/G + l/L)\n"
-               "LogP machine: L=16, o=1, G=4 (capacity 4)\n\n";
+  rep.use_workloads({"all-to-all", "cb-rounds"});
   const logp::Params prm{16, 1, 4};
   auto& s = rep.series("slowdown_grid",
                        {"workload", "p", "g/G", "l/L", "T_LogP", "T_BSP",
                         "slowdown", "1+g/G+l/L", "ratio", "stallfree"});
-  double worst_ratio = 0;
+  if (rep.list()) return rep.finish();
+
+  std::cout << "E1 / Theorem 1: stall-free LogP on BSP, slowdown "
+               "O(1 + g/G + l/L)\n"
+               "LogP machine: L=16, o=1, G=4 (capacity 4)\n\n";
   const std::vector<ProcId> ps =
       rep.smoke() ? std::vector<ProcId>{8} : std::vector<ProcId>{16, 64};
-  for (const ProcId p : ps) {
-    sweep("all-to-all", [p] { return all_to_all(p); }, p, prm, rep.smoke(),
-          s, worst_ratio, rep.trace_sink());
-    sweep("cb-x4", [p] { return cb_rounds(p, 4); }, p, prm, rep.smoke(), s,
-          worst_ratio, rep.trace_sink());
+  const std::vector<Time> grs = rep.smoke() ? std::vector<Time>{1, 4}
+                                            : std::vector<Time>{1, 2, 4, 8};
+  const std::vector<Time> lrs =
+      rep.smoke() ? std::vector<Time>{1} : std::vector<Time>{1, 4, 16};
+
+  std::vector<Point> grid;
+  for (const ProcId p : ps)
+    for (const auto& [name, make] :
+         {std::pair<const char*, std::function<std::vector<logp::ProgramFn>()>>{
+              "all-to-all", [p] { return workload::all_to_all(p); }},
+          {"cb-x4", [p] { return workload::cb_rounds(p, 4); }}})
+      for (const Time gr : grs)
+        for (const Time lr : lrs)
+          grid.push_back(Point{name, make, p, gr, lr});
+
+  const bench::SweepRunner runner(rep);
+  const auto results = runner.map<PointResult>(
+      grid.size(),
+      [&](std::size_t i) { return run_point(grid[i], prm, nullptr); });
+
+  double worst_ratio = 0;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const Point& pt = grid[i];
+    const PointResult& r = results[i];
+    worst_ratio = std::max(worst_ratio, r.slowdown / r.predicted);
+    s.row({pt.name, pt.p, pt.gr, pt.lr, r.t_native, r.t_bsp,
+           bench::Cell(r.slowdown, 2), bench::Cell(r.predicted, 1),
+           bench::Cell(r.slowdown / r.predicted, 2),
+           r.capacity_ok ? "yes" : "NO"});
   }
   s.print(std::cout);
   rep.metric("worst_ratio", worst_ratio);
+  // Representative traced run, on this thread: ChromeTraceSink is not
+  // thread-safe, so traces never come from sweep workers.
+  if (rep.trace_sink() != nullptr)
+    (void)run_point(grid.front(), prm, rep.trace_sink());
   std::cout << "\nShape check: 'ratio' (measured/predicted) should stay "
                "within a constant band\nacross the grid — the paper's "
                "slowdown is Theta(1 + g/G + l/L).\n";

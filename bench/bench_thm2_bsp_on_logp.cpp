@@ -11,76 +11,100 @@
 #include <iostream>
 
 #include "bench/harness.h"
-#include "src/bsp/machine.h"
 #include "src/core/rng.h"
 #include "src/routing/h_relation.h"
+#include "src/workload/workload.h"
 #include "src/xsim/bsp_on_logp.h"
 
 using namespace bsplogp;
 
 namespace {
 
-/// One-superstep program: processor i sends its part of `rel`, then reads
-/// its inbox in the next superstep.
-std::vector<std::unique_ptr<bsp::ProcProgram>> relation_program(
-    const routing::HRelation& rel) {
-  auto messages = std::make_shared<std::vector<std::vector<Message>>>(
-      static_cast<std::size_t>(rel.nprocs()));
-  for (const Message& m : rel.messages())
-    (*messages)[static_cast<std::size_t>(m.src)].push_back(m);
-  return bsp::make_programs(rel.nprocs(), [messages](bsp::Ctx& c) {
-    if (c.superstep() == 0) {
-      for (const Message& m :
-           (*messages)[static_cast<std::size_t>(c.pid())])
-        c.send(m.dst, m.payload, m.tag);
-      return true;
-    }
-    return false;
-  });
+struct Point {
+  ProcId p;
+  Time h;
+};
+
+struct PointResult {
+  Time r = 0;
+  Time s = 0;
+  Time cycles = 0;
+  Time t_sim = 0;
+  Time ref = 0;
+  bool stall_free = false;
+  std::int64_t violations = 0;
+};
+
+PointResult run_point(const Point& pt, const logp::Params& prm,
+                      std::uint64_t base_seed, std::size_t index,
+                      trace::TraceSink* sink) {
+  // Each grid point draws its relation from its own rng_for_index stream:
+  // the relation is a pure function of (base_seed, index), independent of
+  // which thread runs the point and in what order.
+  core::Rng rng = core::rng_for_index(base_seed, index);
+  const auto rel = routing::random_regular(pt.p, pt.h, rng);
+  auto progs = workload::relation_step(rel);
+  xsim::BspOnLogpOptions opt;
+  opt.engine.sink = sink;
+  xsim::BspOnLogp sim(pt.p, prm, opt);
+  const auto rp = sim.run(progs);
+  PointResult r;
+  r.t_sim = rp.logp.finish_time;
+  // The reference BSP cost of the communication superstep alone.
+  for (const auto& st : rp.steps) r.ref += st.w_max + prm.G * st.h + prm.L;
+  const auto& s0 = rp.steps.front();
+  r.r = s0.r;
+  r.s = s0.s;
+  r.cycles = s0.h;
+  r.stall_free = rp.logp.stall_free();
+  r.violations = rp.schedule_violations;
+  return r;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::Reporter rep(argc, argv, "thm2_bsp_on_logp");
-  std::cout << "E2 / Theorem 2: BSP superstep on stall-free LogP\n"
-               "LogP machine: L=16, o=1, G=2 (capacity 8); workload: random "
-               "h-regular relation\n\n";
+  rep.use_workloads({"h-relation-step"});
   const logp::Params prm{16, 1, 2};
-  core::Rng rng(4242);
+  const std::uint64_t base_seed = 4242;
 
   auto& table =
       rep.series("slowdown_vs_h", {"p", "h", "r", "s", "cycles", "T_LogP",
                                    "w+G*h+L", "S (slowdown)", "stallfree",
                                    "violations"});
+  if (rep.list()) return rep.finish();
+
+  std::cout << "E2 / Theorem 2: BSP superstep on stall-free LogP\n"
+               "LogP machine: L=16, o=1, G=2 (capacity 8); workload: random "
+               "h-regular relation\n\n";
   const std::vector<ProcId> ps = rep.smoke()
                                      ? std::vector<ProcId>{4}
                                      : std::vector<ProcId>{4, 8, 16, 64};
   const std::vector<Time> hs =
       rep.smoke() ? std::vector<Time>{1, 16}
                   : std::vector<Time>{1, 4, 16, 64, 256, 1024};
-  for (const ProcId p : ps) {
-    for (const Time h : hs) {
-      const auto rel = routing::random_regular(p, h, rng);
-      auto progs = relation_program(rel);
-      xsim::BspOnLogpOptions opt;
-      opt.engine.sink = rep.trace_sink();
-      xsim::BspOnLogp sim(p, prm, opt);
-      const auto rp = sim.run(progs);
-      // The reference BSP cost of the communication superstep alone.
-      Time ref = 0, tsim = rp.logp.finish_time;
-      for (const auto& st : rp.steps)
-        ref += st.w_max + prm.G * st.h + prm.L;
-      const auto& s0 = rp.steps.front();
-      table.row({p, h, s0.r, s0.s, s0.h, tsim, ref,
-                 bench::Cell(static_cast<double>(tsim) /
-                                 static_cast<double>(ref),
-                             2),
-                 rp.logp.stall_free() ? "yes" : "NO",
-                 rp.schedule_violations});
-    }
+  std::vector<Point> grid;
+  for (const ProcId p : ps)
+    for (const Time h : hs) grid.push_back(Point{p, h});
+
+  const bench::SweepRunner runner(rep);
+  const auto results =
+      runner.map<PointResult>(grid.size(), [&](std::size_t i) {
+        return run_point(grid[i], prm, base_seed, i, nullptr);
+      });
+
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const PointResult& r = results[i];
+    table.row({grid[i].p, grid[i].h, r.r, r.s, r.cycles, r.t_sim, r.ref,
+               bench::Cell(static_cast<double>(r.t_sim) /
+                               static_cast<double>(r.ref),
+                           2),
+               r.stall_free ? "yes" : "NO", r.violations});
   }
   table.print(std::cout);
+  if (rep.trace_sink() != nullptr)
+    (void)run_point(grid.front(), prm, base_seed, 0, rep.trace_sink());
   std::cout
       << "\nShape check: for fixed p, S falls as h grows (synchronization "
          "and sorting\namortize) and flattens once Columnsort takes over "

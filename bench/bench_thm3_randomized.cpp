@@ -16,57 +16,92 @@
 
 using namespace bsplogp;
 
+namespace {
+
+struct Regime {
+  logp::Params prm;
+  const char* label;
+};
+
+struct Point {
+  const Regime* regime;
+  Time h;
+};
+
+struct PointResult {
+  int clean = 0;
+  double stalls = 0;
+  double leftover = 0;
+  double mean_norm = 0;
+  double bound = 0;
+};
+
+PointResult run_point(const Point& pt, ProcId p, int seeds,
+                      std::uint64_t base_seed, std::size_t index) {
+  const auto& [prm, label] = *pt.regime;
+  core::Rng rng = core::rng_for_index(base_seed, index);
+  PointResult r;
+  std::vector<double> norm;
+  for (int t = 0; t < seeds; ++t) {
+    const auto rel = routing::random_regular(p, pt.h, rng);
+    xsim::RandomizedRoutingOptions opt;
+    opt.oversample = 2.0;
+    opt.seed = 1000 + static_cast<std::uint64_t>(t);
+    const auto rp = route_randomized(rel, prm, opt);
+    r.clean += rp.clean();
+    r.stalls += static_cast<double>(rp.logp.stall_events);
+    r.leftover += static_cast<double>(rp.leftover);
+    norm.push_back(static_cast<double>(rp.protocol_time()) /
+                   static_cast<double>(prm.G * pt.h));
+  }
+  r.stalls /= seeds;
+  r.leftover /= seeds;
+  r.mean_norm = core::mean(norm);
+  r.bound = static_cast<double>(
+                xsim::RandomizedRoutingReport::bound(prm, pt.h, 2.0)) /
+            static_cast<double>(prm.G * pt.h);
+  return r;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bench::Reporter rep(argc, argv, "thm3_randomized");
+  rep.use_workloads({"h-relation-step"});
   const int seeds = rep.smoke() ? 3 : 20;
+  auto& table = rep.series(
+      "clean_runs", {"regime", "h", "clean", "stalls(avg)", "leftover(avg)",
+                     "time/Gh (avg)", "bound/Gh"});
+  if (rep.list()) return rep.finish();
+
   std::cout << "E4 / Theorem 3: randomized routing of known-degree "
                "h-relations\noversample = 2 (R = 2h/cap rounds); "
             << seeds << " seeds per point\n\n";
   const ProcId p = 32;
-  struct Regime {
-    logp::Params prm;
-    const char* label;
-  };
   // log2(32) = 5: capacities below/at/above the theorem's threshold.
   const Regime regimes[] = {
       {{8, 1, 2}, "cap=4  (< log p)"},
       {{16, 1, 2}, "cap=8  (~ 1.6 log p)"},
       {{64, 1, 2}, "cap=32 (~ 6 log p)"},
   };
-  core::Rng rng(9);
-
-  auto& table = rep.series(
-      "clean_runs", {"regime", "h", "clean", "stalls(avg)", "leftover(avg)",
-                     "time/Gh (avg)", "bound/Gh"});
   const std::vector<Time> hs = rep.smoke() ? std::vector<Time>{8}
                                            : std::vector<Time>{8, 32, 128};
-  for (const auto& [prm, label] : regimes) {
-    for (const Time h : hs) {
-      int clean = 0;
-      double stalls = 0, leftover = 0;
-      std::vector<double> norm;
-      for (int t = 0; t < seeds; ++t) {
-        const auto rel = routing::random_regular(p, h, rng);
-        xsim::RandomizedRoutingOptions opt;
-        opt.oversample = 2.0;
-        opt.seed = 1000 + static_cast<std::uint64_t>(t);
-        const auto rp = route_randomized(rel, prm, opt);
-        clean += rp.clean();
-        stalls += static_cast<double>(rp.logp.stall_events);
-        leftover += static_cast<double>(rp.leftover);
-        norm.push_back(static_cast<double>(rp.protocol_time()) /
-                       static_cast<double>(prm.G * h));
-      }
-      const double bound =
-          static_cast<double>(
-              xsim::RandomizedRoutingReport::bound(prm, h, 2.0)) /
-          static_cast<double>(prm.G * h);
-      table.row({label, h,
-                 std::to_string(clean) + "/" + std::to_string(seeds),
-                 bench::Cell(stalls / seeds, 1),
-                 bench::Cell(leftover / seeds, 1),
-                 bench::Cell(core::mean(norm), 2), bench::Cell(bound, 2)});
-    }
+  std::vector<Point> grid;
+  for (const auto& regime : regimes)
+    for (const Time h : hs) grid.push_back(Point{&regime, h});
+
+  const bench::SweepRunner runner(rep);
+  const auto results =
+      runner.map<PointResult>(grid.size(), [&](std::size_t i) {
+        return run_point(grid[i], p, seeds, 9, i);
+      });
+
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const PointResult& r = results[i];
+    table.row({grid[i].regime->label, grid[i].h,
+               std::to_string(r.clean) + "/" + std::to_string(seeds),
+               bench::Cell(r.stalls, 1), bench::Cell(r.leftover, 1),
+               bench::Cell(r.mean_norm, 2), bench::Cell(r.bound, 2)});
   }
   table.print(std::cout);
   std::cout << "\nShape check: clean-run fraction rises toward 1 as "

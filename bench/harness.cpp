@@ -2,12 +2,14 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <ostream>
 
 #include "src/core/contracts.h"
 #include "src/core/table.h"
+#include "src/workload/workload.h"
 
 namespace bsplogp::bench {
 
@@ -17,6 +19,22 @@ std::string real_to_json(double v) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.17g", v);
   return buf;
+}
+
+[[noreturn]] void usage_and_exit(const std::string& name,
+                                 const std::string& complaint) {
+  std::cerr << "bench_" << name << ": " << complaint << "\n"
+            << "usage: bench_" << name
+            << " [--smoke] [--jobs N] [--json <path>] [--trace <path>]"
+               " [--list]\n"
+            << "  --smoke        tiny CI sweep (ctest -L bench_smoke)\n"
+            << "  --jobs N       run sweep grid points on N threads;"
+               " output is identical for every N\n"
+            << "  --json <path>  also write the machine-readable document\n"
+            << "  --trace <path> Chrome trace-event JSON of the traced runs\n"
+            << "  --list         list workload families and series, run"
+               " nothing\n";
+  std::exit(2);
 }
 
 }  // namespace
@@ -116,15 +134,38 @@ Reporter::Reporter(int argc, char** argv, std::string bench_name)
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       smoke_ = true;
-    } else if (arg == "--json" && i + 1 < argc) {
+    } else if (arg == "--list") {
+      list_ = true;
+    } else if (arg == "--json") {
+      if (i + 1 >= argc) usage_and_exit(name_, "--json needs a path");
       json_path_ = argv[++i];
-    } else if (arg == "--trace" && i + 1 < argc) {
+    } else if (arg == "--trace") {
+      if (i + 1 >= argc) usage_and_exit(name_, "--trace needs a path");
       trace_path_ = argv[++i];
+    } else if (arg == "--jobs") {
+      if (i + 1 >= argc) usage_and_exit(name_, "--jobs needs a count");
+      char* end = nullptr;
+      const long v = std::strtol(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || v < 1 || v > 4096)
+        usage_and_exit(name_, std::string("bad --jobs value '") + argv[i] +
+                                  "' (want an integer >= 1)");
+      jobs_ = static_cast<int>(v);
+    } else {
+      usage_and_exit(name_, "unknown flag '" + arg + "'");
     }
-    // Unknown flags are ignored so wrappers can pass extra options through.
   }
   if (!trace_path_.empty())
     trace_ = std::make_unique<trace::ChromeTraceSink>();
+}
+
+void Reporter::use_workloads(std::vector<std::string> names) {
+  for (const std::string& n : names)
+    if (workload::find(n) == nullptr) {
+      std::cerr << "bench_" << name_ << ": use_workloads(\"" << n
+                << "\"): not in workload::registry()\n";
+      std::exit(2);
+    }
+  workloads_ = std::move(names);
 }
 
 Series& Reporter::series(std::string id, std::vector<std::string> columns) {
@@ -142,7 +183,34 @@ void Reporter::metric(const std::string& key, std::int64_t value) {
   metrics_.emplace_back(key, buf);
 }
 
+void Reporter::write_json(std::ostream& os) const {
+  os << "{\"bench\": \"" << json_escape(name_) << "\", \"smoke\": "
+     << (smoke_ ? "true" : "false") << ", \"jobs\": " << jobs_
+     << ", \"metrics\": {";
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    if (i) os << ", ";
+    os << "\"" << json_escape(metrics_[i].first)
+       << "\": " << metrics_[i].second;
+  }
+  os << "}, \"series\": [";
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    if (i) os << ", ";
+    series_[i].write_json(os);
+  }
+  os << "]}\n";
+}
+
 int Reporter::finish() {
+  if (list_) {
+    std::cout << "bench_" << name_ << "\nworkloads:\n";
+    for (const std::string& n : workloads_) {
+      const workload::Entry* e = workload::find(n);
+      std::cout << "  " << n << "  -- " << e->description << "\n";
+    }
+    std::cout << "series:\n";
+    for (const Series& s : series_) std::cout << "  " << s.id() << "\n";
+    return 0;
+  }
   if (trace_ != nullptr) {
     if (!trace_->write_file(trace_path_)) {
       std::cerr << "harness: cannot write trace to " << trace_path_ << "\n";
@@ -158,19 +226,7 @@ int Reporter::finish() {
     std::cerr << "harness: cannot open " << json_path_ << " for writing\n";
     return 1;
   }
-  os << "{\"bench\": \"" << json_escape(name_) << "\", \"smoke\": "
-     << (smoke_ ? "true" : "false") << ", \"metrics\": {";
-  for (std::size_t i = 0; i < metrics_.size(); ++i) {
-    if (i) os << ", ";
-    os << "\"" << json_escape(metrics_[i].first)
-       << "\": " << metrics_[i].second;
-  }
-  os << "}, \"series\": [";
-  for (std::size_t i = 0; i < series_.size(); ++i) {
-    if (i) os << ", ";
-    series_[i].write_json(os);
-  }
-  os << "]}\n";
+  write_json(os);
   return os.good() ? 0 : 1;
 }
 

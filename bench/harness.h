@@ -3,15 +3,20 @@
 // aligned table it always printed AND, with `--json <path>`, a
 // machine-readable JSON document for the BENCH_*.json perf trajectory.
 //
-// Protocol (documented in DESIGN.md §"Benchmark harness"):
+// Protocol (documented in DESIGN.md §"Benchmark harness" and §9):
 //   bench_foo                  # tables on stdout, as before
 //   bench_foo --json out.json  # tables on stdout + JSON written to out.json
 //   bench_foo --smoke          # tiny sweep: CI smoke label (ctest -L bench_smoke)
 //   bench_foo --trace t.json   # Chrome trace-event JSON of the traced runs
 //                              # (open in Perfetto / chrome://tracing)
+//   bench_foo --jobs N         # run sweep grid points on N threads; output
+//                              # is byte-identical for every N
+//   bench_foo --list           # list workload families + series, run nothing
+// Unknown flags are an error (usage on stderr, exit 2): a typo must not
+// silently run the wrong experiment.
 //
 // JSON shape:
-//   { "bench": "<name>", "smoke": false,
+//   { "bench": "<name>", "smoke": false, "jobs": 1,
 //     "metrics": { "<key>": <number>, ... },
 //     "series": [ { "id": "<id>", "columns": [...],
 //                   "rows": [[cell, ...], ...] }, ... ] }
@@ -22,11 +27,13 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/core/parallel.h"
 #include "src/trace/chrome_sink.h"
 
 namespace bsplogp::bench {
@@ -76,9 +83,9 @@ class Series {
   std::vector<std::vector<Cell>> rows_;
 };
 
-/// Per-binary harness: parses `--json <path>`, `--smoke` and
-/// `--trace <path>`, collects series and scalar metrics, and writes the
-/// JSON document (and the Chrome trace, if requested) in finish().
+/// Per-binary harness: parses the CLI protocol above, collects series and
+/// scalar metrics, and writes the JSON document (and the Chrome trace, if
+/// requested) in finish().
 class Reporter {
  public:
   Reporter(int argc, char** argv, std::string bench_name);
@@ -86,11 +93,28 @@ class Reporter {
   /// CI smoke mode: benches shrink their sweeps to one tiny configuration.
   [[nodiscard]] bool smoke() const { return smoke_; }
 
+  /// Worker threads for sweep grids (--jobs N, default 1). Consumed by
+  /// SweepRunner; a bench whose output must be byte-identical across job
+  /// counts must never branch on this value.
+  [[nodiscard]] int jobs() const { return jobs_; }
+
+  /// --list mode: the bench declares its workloads and series, runs
+  /// nothing, and finish() prints the enumeration instead of results.
+  [[nodiscard]] bool list() const { return list_; }
+
+  /// Declares which registered workload families this bench sweeps.
+  /// Each name is validated against workload::registry() — a typo or a
+  /// renamed family dies loudly here instead of silently drifting from
+  /// the registry. Shown by --list.
+  void use_workloads(std::vector<std::string> names);
+
   /// Null unless `--trace <path>` was given; otherwise a ChromeTraceSink
   /// the bench plugs into machine Options. Every traced run becomes one
   /// Perfetto "process" (pid = run index). Benches pass this unchecked:
   /// the null case is exactly the sinks' zero-overhead production path,
-  /// which is what the timing loops must measure.
+  /// which is what the timing loops must measure. ChromeTraceSink is not
+  /// thread-safe: traced runs stay on the calling thread, outside
+  /// SweepRunner grids.
   [[nodiscard]] trace::TraceSink* trace_sink() const { return trace_.get(); }
 
   /// Starts (and owns) a new series; the reference stays valid for the
@@ -101,8 +125,12 @@ class Reporter {
   void metric(const std::string& key, double value);
   void metric(const std::string& key, std::int64_t value);
 
-  /// Writes the JSON file if --json was given. Returns 0 on success (use
-  /// as `return rep.finish();` from main).
+  /// Writes the JSON document (the --json payload) to `os`.
+  void write_json(std::ostream& os) const;
+
+  /// Writes the JSON file if --json was given; in --list mode prints the
+  /// workload/series enumeration instead. Returns 0 on success (use as
+  /// `return rep.finish();` from main).
   int finish();
 
  private:
@@ -111,8 +139,38 @@ class Reporter {
   std::string trace_path_;
   std::unique_ptr<trace::ChromeTraceSink> trace_;
   bool smoke_ = false;
+  bool list_ = false;
+  int jobs_ = 1;
+  std::vector<std::string> workloads_;
   std::deque<Series> series_;  // deque: stable references across growth
   std::vector<std::pair<std::string, std::string>> metrics_;  // key -> json
+};
+
+/// Deterministic parallel sweep driver. map() evaluates one function per
+/// grid point on up to jobs() threads and returns the results indexed by
+/// grid point; the caller then walks the vector in grid order on its own
+/// thread to emit rows/metrics. Because every point's result is a pure
+/// function of its index (model-time simulation + rng_for_index streams)
+/// and emission is serial and ordered, the bench output is byte-identical
+/// for every --jobs value (DESIGN.md §9 determinism rules).
+class SweepRunner {
+ public:
+  explicit SweepRunner(const Reporter& rep) : jobs_(rep.jobs()) {}
+  explicit SweepRunner(int jobs) : jobs_(jobs) {}
+
+  [[nodiscard]] int jobs() const { return jobs_; }
+
+  template <typename R>
+  [[nodiscard]] std::vector<R> map(
+      std::size_t n, const std::function<R(std::size_t)>& fn) const {
+    std::vector<R> out(n);
+    core::parallel_for_indexed(n, jobs_,
+                               [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  int jobs_;
 };
 
 /// JSON string escaping (quotes, backslashes, control characters).

@@ -1,0 +1,53 @@
+# Asserts the SweepRunner determinism contract (DESIGN.md §9) end to end
+# for one bench binary: `--jobs 1` and `--jobs 4` must produce
+#   * byte-identical stdout (tables),
+#   * byte-identical Chrome traces (traced runs stay on the main thread),
+#   * identical JSON documents modulo the self-describing "jobs" field.
+#
+# Run as a ctest script:
+#   cmake -DBENCH=<path-to-binary> -DWORKDIR=<scratch-dir> \
+#         -P cmake/jobs_determinism.cmake
+#
+# Only pure model-time benches qualify (wall-clock metrics can never be
+# byte-stable); bench/CMakeLists.txt registers the eligible binaries.
+
+if(NOT DEFINED BENCH OR NOT DEFINED WORKDIR)
+  message(FATAL_ERROR "usage: cmake -DBENCH=<bin> -DWORKDIR=<dir> -P jobs_determinism.cmake")
+endif()
+
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+foreach(jobs 1 4)
+  execute_process(
+    COMMAND "${BENCH}" --smoke --jobs ${jobs}
+      --json "${WORKDIR}/doc_jobs${jobs}.json"
+      --trace "${WORKDIR}/trace_jobs${jobs}.json"
+    OUTPUT_VARIABLE stdout_${jobs}
+    ERROR_VARIABLE stderr_${jobs}
+    RESULT_VARIABLE status_${jobs})
+  if(NOT status_${jobs} EQUAL 0)
+    message(FATAL_ERROR "${BENCH} --jobs ${jobs} exited ${status_${jobs}}:\n${stderr_${jobs}}")
+  endif()
+endforeach()
+
+if(NOT stdout_1 STREQUAL stdout_4)
+  message(FATAL_ERROR "stdout differs between --jobs 1 and --jobs 4 for ${BENCH}")
+endif()
+
+file(READ "${WORKDIR}/trace_jobs1.json" trace_1)
+file(READ "${WORKDIR}/trace_jobs4.json" trace_4)
+if(NOT trace_1 STREQUAL trace_4)
+  message(FATAL_ERROR "Chrome trace differs between --jobs 1 and --jobs 4 for ${BENCH}")
+endif()
+
+# The JSON document records the job count it ran with; neutralize that one
+# self-describing field, then demand byte equality of everything else.
+file(READ "${WORKDIR}/doc_jobs1.json" doc_1)
+file(READ "${WORKDIR}/doc_jobs4.json" doc_4)
+string(REGEX REPLACE "\"jobs\": [0-9]+" "\"jobs\": N" doc_1 "${doc_1}")
+string(REGEX REPLACE "\"jobs\": [0-9]+" "\"jobs\": N" doc_4 "${doc_4}")
+if(NOT doc_1 STREQUAL doc_4)
+  message(FATAL_ERROR "JSON document differs (beyond the jobs field) between --jobs 1 and --jobs 4 for ${BENCH}")
+endif()
+
+message(STATUS "jobs determinism OK: ${BENCH}")

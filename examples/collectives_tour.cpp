@@ -9,6 +9,7 @@
 #include "src/algo/mailbox.h"
 #include "src/core/table.h"
 #include "src/logp/machine.h"
+#include "src/workload/workload.h"
 
 using namespace bsplogp;
 
@@ -42,16 +43,12 @@ int main() {
       algo::optimal_broadcast_schedule(p, prm);
   std::vector<Row> rows;
 
-  Word cb_result = 0;
+  std::vector<Word> cb_results;
   rows.push_back(run("combine_broadcast (sum)", p, prm, [&] {
-    std::vector<logp::ProgramFn> progs;
-    for (ProcId i = 0; i < p; ++i)
-      progs.emplace_back([&cb_result, i](logp::Proc& pr) -> logp::Task<> {
-        algo::Mailbox mb(pr);
-        cb_result = co_await algo::combine_broadcast(mb, i + 1,
-                                                     algo::ReduceOp::Sum);
-      });
-    return progs;
+    // The registry's cb-rounds family, contribution i+1 per processor.
+    return workload::cb_rounds(
+        p, /*rounds=*/1, algo::ReduceOp::Sum,
+        [](ProcId i) { return static_cast<Word>(i) + 1; }, &cb_results);
   }, "sum 1..64 = 2080"));
 
   rows.push_back(run("barrier", p, prm, [&] {
@@ -145,7 +142,7 @@ int main() {
     table.add_row({r.name, core::fmt(r.time), core::fmt(r.messages),
                    r.stall_free ? "yes" : "no", r.result});
   table.print(std::cout);
-  std::cout << "\nCB sanity: " << cb_result << " (expect 2080); "
+  std::cout << "\nCB sanity: " << cb_results.front() << " (expect 2080); "
             << "T_CB bound (Prop. 2 shape): "
             << algo::cb_time_bound(prm, p) << "\n";
   return 0;

@@ -14,6 +14,7 @@
 #include "src/bsp/machine.h"
 #include "src/core/rng.h"
 #include "src/logp/machine.h"
+#include "src/workload/workload.h"
 #include "src/xsim/bsp_on_logp.h"
 #include "src/xsim/logp_on_bsp.h"
 
@@ -21,40 +22,26 @@ using namespace bsplogp;
 
 namespace {
 
-std::vector<logp::ProgramFn> all_to_all(ProcId p, std::vector<Word>& sums) {
-  std::vector<logp::ProgramFn> progs;
-  for (ProcId i = 0; i < p; ++i)
-    progs.emplace_back([&sums, p](logp::Proc& pr) -> logp::Task<> {
-      for (ProcId d = 1; d < p; ++d)
-        co_await pr.send(static_cast<ProcId>((pr.id() + d) % p),
-                         pr.id() + 1);
-      Word sum = 0;
-      for (ProcId k = 1; k < p; ++k) sum += (co_await pr.recv()).payload;
-      sums[static_cast<std::size_t>(pr.id())] = sum;
-    });
-  return progs;
-}
-
 void theorem1() {
   const ProcId p = 16;
   const logp::Params logp_params{16, 1, 4};
   std::cout << "== Theorem 1: stall-free LogP on BSP ==\n"
             << "workload: all-to-all exchange, p=" << p << ", L=16 o=1 G=4\n";
 
-  std::vector<Word> native(static_cast<std::size_t>(p), 0);
+  std::vector<Word> native;
   logp::Machine machine(p, logp_params);
-  const auto native_stats = machine.run(all_to_all(p, native));
+  const auto native_stats = machine.run(workload::all_to_all(p, &native));
   std::cout << "native LogP time       = " << native_stats.finish_time
             << "\n";
 
   for (const Time g_ratio : {1, 4}) {
     for (const Time l_ratio : {1, 4}) {
-      std::vector<Word> sims(static_cast<std::size_t>(p), 0);
+      std::vector<Word> sims;
       xsim::LogpOnBspOptions opt;
       opt.bsp = bsp::Params{g_ratio * logp_params.G,
                             l_ratio * logp_params.L};
       xsim::LogpOnBsp sim(p, logp_params, opt);
-      const auto rep = sim.run(all_to_all(p, sims));
+      const auto rep = sim.run(workload::all_to_all(p, &sims));
       std::cout << "BSP host g=" << opt.bsp.g << " l=" << opt.bsp.l
                 << ": results match=" << (sims == native ? "yes" : "NO")
                 << "  capacity-ok=" << (rep.capacity_ok ? "yes" : "NO")
@@ -76,10 +63,7 @@ void theorem2() {
             << " keys/processor, L=16 o=1 G=4\n";
 
   core::Rng rng(2026);
-  std::vector<std::vector<Word>> blocks(static_cast<std::size_t>(p));
-  for (auto& blk : blocks)
-    for (std::size_t j = 0; j < block; ++j)
-      blk.push_back(rng.uniform(-999, 999));
+  const auto blocks = workload::random_blocks(p, block, -999, 999, rng);
 
   std::vector<std::vector<Word>> native_out;
   auto native_progs = algo::bsp_odd_even_sort(p, blocks, native_out);

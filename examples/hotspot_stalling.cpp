@@ -21,6 +21,7 @@
 #include "src/logp/machine.h"
 #include "src/trace/chrome_sink.h"
 #include "src/trace/invariant_sink.h"
+#include "src/workload/workload.h"
 
 using namespace bsplogp;
 
@@ -34,24 +35,13 @@ struct Outcome {
 
 Outcome run_hotspot(ProcId p, logp::Params prm, bool staged,
                     trace::TraceSink* sink) {
-  std::vector<logp::ProgramFn> progs;
-  progs.emplace_back([p](logp::Proc& pr) -> logp::Task<> {
-    for (ProcId k = 1; k < p; ++k) (void)co_await pr.recv();
-  });
-  for (ProcId i = 1; i < p; ++i)
-    progs.emplace_back([i, staged](logp::Proc& pr) -> logp::Task<> {
-      if (staged) {
-        // Stall-free discipline: sender i owns the G-slot i; at most
-        // capacity messages are ever in transit to the hot spot.
-        const Time slot = static_cast<Time>(i) * pr.params().G;
-        co_await pr.wait_until(slot - pr.params().o);
-      }
-      co_await pr.send(0, i);
-    });
   logp::Machine::Options opt;
   opt.sink = sink;
   logp::Machine machine(p, prm, opt);
-  const logp::RunStats st = machine.run(progs);
+  // The registry's hotspot family: k=1 fan-in; staged=true is the
+  // stall-free discipline where sender i owns the G-aligned slot i.
+  const logp::RunStats st =
+      machine.run(workload::hotspot(p, /*k=*/1, staged));
   return Outcome{st.finish_time, st.stall_events, st.stall_time_total};
 }
 

@@ -12,9 +12,9 @@
 
 #include "src/algo/bsp_algorithms.h"
 #include "src/algo/logp_collectives.h"
-#include "src/algo/mailbox.h"
 #include "src/bsp/machine.h"
 #include "src/logp/machine.h"
+#include "src/workload/workload.h"
 
 using namespace bsplogp;
 
@@ -50,15 +50,13 @@ void run_logp() {
   const ProcId p = 16;
   const logp::Params params{/*L=*/16, /*o=*/2, /*G=*/4};
 
-  std::vector<Word> result(static_cast<std::size_t>(p), 0);
-  std::vector<logp::ProgramFn> programs;
-  for (ProcId i = 0; i < p; ++i)
-    programs.emplace_back([&result, i](logp::Proc& proc) -> logp::Task<> {
-      // Each processor contributes i+1; everyone learns the global max.
-      algo::Mailbox mailbox(proc);
-      result[static_cast<std::size_t>(i)] = co_await algo::combine_broadcast(
-          mailbox, i + 1, algo::ReduceOp::Max);
-    });
+  // Each processor contributes i+1; everyone learns the global max.
+  // The CB family comes from the workload registry (src/workload) — the
+  // same single definition every bench and test uses.
+  std::vector<Word> result;
+  const auto programs = workload::cb_rounds(
+      p, /*rounds=*/1, algo::ReduceOp::Max,
+      [](ProcId i) { return static_cast<Word>(i) + 1; }, &result);
 
   logp::Machine machine(p, params);
   const logp::RunStats stats = machine.run(programs);

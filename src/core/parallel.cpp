@@ -1,0 +1,116 @@
+#include "src/core/parallel.h"
+
+#include <atomic>
+#include <exception>
+
+#include "src/core/contracts.h"
+
+namespace bsplogp::core {
+
+int hardware_jobs() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+/// One for_indexed() call. Heap-allocated and shared with the workers so a
+/// worker that wakes late (after the batch already drained) still holds a
+/// valid object: it claims an out-of-range index and goes back to sleep
+/// without ever touching the pool's next batch mid-setup.
+struct ThreadPool::Batch {
+  Batch(std::size_t n_items, const std::function<void(std::size_t)>& f)
+      : fn(f), n(n_items) {}
+
+  const std::function<void(std::size_t)>& fn;
+  const std::size_t n;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::exception_ptr error;
+
+  /// Claims and runs items until the batch is exhausted. Safe to call from
+  /// any number of threads.
+  void run() {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mu);
+        if (error == nullptr) error = std::current_exception();
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        { const std::lock_guard<std::mutex> lock(mu); }
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int workers) {
+  BSPLOGP_EXPECTS(workers >= 0);
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    const std::shared_ptr<Batch> batch = batch_;
+    lock.unlock();
+    batch->run();
+    lock.lock();
+  }
+}
+
+void ThreadPool::for_indexed(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // The batch lives on the heap: stragglers from a previous generation may
+  // still hold their (drained) batch while this one runs.
+  const auto batch = std::make_shared<Batch>(n, fn);
+  if (!threads_.empty()) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      batch_ = batch;
+      ++generation_;
+    }
+    work_cv_.notify_all();
+  }
+  batch->run();  // the calling thread is always one of the workers
+  {
+    std::unique_lock<std::mutex> lock(batch->mu);
+    batch->done_cv.wait(lock, [&] {
+      return batch->done.load(std::memory_order_acquire) == batch->n;
+    });
+    if (batch->error != nullptr) std::rethrow_exception(batch->error);
+  }
+}
+
+void parallel_for_indexed(std::size_t n, int jobs,
+                          const std::function<void(std::size_t)>& fn) {
+  if (jobs <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(jobs - 1);
+  pool.for_indexed(n, fn);
+}
+
+}  // namespace bsplogp::core

@@ -1,0 +1,69 @@
+// Deterministic fork-join parallelism for grid sweeps.
+//
+// Every experiment in the paper is a sweep — a grid over (p, L, G, h, g/G,
+// l/L) — whose points are independent machine instantiations. ThreadPool
+// runs such a batch data-parallel: items are claimed dynamically (so uneven
+// point costs balance), but callers that want deterministic output commit
+// results *by index* into pre-sized slots, never in completion order. The
+// bench harness's SweepRunner (bench/harness.h) and the parameterized
+// equivalence tests are the two consumers; both pair each index with its
+// own core::rng_for_index stream so results are independent of both thread
+// count and execution order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bsplogp::core {
+
+/// Number of worker threads that saturates this host (>= 1).
+[[nodiscard]] int hardware_jobs();
+
+/// A fixed-size worker pool for blocking, batch-at-a-time parallel loops.
+/// One orchestrating thread submits batches via for_indexed(); the pool is
+/// not a general task queue. Thread-compatible, not thread-safe: concurrent
+/// for_indexed() calls from different threads are not supported.
+class ThreadPool {
+ public:
+  /// Spawns `workers` background threads (0 is valid: for_indexed then
+  /// runs entirely on the calling thread).
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int workers() const { return static_cast<int>(threads_.size()); }
+
+  /// Runs fn(i) exactly once for every i in [0, n), on the pool's workers
+  /// plus the calling thread, and blocks until all items completed. Items
+  /// are claimed dynamically; fn must therefore not depend on execution
+  /// order. If any item throws, the first exception (in completion order)
+  /// is rethrown on the caller after the batch drains; the remaining items
+  /// still run.
+  void for_indexed(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Batch;
+
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::shared_ptr<Batch> batch_;
+  std::vector<std::thread> threads_;
+};
+
+/// One-shot helper: for_indexed on a transient pool of `jobs` total
+/// threads (jobs - 1 workers plus the caller). jobs <= 1 runs inline.
+void parallel_for_indexed(std::size_t n, int jobs,
+                          const std::function<void(std::size_t)>& fn);
+
+}  // namespace bsplogp::core

@@ -96,4 +96,16 @@ class Rng {
   std::uint64_t state_[4]{};
 };
 
+/// The generator for grid point `index` of the SplitMix64 stream seeded by
+/// `base_seed`: element #index of that stream becomes the xoshiro seed.
+/// Parallel sweeps (bench::SweepRunner, the pooled equivalence tests) give
+/// every grid point its own stream this way, so each point's randomness is
+/// a pure function of (base_seed, index) — independent of thread count,
+/// execution order, and every other point.
+[[nodiscard]] inline Rng rng_for_index(std::uint64_t base_seed,
+                                       std::uint64_t index) {
+  std::uint64_t state = base_seed + index * 0x9e3779b97f4a7c15ULL;
+  return Rng(splitmix64(state));
+}
+
 }  // namespace bsplogp::core

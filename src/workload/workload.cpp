@@ -1,0 +1,357 @@
+#include "src/workload/workload.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/algo/bsp_algorithms.h"
+#include "src/algo/logp_broadcast_opt.h"
+#include "src/algo/logp_collectives.h"
+#include "src/algo/mailbox.h"
+#include "src/core/contracts.h"
+#include "src/logp/params.h"
+
+namespace bsplogp::workload {
+
+// ---- LogP program families --------------------------------------------------
+
+std::vector<logp::ProgramFn> all_to_all(ProcId p, std::vector<Word>* sums) {
+  if (sums != nullptr) sums->assign(static_cast<std::size_t>(p), 0);
+  std::vector<logp::ProgramFn> progs;
+  progs.reserve(static_cast<std::size_t>(p));
+  for (ProcId i = 0; i < p; ++i)
+    progs.emplace_back([p, sums](logp::Proc& pr) -> logp::Task<> {
+      for (ProcId d = 1; d < p; ++d)
+        co_await pr.send(static_cast<ProcId>((pr.id() + d) % p), pr.id() + 1);
+      Word sum = 0;
+      for (ProcId k = 1; k < p; ++k) sum += (co_await pr.recv()).payload;
+      if (sums != nullptr) (*sums)[static_cast<std::size_t>(pr.id())] = sum;
+    });
+  return progs;
+}
+
+std::vector<logp::ProgramFn> cb_rounds(ProcId p, int rounds,
+                                       algo::ReduceOp op,
+                                       std::function<Word(ProcId)> value,
+                                       std::vector<Word>* out) {
+  BSPLOGP_EXPECTS(rounds >= 1);
+  if (out != nullptr) out->assign(static_cast<std::size_t>(p), 0);
+  std::vector<logp::ProgramFn> progs;
+  progs.reserve(static_cast<std::size_t>(p));
+  for (ProcId i = 0; i < p; ++i) {
+    const Word v0 = value ? value(i) : static_cast<Word>(i);
+    progs.emplace_back([v0, rounds, op, out](logp::Proc& pr) -> logp::Task<> {
+      algo::Mailbox mb(pr);
+      Word v = v0;
+      for (int k = 0; k < rounds; ++k)
+        v = co_await algo::combine_broadcast(mb, v, op);
+      if (out != nullptr) (*out)[static_cast<std::size_t>(pr.id())] = v;
+    });
+  }
+  return progs;
+}
+
+std::vector<logp::ProgramFn> cb_arity(ProcId p, ProcId arity) {
+  std::vector<logp::ProgramFn> progs;
+  progs.reserve(static_cast<std::size_t>(p));
+  for (ProcId i = 0; i < p; ++i)
+    progs.emplace_back([i, arity](logp::Proc& pr) -> logp::Task<> {
+      algo::Mailbox mb(pr);
+      (void)co_await algo::combine_broadcast_arity(mb, i, algo::ReduceOp::Max,
+                                                   arity);
+    });
+  return progs;
+}
+
+std::vector<logp::ProgramFn> cb_greedy_pair(ProcId p,
+                                            const logp::Params& prm) {
+  // The schedule is shared by all p programs and must outlive them.
+  const auto sched = std::make_shared<const algo::BroadcastSchedule>(
+      algo::optimal_broadcast_schedule(p, prm));
+  std::vector<logp::ProgramFn> progs;
+  progs.reserve(static_cast<std::size_t>(p));
+  for (ProcId i = 0; i < p; ++i)
+    progs.emplace_back([i, sched](logp::Proc& pr) -> logp::Task<> {
+      algo::Mailbox mb(pr);
+      const Word total =
+          co_await algo::reduce_opt(mb, i, algo::ReduceOp::Max, *sched);
+      (void)co_await algo::broadcast_opt(mb, total, *sched);
+    });
+  return progs;
+}
+
+std::vector<logp::ProgramFn> ring_shift(ProcId p, int rounds) {
+  std::vector<logp::ProgramFn> progs;
+  progs.reserve(static_cast<std::size_t>(p));
+  for (ProcId i = 0; i < p; ++i)
+    progs.emplace_back([p, rounds](logp::Proc& pr) -> logp::Task<> {
+      for (int r = 0; r < rounds; ++r) {
+        co_await pr.send(static_cast<ProcId>((pr.id() + 1) % p), r);
+        (void)co_await pr.recv();
+      }
+    });
+  return progs;
+}
+
+std::vector<logp::ProgramFn> hotspot(ProcId p, Time k, bool staged,
+                                     std::vector<Word>* sum) {
+  if (sum != nullptr) sum->assign(1, 0);
+  std::vector<logp::ProgramFn> progs;
+  progs.reserve(static_cast<std::size_t>(p));
+  progs.emplace_back([p, k, sum](logp::Proc& pr) -> logp::Task<> {
+    Word total = 0;
+    for (Time j = 0; j < static_cast<Time>(p - 1) * k; ++j)
+      total += (co_await pr.recv()).payload;
+    if (sum != nullptr) (*sum)[0] = total;
+  });
+  for (ProcId i = 1; i < p; ++i)
+    progs.emplace_back([i, k, staged](logp::Proc& pr) -> logp::Task<> {
+      for (Time j = 0; j < k; ++j) {
+        if (staged) {
+          // Sender i owns the G-aligned slot (j*(p-1) + i): at most
+          // capacity messages are ever in transit to the hot spot.
+          const Time slot =
+              (j * static_cast<Time>(pr.nprocs() - 1) + i) * pr.params().G;
+          co_await pr.wait_until(std::max<Time>(0, slot - pr.params().o));
+        }
+        co_await pr.send(0, static_cast<Word>(i) * 100 + j);
+      }
+    });
+  return progs;
+}
+
+std::vector<logp::ProgramFn> random_traffic(ProcId p, int msgs_per_proc,
+                                            Time max_jump,
+                                            std::uint64_t seed) {
+  core::Rng rng(seed);
+  std::vector<std::vector<std::pair<ProcId, Time>>> plan(
+      static_cast<std::size_t>(p));
+  std::vector<int> expected(static_cast<std::size_t>(p), 0);
+  for (ProcId i = 0; i < p; ++i)
+    for (int m = 0; m < msgs_per_proc; ++m) {
+      auto dst =
+          static_cast<ProcId>(rng.below(static_cast<std::uint64_t>(p - 1)));
+      if (dst >= i) dst += 1;  // uniform over the other processors
+      const Time jump = static_cast<Time>(
+          rng.below(static_cast<std::uint64_t>(max_jump) + 1));
+      plan[static_cast<std::size_t>(i)].emplace_back(dst, jump);
+      expected[static_cast<std::size_t>(dst)] += 1;
+    }
+  std::vector<logp::ProgramFn> progs;
+  progs.reserve(static_cast<std::size_t>(p));
+  for (ProcId i = 0; i < p; ++i)
+    progs.emplace_back([mine = std::move(plan[static_cast<std::size_t>(i)]),
+                        need = expected[static_cast<std::size_t>(i)]](
+                           logp::Proc& pr) -> logp::Task<> {
+      for (const auto& [dst, jump] : mine) {
+        co_await pr.compute(jump);
+        co_await pr.send(dst, jump);
+      }
+      for (int m = 0; m < need; ++m) (void)co_await pr.recv();
+    });
+  return progs;
+}
+
+// ---- BSP program families ---------------------------------------------------
+
+std::vector<std::unique_ptr<bsp::ProcProgram>> relation_step(
+    const routing::HRelation& rel) {
+  auto messages = std::make_shared<std::vector<std::vector<Message>>>(
+      static_cast<std::size_t>(rel.nprocs()));
+  for (const Message& m : rel.messages())
+    (*messages)[static_cast<std::size_t>(m.src)].push_back(m);
+  return bsp::make_programs(rel.nprocs(), [messages](bsp::Ctx& c) {
+    if (c.superstep() == 0) {
+      for (const Message& m : (*messages)[static_cast<std::size_t>(c.pid())])
+        c.send(m.dst, m.payload, m.tag);
+      return true;
+    }
+    return false;
+  });
+}
+
+routing::HRelation all_pairs(ProcId p) {
+  routing::HRelation rel(p);
+  for (ProcId s = 0; s < p; ++s)
+    for (ProcId d = 0; d < p; ++d)
+      if (d != s) rel.add(s, d, 1);
+  return rel;
+}
+
+std::vector<std::unique_ptr<bsp::ProcProgram>> fuzz_supersteps(
+    ProcId p, std::int64_t supersteps, std::uint64_t seed, FuzzLog& log) {
+  log.received.assign(
+      static_cast<std::size_t>(supersteps) + 1,
+      std::vector<std::vector<std::tuple<ProcId, Word, std::int32_t>>>(
+          static_cast<std::size_t>(p)));
+  return bsp::make_programs(p, [&log, p, supersteps, seed](bsp::Ctx& c) {
+    auto& slot = log.received[static_cast<std::size_t>(c.superstep())]
+                             [static_cast<std::size_t>(c.pid())];
+    slot.clear();
+    for (const Message& m : c.inbox())
+      slot.emplace_back(m.src, m.payload, m.tag);
+    std::sort(slot.begin(), slot.end());
+
+    if (c.superstep() >= supersteps) return false;
+    // Deterministic per (seed, pid, superstep) traffic.
+    core::Rng rng(seed ^ (static_cast<std::uint64_t>(c.pid()) << 32) ^
+                  static_cast<std::uint64_t>(c.superstep()));
+    const auto kind = rng.below(4);
+    std::int64_t count = 0;
+    if (kind == 0) count = 0;  // silent
+    else if (kind == 1) count = static_cast<std::int64_t>(rng.below(4));
+    else if (kind == 2) count = static_cast<std::int64_t>(rng.below(12));
+    else count = c.pid() == 0 ? 0 : 3;  // fan-in to processor 0
+    for (std::int64_t k = 0; k < count; ++k) {
+      const auto dst =
+          kind == 3 ? ProcId{0}
+                    : static_cast<ProcId>(
+                          rng.below(static_cast<std::uint64_t>(p)));
+      c.send(dst, rng.uniform(-1000, 1000),
+             static_cast<std::int32_t>(rng.below(100)));
+    }
+    c.charge(static_cast<Time>(rng.below(20)));
+    return true;
+  });
+}
+
+// ---- Sorting inputs ---------------------------------------------------------
+
+std::vector<std::vector<Word>> random_blocks(ProcId p, std::size_t n,
+                                             Word lo, Word hi,
+                                             core::Rng& rng) {
+  std::vector<std::vector<Word>> blocks(static_cast<std::size_t>(p));
+  for (auto& blk : blocks) {
+    blk.reserve(n);
+    for (std::size_t j = 0; j < n; ++j) blk.push_back(rng.uniform(lo, hi));
+  }
+  return blocks;
+}
+
+// ---- Registry ---------------------------------------------------------------
+
+namespace {
+
+/// Keeps family-shared state (input blocks, result sinks, logs) alive for
+/// generically instantiated BSP programs whose algo factories bind
+/// references to caller-owned storage.
+class HoldingProgram final : public bsp::ProcProgram {
+ public:
+  HoldingProgram(std::shared_ptr<void> keep,
+                 std::unique_ptr<bsp::ProcProgram> inner)
+      : keep_(std::move(keep)), inner_(std::move(inner)) {}
+  bool step(bsp::Ctx& ctx) override { return inner_->step(ctx); }
+
+ private:
+  std::shared_ptr<void> keep_;
+  std::unique_ptr<bsp::ProcProgram> inner_;
+};
+
+std::vector<std::unique_ptr<bsp::ProcProgram>> holding(
+    std::shared_ptr<void> keep,
+    std::vector<std::unique_ptr<bsp::ProcProgram>> progs) {
+  std::vector<std::unique_ptr<bsp::ProcProgram>> out;
+  out.reserve(progs.size());
+  for (auto& pr : progs)
+    out.push_back(std::make_unique<HoldingProgram>(keep, std::move(pr)));
+  return out;
+}
+
+std::vector<Entry> build_registry() {
+  std::vector<Entry> reg;
+  reg.push_back(Entry{
+      "all-to-all",
+      "p(p-1)-message total exchange; every destination window active at "
+      "once (knobs: p)",
+      [](const Spec& s) { return all_to_all(s.p); },
+      [](const Spec& s) { return relation_step(all_pairs(s.p)); }});
+  reg.push_back(Entry{
+      "cb-rounds",
+      "chained Combine-and-Broadcast rounds on the paper's "
+      "max{2,ceil(L/G)}-ary tree (knobs: p, rounds)",
+      [](const Spec& s) { return cb_rounds(s.p, s.rounds); },
+      nullptr});
+  reg.push_back(Entry{
+      "cb-arity",
+      "one CB with a forced tree arity — the ablation knob (knobs: p, k = "
+      "arity)",
+      [](const Spec& s) { return cb_arity(s.p, static_cast<ProcId>(s.k)); },
+      nullptr});
+  reg.push_back(Entry{
+      "cb-greedy-pair",
+      "combine+broadcast as the Karp-et-al greedy schedule pair (knobs: p; "
+      "L=16,o=1,G=4 schedule unless instantiated directly)",
+      [](const Spec& s) { return cb_greedy_pair(s.p, logp::Params{16, 1, 4}); },
+      nullptr});
+  reg.push_back(Entry{
+      "ring-shift",
+      "rounds of nearest-neighbor shifts around the ring — balanced sparse "
+      "1-relations (knobs: p, rounds)",
+      [](const Spec& s) { return ring_shift(s.p, s.rounds); },
+      nullptr});
+  reg.push_back(Entry{
+      "hotspot",
+      "all-to-one fan-in, k messages per sender (k-hotspot); staged=true is "
+      "the slot-staged stall-free variant (knobs: p, k, staged)",
+      [](const Spec& s) { return hotspot(s.p, s.k, s.staged); },
+      nullptr});
+  reg.push_back(Entry{
+      "random-traffic",
+      "seeded random point-to-point traffic with compute jitter up to "
+      "max_jump (knobs: p, rounds = msgs/proc, max_jump, seed)",
+      [](const Spec& s) {
+        return random_traffic(s.p, s.rounds, s.max_jump, s.seed);
+      },
+      nullptr});
+  reg.push_back(Entry{
+      "h-relation-step",
+      "one BSP superstep routing a random h-regular relation (knobs: p, "
+      "k = h, seed)",
+      nullptr,
+      [](const Spec& s) {
+        core::Rng rng(s.seed);
+        return relation_step(routing::random_regular(s.p, s.k, rng));
+      }});
+  reg.push_back(Entry{
+      "fuzz-supersteps",
+      "random multi-superstep BSP traffic (silent/sparse/bursty/fan-in) "
+      "with a received-multiset log (knobs: p, rounds, seed)",
+      nullptr,
+      [](const Spec& s) {
+        auto log = std::make_shared<FuzzLog>();
+        auto progs = fuzz_supersteps(s.p, s.rounds, s.seed, *log);
+        return holding(log, std::move(progs));
+      }});
+  reg.push_back(Entry{
+      "odd-even-sort",
+      "odd-even transposition sort of p random blocks of k keys — the "
+      "sorting input family (knobs: p, k = block size, seed)",
+      nullptr,
+      [](const Spec& s) {
+        core::Rng rng(s.seed);
+        struct State {
+          std::vector<std::vector<Word>> blocks;
+          std::vector<std::vector<Word>> out;
+        };
+        auto state = std::make_shared<State>();
+        state->blocks = random_blocks(
+            s.p, static_cast<std::size_t>(s.k), -999, 999, rng);
+        auto progs = algo::bsp_odd_even_sort(s.p, state->blocks, state->out);
+        return holding(state, std::move(progs));
+      }});
+  return reg;
+}
+
+}  // namespace
+
+const std::vector<Entry>& registry() {
+  static const std::vector<Entry> reg = build_registry();
+  return reg;
+}
+
+const Entry* find(std::string_view name) {
+  for (const Entry& e : registry())
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+}  // namespace bsplogp::workload

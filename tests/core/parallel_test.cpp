@@ -1,0 +1,120 @@
+// ThreadPool / parallel_for_indexed: every index runs exactly once, results
+// land in their own slots regardless of job count, exceptions propagate
+// after the batch drains, and rng_for_index gives each grid point an
+// independent deterministic stream — the contract the deterministic sweep
+// runner (bench/harness.h SweepRunner, DESIGN.md §9) is built on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "src/core/parallel.h"
+#include "src/core/rng.h"
+
+namespace bsplogp::core {
+namespace {
+
+TEST(Parallel, HardwareJobsIsAtLeastOne) {
+  EXPECT_GE(hardware_jobs(), 1);
+}
+
+TEST(Parallel, EveryIndexRunsExactlyOnce) {
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for_indexed(n, 4, [&](std::size_t i) { hits[i] += 1; });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(Parallel, JobsOneRunsInlineOnTheCallingThread) {
+  const auto caller = std::this_thread::get_id();
+  bool all_inline = true;
+  parallel_for_indexed(64, 1, [&](std::size_t) {
+    if (std::this_thread::get_id() != caller) all_inline = false;
+  });
+  EXPECT_TRUE(all_inline);
+}
+
+TEST(Parallel, ZeroItemBatchIsANoOp) {
+  parallel_for_indexed(0, 4, [&](std::size_t) { FAIL() << "ran an item"; });
+}
+
+TEST(Parallel, ResultsByIndexMatchSerialForEveryJobCount) {
+  // The determinism contract: fn(i) depends only on i (its own rng stream),
+  // results are committed by index, so the output vector is identical for
+  // any job count.
+  const std::size_t n = 64;
+  auto run = [n](int jobs) {
+    std::vector<std::uint64_t> out(n);
+    parallel_for_indexed(n, jobs, [&](std::size_t i) {
+      Rng rng = rng_for_index(12345, i);
+      std::uint64_t acc = 0;
+      for (int k = 0; k < 100; ++k) acc ^= rng();
+      out[i] = acc;
+    });
+    return out;
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(4), serial);
+  EXPECT_EQ(run(7), serial);
+}
+
+TEST(Parallel, FirstExceptionPropagatesAfterTheBatchDrains) {
+  const std::size_t n = 200;
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      parallel_for_indexed(n, 4,
+                           [&](std::size_t i) {
+                             ran += 1;
+                             if (i == 37) throw std::runtime_error("boom");
+                           }),
+      std::runtime_error);
+  // The remaining items still ran; nothing was abandoned mid-batch.
+  EXPECT_EQ(ran.load(), static_cast<int>(n));
+}
+
+TEST(Parallel, PoolIsReusableAcrossBatches) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.workers(), 3);
+  for (int batch = 0; batch < 5; ++batch) {
+    std::atomic<std::int64_t> sum{0};
+    pool.for_indexed(100, [&](std::size_t i) {
+      sum += static_cast<std::int64_t>(i);
+    });
+    EXPECT_EQ(sum.load(), 99 * 100 / 2);
+  }
+}
+
+TEST(Parallel, ZeroWorkerPoolRunsOnTheCaller) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.workers(), 0);
+  std::vector<int> hits(10, 0);
+  pool.for_indexed(hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Parallel, RngForIndexIsDeterministicPerIndex) {
+  for (const std::size_t i : {0u, 1u, 5u, 1000u}) {
+    Rng a = rng_for_index(99, i);
+    Rng b = rng_for_index(99, i);
+    for (int k = 0; k < 10; ++k) EXPECT_EQ(a(), b()) << i;
+  }
+}
+
+TEST(Parallel, RngForIndexStreamsAreDistinct) {
+  // Adjacent indices (and adjacent base seeds) must not collide — the
+  // SplitMix64 scramble decorrelates the +index arithmetic.
+  std::set<std::uint64_t> firsts;
+  for (std::size_t i = 0; i < 64; ++i) {
+    Rng rng = rng_for_index(7, i);
+    firsts.insert(rng());
+  }
+  EXPECT_EQ(firsts.size(), 64u);
+}
+
+}  // namespace
+}  // namespace bsplogp::core

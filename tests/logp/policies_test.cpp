@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/logp/machine.h"
+#include "src/workload/workload.h"
 
 namespace bsplogp::logp {
 namespace {
@@ -21,28 +22,14 @@ struct PolicyCase {
 
 class AllPolicies : public ::testing::TestWithParam<PolicyCase> {};
 
-/// Random-ish but deterministic traffic: every processor sends one message
-/// to each other processor, then receives p-1 messages and sums payloads.
-std::vector<ProgramFn> all_to_all_sum(ProcId p, std::vector<Word>& sums) {
-  std::vector<ProgramFn> progs;
-  for (ProcId i = 0; i < p; ++i)
-    progs.emplace_back([&sums, p](Proc& pr) -> Task<> {
-      for (ProcId d = 1; d < p; ++d) {
-        const ProcId dst = static_cast<ProcId>((pr.id() + d) % p);
-        co_await pr.send(dst, pr.id() * 100 + dst);
-      }
-      Word sum = 0;
-      for (ProcId k = 1; k < p; ++k) sum += (co_await pr.recv()).payload;
-      sums[static_cast<std::size_t>(pr.id())] = sum;
-    });
-  return progs;
-}
-
+// The traffic under test is the registry's all_to_all family: every
+// processor sends payload (id + 1) to each other processor, then sums its
+// p-1 received payloads, so processor i must end with sum(1..p) - (i + 1).
 std::vector<Word> expected_sums(ProcId p) {
+  const Word total = static_cast<Word>(p) * (p + 1) / 2;
   std::vector<Word> sums(static_cast<std::size_t>(p), 0);
-  for (ProcId s = 0; s < p; ++s)
-    for (ProcId d = 0; d < p; ++d)
-      if (s != d) sums[static_cast<std::size_t>(d)] += s * 100 + d;
+  for (ProcId i = 0; i < p; ++i)
+    sums[static_cast<std::size_t>(i)] = total - (i + 1);
   return sums;
 }
 
@@ -55,8 +42,8 @@ TEST_P(AllPolicies, AllToAllComputesSameResultEverywhere) {
   o.delivery = pc.delivery;
   o.seed = pc.seed;
   Machine m(p, prm, o);
-  std::vector<Word> sums(static_cast<std::size_t>(p), -1);
-  const RunStats st = m.run(all_to_all_sum(p, sums));
+  std::vector<Word> sums;
+  const RunStats st = m.run(workload::all_to_all(p, &sums));
   EXPECT_TRUE(st.completed());
   EXPECT_EQ(sums, expected_sums(p));
   EXPECT_LE(st.max_in_transit, prm.capacity());
@@ -74,8 +61,8 @@ TEST_P(AllPolicies, RunsAreReproduciblePerSeed) {
   o.seed = pc.seed;
   auto run_once = [&] {
     Machine m(p, prm, o);
-    std::vector<Word> sums(static_cast<std::size_t>(p), -1);
-    const RunStats st = m.run(all_to_all_sum(p, sums));
+    std::vector<Word> sums;
+    const RunStats st = m.run(workload::all_to_all(p, &sums));
     return std::pair{st.finish_time, st.stall_events};
   };
   EXPECT_EQ(run_once(), run_once());

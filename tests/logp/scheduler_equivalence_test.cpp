@@ -6,16 +6,25 @@
 // traffic, and sparse timers beyond the wheel horizon. Engine invariants
 // (capacity threshold, one delivery per destination per step) are asserted
 // from the trace sink's Delivery events.
+//
+// The workloads come from the registry (workload::hotspot,
+// workload::random_traffic). The accept x delivery x seed grids run through
+// core::parallel_for_indexed: each point runs both schedulers on its own
+// machines and commits the RunStats pair by index; the bit-identity
+// assertions happen serially afterwards (gtest assertions are not
+// thread-safe).
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <map>
 #include <set>
 #include <utility>
 #include <vector>
 
-#include "src/core/rng.h"
+#include "src/core/parallel.h"
 #include "src/logp/machine.h"
 #include "src/trace/sink.h"
+#include "src/workload/workload.h"
 
 namespace bsplogp::logp {
 namespace {
@@ -25,56 +34,6 @@ constexpr AcceptOrder kAccepts[] = {AcceptOrder::Fifo, AcceptOrder::Lifo,
 constexpr DeliverySchedule kDeliveries[] = {DeliverySchedule::Latest,
                                             DeliverySchedule::Earliest,
                                             DeliverySchedule::UniformRandom};
-
-/// Hotspot traffic: every other processor fires k messages at processor 0,
-/// deliberately overrunning the capacity threshold to exercise stalling.
-std::vector<ProgramFn> hotspot(ProcId p, Time k) {
-  std::vector<ProgramFn> progs;
-  progs.emplace_back([p, k](Proc& pr) -> Task<> {
-    for (Time j = 0; j < static_cast<Time>(p - 1) * k; ++j)
-      (void)co_await pr.recv();
-  });
-  for (ProcId i = 1; i < p; ++i)
-    progs.emplace_back([k](Proc& pr) -> Task<> {
-      for (Time j = 0; j < k; ++j) co_await pr.send(0, j);
-    });
-  return progs;
-}
-
-/// Randomized point-to-point traffic with compute jitter. The traffic
-/// matrix is drawn up front from a seeded Rng so every processor knows how
-/// many messages to receive; `max_jump` controls compute bursts (large
-/// values push events past the bucket queue's wheel horizon, covering the
-/// overflow path).
-std::vector<ProgramFn> random_traffic(ProcId p, int msgs_per_proc,
-                                      Time max_jump, std::uint64_t seed) {
-  core::Rng rng(seed);
-  std::vector<std::vector<std::pair<ProcId, Time>>> plan(
-      static_cast<std::size_t>(p));
-  std::vector<int> expected(static_cast<std::size_t>(p), 0);
-  for (ProcId i = 0; i < p; ++i)
-    for (int m = 0; m < msgs_per_proc; ++m) {
-      auto dst = static_cast<ProcId>(
-          rng.below(static_cast<std::uint64_t>(p - 1)));
-      if (dst >= i) dst += 1;  // uniform over the other processors
-      const Time jump = static_cast<Time>(
-          rng.below(static_cast<std::uint64_t>(max_jump) + 1));
-      plan[static_cast<std::size_t>(i)].emplace_back(dst, jump);
-      expected[static_cast<std::size_t>(dst)] += 1;
-    }
-  std::vector<ProgramFn> progs;
-  for (ProcId i = 0; i < p; ++i)
-    progs.emplace_back([mine = std::move(plan[static_cast<std::size_t>(i)]),
-                        need = expected[static_cast<std::size_t>(i)]](
-                           Proc& pr) -> Task<> {
-      for (const auto& [dst, jump] : mine) {
-        co_await pr.compute(jump);
-        co_await pr.send(dst, jump);
-      }
-      for (int m = 0; m < need; ++m) (void)co_await pr.recv();
-    });
-  return progs;
-}
 
 /// Sink that records each Delivery event's (destination, step), checking
 /// that the medium never delivers twice to one destination in one step —
@@ -108,41 +67,79 @@ RunStats run_with(SchedulerKind sched, AcceptOrder accept,
   return m.run(progs);
 }
 
+/// One (accept, delivery, seed) policy-grid point.
+struct PolicyPoint {
+  AcceptOrder accept;
+  DeliverySchedule delivery;
+  std::uint64_t seed;
+};
+
+std::vector<PolicyPoint> policy_grid(std::vector<std::uint64_t> seeds) {
+  std::vector<PolicyPoint> grid;
+  for (const AcceptOrder ao : kAccepts)
+    for (const DeliverySchedule ds : kDeliveries)
+      for (const std::uint64_t seed : seeds)
+        grid.push_back(PolicyPoint{ao, ds, seed});
+  return grid;
+}
+
+struct SchedulerPair {
+  RunStats bucket;
+  RunStats heap;
+};
+
 TEST(SchedulerEquivalence, HotspotStatsBitIdenticalAcrossSchedulers) {
   const ProcId p = 17;
   const Params prm{16, 1, 4};  // capacity 4: heavy stalling
-  const auto progs = hotspot(p, 3);
-  for (const AcceptOrder ao : kAccepts)
-    for (const DeliverySchedule ds : kDeliveries)
-      for (const std::uint64_t seed : {0u, 1u, 42u}) {
-        const RunStats bucket = run_with(SchedulerKind::Bucket, ao, ds, seed,
-                                         prm, p, progs);
-        const RunStats heap = run_with(SchedulerKind::ReferenceHeap, ao, ds,
-                                       seed, prm, p, progs);
-        EXPECT_TRUE(bucket == heap)
-            << "accept=" << static_cast<int>(ao)
-            << " delivery=" << static_cast<int>(ds) << " seed=" << seed
-            << " finish " << bucket.finish_time << " vs " << heap.finish_time;
-        EXPECT_TRUE(bucket.completed());
-      }
+  const auto progs = workload::hotspot(p, 3);
+  const auto grid = policy_grid({0, 1, 42});
+
+  std::vector<SchedulerPair> results(grid.size());
+  core::parallel_for_indexed(
+      grid.size(), core::hardware_jobs(), [&](std::size_t i) {
+        const PolicyPoint& pt = grid[i];
+        results[i].bucket = run_with(SchedulerKind::Bucket, pt.accept,
+                                     pt.delivery, pt.seed, prm, p, progs);
+        results[i].heap = run_with(SchedulerKind::ReferenceHeap, pt.accept,
+                                   pt.delivery, pt.seed, prm, p, progs);
+      });
+
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const PolicyPoint& pt = grid[i];
+    EXPECT_TRUE(results[i].bucket == results[i].heap)
+        << "accept=" << static_cast<int>(pt.accept)
+        << " delivery=" << static_cast<int>(pt.delivery)
+        << " seed=" << pt.seed << " finish "
+        << results[i].bucket.finish_time << " vs "
+        << results[i].heap.finish_time;
+    EXPECT_TRUE(results[i].bucket.completed());
+  }
 }
 
 TEST(SchedulerEquivalence, RandomTrafficStatsBitIdenticalAcrossSchedulers) {
   const ProcId p = 12;
   const Params prm{12, 1, 3};
-  for (const AcceptOrder ao : kAccepts)
-    for (const DeliverySchedule ds : kDeliveries)
-      for (const std::uint64_t seed : {7u, 99u}) {
-        const auto progs = random_traffic(p, 12, 20, seed);
-        const RunStats bucket = run_with(SchedulerKind::Bucket, ao, ds, seed,
-                                         prm, p, progs);
-        const RunStats heap = run_with(SchedulerKind::ReferenceHeap, ao, ds,
-                                       seed, prm, p, progs);
-        EXPECT_TRUE(bucket == heap)
-            << "accept=" << static_cast<int>(ao)
-            << " delivery=" << static_cast<int>(ds) << " seed=" << seed;
-        EXPECT_TRUE(bucket.completed());
-      }
+  const auto grid = policy_grid({7, 99});
+
+  std::vector<SchedulerPair> results(grid.size());
+  core::parallel_for_indexed(
+      grid.size(), core::hardware_jobs(), [&](std::size_t i) {
+        const PolicyPoint& pt = grid[i];
+        const auto progs = workload::random_traffic(p, 12, 20, pt.seed);
+        results[i].bucket = run_with(SchedulerKind::Bucket, pt.accept,
+                                     pt.delivery, pt.seed, prm, p, progs);
+        results[i].heap = run_with(SchedulerKind::ReferenceHeap, pt.accept,
+                                   pt.delivery, pt.seed, prm, p, progs);
+      });
+
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const PolicyPoint& pt = grid[i];
+    EXPECT_TRUE(results[i].bucket == results[i].heap)
+        << "accept=" << static_cast<int>(pt.accept)
+        << " delivery=" << static_cast<int>(pt.delivery)
+        << " seed=" << pt.seed;
+    EXPECT_TRUE(results[i].bucket.completed());
+  }
 }
 
 TEST(SchedulerEquivalence, SparseTimersCrossTheWheelHorizon) {
@@ -151,7 +148,7 @@ TEST(SchedulerEquivalence, SparseTimersCrossTheWheelHorizon) {
   const ProcId p = 6;
   const Params prm{8, 1, 2};
   for (const std::uint64_t seed : {3u, 11u}) {
-    const auto progs = random_traffic(p, 6, 5000, seed);
+    const auto progs = workload::random_traffic(p, 6, 5000, seed);
     const RunStats bucket =
         run_with(SchedulerKind::Bucket, AcceptOrder::Fifo,
                  DeliverySchedule::Latest, seed, prm, p, progs);
@@ -168,10 +165,11 @@ TEST(SchedulerEquivalence, InvariantsHoldUnderStress) {
   // Randomized stress across the full policy grid: capacity never exceeds
   // ceil(L/G), the medium delivers at most one message per destination per
   // step, and every message is delivered within (accept, accept + L] —
-  // observed through the trace sink's Delivery events.
+  // observed through the trace sink's Delivery events. Serial on purpose:
+  // the probe raises gtest assertions from inside emit().
   const ProcId p = 24;
   const Params prm{16, 2, 4};  // capacity 4
-  const auto progs = hotspot(p, 2);
+  const auto progs = workload::hotspot(p, 2);
   for (const AcceptOrder ao : kAccepts)
     for (const DeliverySchedule ds : kDeliveries) {
       DeliveryProbe probe;
@@ -187,7 +185,7 @@ TEST(SchedulerEquivalence, InvariantsHoldUnderStress) {
 TEST(SchedulerEquivalence, EventsProcessedMatchesAcrossSchedulers) {
   const ProcId p = 9;
   const Params prm{8, 1, 2};
-  const auto progs = hotspot(p, 2);
+  const auto progs = workload::hotspot(p, 2);
   const RunStats bucket =
       run_with(SchedulerKind::Bucket, AcceptOrder::Fifo,
                DeliverySchedule::Latest, 0, prm, p, progs);

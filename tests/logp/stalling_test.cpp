@@ -7,27 +7,19 @@
 #include <vector>
 
 #include "src/logp/machine.h"
+#include "src/workload/workload.h"
 
 namespace bsplogp::logp {
 namespace {
 
-/// All-to-one: procs 1..p-1 each send one message to proc 0, who acquires
-/// them all.
-std::vector<ProgramFn> hotspot(ProcId p) {
-  std::vector<ProgramFn> progs;
-  progs.emplace_back([p](Proc& pr) -> Task<> {
-    for (ProcId i = 1; i < p; ++i) (void)co_await pr.recv();
-  });
-  for (ProcId i = 1; i < p; ++i)
-    progs.emplace_back([](Proc& pr) -> Task<> { co_await pr.send(0, 1); });
-  return progs;
-}
+// All-to-one fan-in throughout: the registry's hotspot family with k = 1
+// (procs 1..p-1 each send one message to proc 0, who acquires them all).
 
 TEST(LogpStalling, WithinCapacityNeverStalls) {
   // capacity = ceil(8/2) = 4 and exactly 4 simultaneous senders.
   const Params prm{8, 1, 2};
   Machine m(5, prm);
-  const RunStats st = m.run(hotspot(5));
+  const RunStats st = m.run(workload::hotspot(5, 1));
   EXPECT_TRUE(st.stall_free());
   EXPECT_EQ(st.messages, 4);
   EXPECT_LE(st.max_in_transit, prm.capacity());
@@ -36,7 +28,7 @@ TEST(LogpStalling, WithinCapacityNeverStalls) {
 TEST(LogpStalling, OneOverCapacityStallsExactlyOne) {
   const Params prm{8, 1, 2};  // capacity 4
   Machine m(6, prm);
-  const RunStats st = m.run(hotspot(6));
+  const RunStats st = m.run(workload::hotspot(6, 1));
   EXPECT_EQ(st.stall_events, 1);
   EXPECT_EQ(st.messages, 5);
 }
@@ -45,7 +37,7 @@ TEST(LogpStalling, StallCountIsExcessOverCapacity) {
   const Params prm{4, 1, 2};  // capacity 2
   for (ProcId p : {4, 6, 9, 12}) {
     Machine m(p, prm);
-    const RunStats st = m.run(hotspot(p));
+    const RunStats st = m.run(workload::hotspot(p, 1));
     // p-1 simultaneous submissions, 2 accepted on the spot; every later
     // acceptance is a recorded stall.
     EXPECT_EQ(st.stall_events, (p - 1) - prm.capacity()) << "p=" << p;
@@ -65,7 +57,7 @@ TEST(LogpStalling, CapacityInvariantHoldsUnderAllPolicies) {
       o.delivery = ds;
       o.seed = 99;
       Machine m(10, prm, o);
-      const RunStats st = m.run(hotspot(10));
+      const RunStats st = m.run(workload::hotspot(10, 1));
       EXPECT_LE(st.max_in_transit, prm.capacity());
       EXPECT_EQ(st.messages, 9);
       EXPECT_TRUE(st.completed());
@@ -79,7 +71,7 @@ TEST(LogpStalling, HotSpotDrainsAtBandwidthRate) {
   const Params prm{16, 1, 4};
   const ProcId p = 33;  // 32 senders, capacity 4
   Machine m(p, prm);
-  const RunStats st = m.run(hotspot(p));
+  const RunStats st = m.run(workload::hotspot(p, 1));
   const Time n = p - 1;
   const Time lower = prm.o + (n - 1) * prm.G;           // bandwidth bound
   const Time upper = prm.o + n * prm.G + 2 * prm.L + 8; // + pipeline fill
@@ -91,7 +83,7 @@ TEST(LogpStalling, HotSpotDrainsAtBandwidthRate) {
 TEST(LogpStalling, StallTimeAccountedToSenders) {
   const Params prm{4, 1, 2};  // capacity 2
   Machine m(8, prm);
-  const RunStats st = m.run(hotspot(8));
+  const RunStats st = m.run(workload::hotspot(8, 1));
   EXPECT_EQ(st.stall_events, 5);
   EXPECT_GT(st.stall_time_total, 0);
   EXPECT_GE(st.stall_time_max, st.stall_time_total / 5);
@@ -156,7 +148,7 @@ TEST(LogpStalling, AllToOneCompletesWithinQuadraticWorstCase) {
   const Params prm{8, 1, 4};
   for (ProcId p : {9, 17, 33}) {
     Machine m(p, prm);
-    const RunStats st = m.run(hotspot(p));
+    const RunStats st = m.run(workload::hotspot(p, 1));
     const Time h = p - 1;
     EXPECT_TRUE(st.completed());
     EXPECT_LE(st.finish_time, prm.G * h * h + 2 * prm.L + 2 * prm.o)

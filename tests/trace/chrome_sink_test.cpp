@@ -3,13 +3,12 @@
 // round-trip the event stream (one row per drawable event, metadata rows
 // naming every processor track).
 //
-// The test carries its own minimal JSON parser — the repo has no JSON
-// dependency, and hand-checking strings would not prove well-formedness.
+// Well-formedness is checked with the shared minimal JSON parser
+// (tests/support/json.h) — the repo has no JSON dependency, and
+// hand-checking strings would not prove well-formedness.
 #include <gtest/gtest.h>
 
-#include <cctype>
 #include <fstream>
-#include <map>
 #include <memory>
 #include <span>
 #include <sstream>
@@ -18,195 +17,19 @@
 
 #include "src/logp/machine.h"
 #include "src/trace/chrome_sink.h"
+#include "src/workload/workload.h"
+#include "tests/support/json.h"
 
 namespace bsplogp::trace {
 namespace {
 
-// ---- Minimal JSON parser (values become a tagged tree) ----------------------
-
-struct JsonValue {
-  enum class Type { Null, Bool, Number, String, Array, Object };
-  Type type = Type::Null;
-  bool boolean = false;
-  double number = 0;
-  std::string str;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-
-  [[nodiscard]] const JsonValue* find(const std::string& key) const {
-    const auto it = object.find(key);
-    return it == object.end() ? nullptr : &it->second;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : s_(text) {}
-
-  bool parse(JsonValue& out) {
-    skip_ws();
-    if (!value(out)) return false;
-    skip_ws();
-    return pos_ == s_.size();  // no trailing garbage
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           std::isspace(static_cast<unsigned char>(s_[pos_])))
-      pos_ += 1;
-  }
-  bool literal(const char* lit) {
-    const std::size_t n = std::string(lit).size();
-    if (s_.compare(pos_, n, lit) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-  bool value(JsonValue& out) {
-    skip_ws();
-    if (pos_ >= s_.size()) return false;
-    const char c = s_[pos_];
-    if (c == '{') return object(out);
-    if (c == '[') return array(out);
-    if (c == '"') {
-      out.type = JsonValue::Type::String;
-      return string(out.str);
-    }
-    if (c == 't') {
-      out.type = JsonValue::Type::Bool;
-      out.boolean = true;
-      return literal("true");
-    }
-    if (c == 'f') {
-      out.type = JsonValue::Type::Bool;
-      return literal("false");
-    }
-    if (c == 'n') return literal("null");
-    return number(out);
-  }
-  bool string(std::string& out) {
-    if (s_[pos_] != '"') return false;
-    pos_ += 1;
-    while (pos_ < s_.size() && s_[pos_] != '"') {
-      if (s_[pos_] == '\\') {
-        pos_ += 1;
-        if (pos_ >= s_.size()) return false;
-        switch (s_[pos_]) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'n': out += '\n'; break;
-          case 't': out += '\t'; break;
-          case 'r': out += '\r'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'u':
-            if (pos_ + 4 >= s_.size()) return false;
-            pos_ += 4;  // keep the escape opaque; well-formedness only
-            out += '?';
-            break;
-          default: return false;
-        }
-        pos_ += 1;
-      } else {
-        out += s_[pos_];
-        pos_ += 1;
-      }
-    }
-    if (pos_ >= s_.size()) return false;
-    pos_ += 1;  // closing quote
-    return true;
-  }
-  bool number(JsonValue& out) {
-    const std::size_t start = pos_;
-    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) pos_ += 1;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
-            s_[pos_] == '-' || s_[pos_] == '+'))
-      pos_ += 1;
-    if (pos_ == start) return false;
-    out.type = JsonValue::Type::Number;
-    out.number = std::stod(s_.substr(start, pos_ - start));
-    return true;
-  }
-  bool array(JsonValue& out) {
-    out.type = JsonValue::Type::Array;
-    pos_ += 1;  // '['
-    skip_ws();
-    if (pos_ < s_.size() && s_[pos_] == ']') {
-      pos_ += 1;
-      return true;
-    }
-    while (true) {
-      JsonValue v;
-      if (!value(v)) return false;
-      out.array.push_back(std::move(v));
-      skip_ws();
-      if (pos_ >= s_.size()) return false;
-      if (s_[pos_] == ',') {
-        pos_ += 1;
-        continue;
-      }
-      if (s_[pos_] == ']') {
-        pos_ += 1;
-        return true;
-      }
-      return false;
-    }
-  }
-  bool object(JsonValue& out) {
-    out.type = JsonValue::Type::Object;
-    pos_ += 1;  // '{'
-    skip_ws();
-    if (pos_ < s_.size() && s_[pos_] == '}') {
-      pos_ += 1;
-      return true;
-    }
-    while (true) {
-      skip_ws();
-      std::string key;
-      if (pos_ >= s_.size() || !string(key)) return false;
-      skip_ws();
-      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
-      pos_ += 1;
-      JsonValue v;
-      if (!value(v)) return false;
-      out.object.emplace(std::move(key), std::move(v));
-      skip_ws();
-      if (pos_ >= s_.size()) return false;
-      if (s_[pos_] == ',') {
-        pos_ += 1;
-        continue;
-      }
-      if (s_[pos_] == '}') {
-        pos_ += 1;
-        return true;
-      }
-      return false;
-    }
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
+using testsupport::JsonParser;
+using testsupport::JsonValue;
 
 // ---- The traced workload ----------------------------------------------------
 
-std::vector<logp::ProgramFn> hotspot(ProcId p) {
-  std::vector<logp::ProgramFn> progs;
-  progs.emplace_back([p](logp::Proc& pr) -> logp::Task<> {
-    for (ProcId k = 1; k < p; ++k) (void)co_await pr.recv();
-  });
-  for (ProcId i = 1; i < p; ++i)
-    progs.emplace_back([](logp::Proc& pr) -> logp::Task<> {
-      co_await pr.send(0, 3);
-    });
-  return progs;
-}
-
 logp::RunStats traced_run(ChromeTraceSink& sink, ProcId p) {
-  const auto progs = hotspot(p);
+  const auto progs = workload::hotspot(p, /*k=*/1);
   logp::Machine::Options o;
   o.sink = &sink;
   logp::Machine m(p, logp::Params{16, 1, 4}, o);
@@ -253,7 +76,9 @@ TEST(ChromeTraceSink, RowsRoundTripEventAndMetadataCounts) {
     } else {
       drawable += 1;
       ASSERT_NE(row.find("ts"), nullptr);
-      if (ph->str == "X") ASSERT_NE(row.find("dur"), nullptr);
+      if (ph->str == "X") {
+        ASSERT_NE(row.find("dur"), nullptr);
+      }
     }
     if (ph->str == "i") instants += 1;
     if (row.find("name")->str == "delivery") deliveries += 1;

@@ -9,27 +9,15 @@
 #include "src/bsp/machine.h"
 #include "src/logp/machine.h"
 #include "src/trace/counting_sink.h"
+#include "src/workload/workload.h"
 #include "src/xsim/bsp_on_logp.h"
 
 namespace bsplogp::trace {
 namespace {
 
-std::vector<logp::ProgramFn> hotspot(ProcId p, Time k) {
-  std::vector<logp::ProgramFn> progs;
-  progs.emplace_back([p, k](logp::Proc& pr) -> logp::Task<> {
-    for (Time j = 0; j < static_cast<Time>(p - 1) * k; ++j)
-      (void)co_await pr.recv();
-  });
-  for (ProcId i = 1; i < p; ++i)
-    progs.emplace_back([k](logp::Proc& pr) -> logp::Task<> {
-      for (Time j = 0; j < k; ++j) co_await pr.send(0, j);
-    });
-  return progs;
-}
-
 logp::RunStats run_logp(CountingSink& sink, ProcId p, Time k,
                         const logp::Params& prm) {
-  const auto progs = hotspot(p, k);
+  const auto progs = workload::hotspot(p, k);
   logp::Machine::Options o;
   o.sink = &sink;
   logp::Machine m(p, prm, o);

@@ -12,27 +12,16 @@
 #include "src/bsp/machine.h"
 #include "src/logp/machine.h"
 #include "src/trace/sink.h"
+#include "src/workload/workload.h"
 #include "src/xsim/bsp_on_logp.h"
 #include "src/xsim/logp_on_bsp.h"
 
 namespace bsplogp::trace {
 namespace {
 
-/// Hotspot traffic: p-1 senders overrun processor 0's capacity, so the
-/// stream contains every LogP event kind (submits, stalls, deliveries,
-/// acquisitions, gap waits, queue samples).
-std::vector<logp::ProgramFn> hotspot(ProcId p, Time k) {
-  std::vector<logp::ProgramFn> progs;
-  progs.emplace_back([p, k](logp::Proc& pr) -> logp::Task<> {
-    for (Time j = 0; j < static_cast<Time>(p - 1) * k; ++j)
-      (void)co_await pr.recv();
-  });
-  for (ProcId i = 1; i < p; ++i)
-    progs.emplace_back([k](logp::Proc& pr) -> logp::Task<> {
-      for (Time j = 0; j < k; ++j) co_await pr.send(0, j);
-    });
-  return progs;
-}
+// Workload throughout: workload::hotspot — p-1 senders overrun processor
+// 0's capacity, so the stream contains every LogP event kind (submits,
+// stalls, deliveries, acquisitions, gap waits, queue samples).
 
 logp::RunStats run_logp(const std::vector<logp::ProgramFn>& progs, ProcId p,
                         const logp::Params& prm, TraceSink* sink,
@@ -47,7 +36,7 @@ logp::RunStats run_logp(const std::vector<logp::ProgramFn>& progs, ProcId p,
 TEST(TraceEvents, LogpRunLifecycleAndCountsMatchRunStats) {
   const ProcId p = 9;
   const logp::Params prm{16, 1, 4};
-  const auto progs = hotspot(p, 3);
+  const auto progs = workload::hotspot(p, 3);
   RecordingSink rec;
   const logp::RunStats st = run_logp(progs, p, prm, &rec);
 
@@ -89,7 +78,7 @@ TEST(TraceEvents, LogpRunLifecycleAndCountsMatchRunStats) {
 
 TEST(TraceEvents, PerProcessorTimestampsNonDecreasingPerKind) {
   const ProcId p = 9;
-  const auto progs = hotspot(p, 2);
+  const auto progs = workload::hotspot(p, 2);
   RecordingSink rec;
   run_logp(progs, p, logp::Params{16, 1, 4}, &rec);
   // Per (proc, kind), discovery order is non-decreasing in t — the sink
@@ -106,7 +95,7 @@ TEST(TraceEvents, PerProcessorTimestampsNonDecreasingPerKind) {
 TEST(TraceEvents, StreamsIdenticalAcrossSchedulerKinds) {
   const ProcId p = 12;
   const logp::Params prm{12, 1, 3};
-  const auto progs = hotspot(p, 2);
+  const auto progs = workload::hotspot(p, 2);
   RecordingSink bucket, heap;
   run_logp(progs, p, prm, &bucket, logp::SchedulerKind::Bucket);
   run_logp(progs, p, prm, &heap, logp::SchedulerKind::ReferenceHeap);
@@ -119,7 +108,7 @@ TEST(TraceEvents, StreamsIdenticalAcrossSchedulerKinds) {
 TEST(TraceEvents, TracingNeverPerturbsTheRun) {
   const ProcId p = 9;
   const logp::Params prm{16, 1, 4};
-  const auto progs = hotspot(p, 3);
+  const auto progs = workload::hotspot(p, 3);
   RecordingSink rec;
   const logp::RunStats traced = run_logp(progs, p, prm, &rec);
   const logp::RunStats bare = run_logp(progs, p, prm, nullptr);
@@ -245,7 +234,7 @@ TEST(TraceEvents, LogpOnBspReportsSimulatedLogpInteractions) {
 
 TEST(TraceEvents, TeeSinkFansOutToAllChildren) {
   const ProcId p = 5;
-  const auto progs = hotspot(p, 1);
+  const auto progs = workload::hotspot(p, 1);
   RecordingSink a, b;
   TeeSink tee({&a, &b});
   run_logp(progs, p, logp::Params{8, 1, 2}, &tee);

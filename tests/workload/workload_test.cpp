@@ -1,0 +1,172 @@
+// The workload registry (src/workload): families are registered exactly
+// once under unique names, every factory produces p runnable programs, and
+// the program semantics the experiments depend on (all-to-all sums, CB
+// results, staged-hotspot stall-freeness, h-relation delivery, fuzz-log
+// determinism) hold on the native machines.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/algo/reduce_op.h"
+#include "src/bsp/machine.h"
+#include "src/core/rng.h"
+#include "src/logp/machine.h"
+#include "src/workload/workload.h"
+
+namespace bsplogp::workload {
+namespace {
+
+logp::RunStats run_logp(ProcId p, const logp::Params& prm,
+                        std::vector<logp::ProgramFn> progs) {
+  logp::Machine m(p, prm);
+  return m.run(std::move(progs));
+}
+
+TEST(WorkloadRegistry, EntriesAreNamedDescribedAndUnique) {
+  const auto& reg = registry();
+  ASSERT_FALSE(reg.empty());
+  std::set<std::string> names;
+  for (const Entry& e : reg) {
+    EXPECT_FALSE(e.name.empty());
+    EXPECT_FALSE(e.description.empty()) << e.name;
+    EXPECT_TRUE(e.logp != nullptr || e.bsp != nullptr) << e.name;
+    EXPECT_TRUE(names.insert(e.name).second)
+        << "duplicate registry name " << e.name;
+  }
+}
+
+TEST(WorkloadRegistry, FindLooksUpByNameOrReturnsNull) {
+  const Entry* e = find("hotspot");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->name, "hotspot");
+  EXPECT_EQ(find("no-such-family"), nullptr);
+  EXPECT_EQ(find(""), nullptr);
+}
+
+TEST(WorkloadRegistry, EveryFactoryProducesPRunnablePrograms) {
+  // Generic Spec instantiation of every registered family must yield
+  // exactly p programs that run to completion on the native machine.
+  Spec spec;
+  spec.p = 6;
+  spec.k = 2;
+  spec.rounds = 2;
+  spec.seed = 5;
+  for (const Entry& e : registry()) {
+    if (e.logp) {
+      auto progs = e.logp(spec);
+      ASSERT_EQ(progs.size(), static_cast<std::size_t>(spec.p)) << e.name;
+      const auto st = run_logp(spec.p, logp::Params{16, 1, 4},
+                               std::move(progs));
+      EXPECT_TRUE(st.completed()) << e.name;
+    }
+    if (e.bsp) {
+      auto progs = e.bsp(spec);
+      ASSERT_EQ(progs.size(), static_cast<std::size_t>(spec.p)) << e.name;
+      bsp::Machine m(spec.p, bsp::Params{1, 1});
+      const auto st = m.run(progs);
+      EXPECT_FALSE(st.hit_superstep_limit) << e.name;
+    }
+  }
+}
+
+TEST(Workload, AllToAllSumsAreCorrect) {
+  const ProcId p = 4;
+  std::vector<Word> sums;
+  const auto st = run_logp(p, logp::Params{16, 1, 4}, all_to_all(p, &sums));
+  EXPECT_TRUE(st.completed());
+  EXPECT_EQ(st.messages, static_cast<Time>(p) * (p - 1));
+  ASSERT_EQ(sums.size(), static_cast<std::size_t>(p));
+  for (ProcId i = 0; i < p; ++i) {
+    // Everyone else's (id + 1): sum of 1..p minus my own contribution.
+    EXPECT_EQ(sums[static_cast<std::size_t>(i)], 10 - (i + 1)) << i;
+  }
+}
+
+TEST(Workload, CbRoundsCombinesEveryContribution) {
+  const ProcId p = 8;
+  std::vector<Word> out;
+  const auto st = run_logp(
+      p, logp::Params{16, 1, 4},
+      cb_rounds(
+          p, /*rounds=*/1, algo::ReduceOp::Sum,
+          [](ProcId i) { return static_cast<Word>(i) + 1; }, &out));
+  EXPECT_TRUE(st.completed());
+  ASSERT_EQ(out.size(), static_cast<std::size_t>(p));
+  for (const Word v : out) EXPECT_EQ(v, 36);  // sum of 1..8, broadcast
+}
+
+TEST(Workload, StagedHotspotIsStallFreeWhereNaiveStalls) {
+  const ProcId p = 9;
+  const Time k = 2;
+  const logp::Params prm{16, 1, 4};  // capacity 4 < p - 1: naive must stall
+  const auto naive = run_logp(p, prm, hotspot(p, k, /*staged=*/false));
+  const auto staged = run_logp(p, prm, hotspot(p, k, /*staged=*/true));
+  EXPECT_TRUE(naive.completed());
+  EXPECT_TRUE(staged.completed());
+  EXPECT_GT(naive.stall_events, 0);
+  EXPECT_EQ(staged.stall_events, 0);
+  EXPECT_EQ(naive.messages, static_cast<Time>(p - 1) * k);
+  EXPECT_EQ(staged.messages, static_cast<Time>(p - 1) * k);
+}
+
+TEST(Workload, RelationStepRoutesExactlyTheRelation) {
+  const ProcId p = 5;
+  const routing::HRelation rel = all_pairs(p);
+  EXPECT_EQ(rel.messages().size(), static_cast<std::size_t>(p) * (p - 1));
+  bsp::Machine m(p, bsp::Params{1, 1});
+  const auto st = m.run(relation_step(rel));
+  EXPECT_FALSE(st.hit_superstep_limit);
+  EXPECT_EQ(st.supersteps, 2);  // send, then read-and-halt
+  EXPECT_EQ(st.messages, static_cast<Time>(p) * (p - 1));
+}
+
+TEST(Workload, FuzzSuperstepsLogsAreAPureFunctionOfTheSeed) {
+  const ProcId p = 6;
+  const std::int64_t supersteps = 3;
+  FuzzLog a, b, c;
+  {
+    bsp::Machine m(p, bsp::Params{1, 1});
+    (void)m.run(fuzz_supersteps(p, supersteps, 42, a));
+  }
+  {
+    bsp::Machine m(p, bsp::Params{1, 1});
+    (void)m.run(fuzz_supersteps(p, supersteps, 42, b));
+  }
+  {
+    bsp::Machine m(p, bsp::Params{1, 1});
+    (void)m.run(fuzz_supersteps(p, supersteps, 43, c));
+  }
+  EXPECT_EQ(a.received, b.received);
+  EXPECT_NE(a.received, c.received);
+}
+
+TEST(Workload, RandomBlocksAreDeterministicAndInRange) {
+  const ProcId p = 4;
+  const std::size_t n = 32;
+  core::Rng rng_a(7), rng_b(7);
+  const auto a = random_blocks(p, n, -50, 50, rng_a);
+  const auto b = random_blocks(p, n, -50, 50, rng_b);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), static_cast<std::size_t>(p));
+  for (const auto& blk : a) {
+    ASSERT_EQ(blk.size(), n);
+    for (const Word w : blk) {
+      EXPECT_GE(w, -50);
+      EXPECT_LE(w, 50);
+    }
+  }
+}
+
+TEST(Workload, RingShiftCompletesWithOneMessagePerProcPerRound) {
+  const ProcId p = 6;
+  const int rounds = 3;
+  const auto st = run_logp(p, logp::Params{16, 1, 4}, ring_shift(p, rounds));
+  EXPECT_TRUE(st.completed());
+  EXPECT_TRUE(st.stall_free());  // balanced 1-relations never stall
+  EXPECT_EQ(st.messages, static_cast<Time>(p) * rounds);
+}
+
+}  // namespace
+}  // namespace bsplogp::workload

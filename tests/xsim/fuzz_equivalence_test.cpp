@@ -3,112 +3,87 @@
 // supersteps, self-sends, hot spots) must deliver, on the LogP machine,
 // exactly the per-superstep message multisets the native BSP machine
 // delivers — under every engine policy.
+//
+// The fuzz program family lives in the workload registry
+// (workload::fuzz_supersteps); its behavior depends only on (seed, pid,
+// superstep). The (p, seed) grid runs through core::parallel_for_indexed —
+// each point owns its machines and logs, results land in index-addressed
+// slots, and all gtest assertions happen serially afterwards (gtest
+// assertions are not thread-safe).
 #include <gtest/gtest.h>
 
-#include <algorithm>
-#include <map>
+#include <cstddef>
 #include <vector>
 
 #include "src/bsp/machine.h"
-#include "src/core/rng.h"
+#include "src/core/parallel.h"
+#include "src/workload/workload.h"
 #include "src/xsim/bsp_on_logp.h"
 
 namespace bsplogp::xsim {
 namespace {
 
-/// A deterministic random BSP program: in each superstep every processor
-/// sends a random number of messages to random destinations and logs the
-/// (sorted) multiset of what it received. The behavior depends only on
-/// (seed, pid, superstep), so two instances built from the same seed run
-/// identically on any correct executor.
-struct FuzzLog {
-  // log[superstep][pid] = sorted (src, payload, tag) triples received.
-  std::vector<std::vector<std::vector<std::tuple<ProcId, Word, std::int32_t>>>>
-      received;
-};
+TEST(FuzzEquivalence, NativeAndSimulatedReceiveIdenticalMultisets) {
+  struct Point {
+    ProcId p;
+    std::uint64_t seed;
+  };
+  std::vector<Point> grid;
+  for (const ProcId p : {2, 3, 8, 16})
+    for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u})
+      grid.push_back(Point{p, seed});
 
-std::vector<std::unique_ptr<bsp::ProcProgram>> make_fuzz_program(
-    ProcId p, std::int64_t supersteps, std::uint64_t seed, FuzzLog& log) {
-  log.received.assign(
-      static_cast<std::size_t>(supersteps) + 1,
-      std::vector<std::vector<std::tuple<ProcId, Word, std::int32_t>>>(
-          static_cast<std::size_t>(p)));
-  return bsp::make_programs(p, [&log, p, supersteps, seed](bsp::Ctx& c) {
-    auto& slot = log.received[static_cast<std::size_t>(c.superstep())]
-                             [static_cast<std::size_t>(c.pid())];
-    slot.clear();
-    for (const Message& m : c.inbox())
-      slot.emplace_back(m.src, m.payload, m.tag);
-    std::sort(slot.begin(), slot.end());
-
-    if (c.superstep() >= supersteps) return false;
-    // Deterministic per (seed, pid, superstep) traffic.
-    core::Rng rng(seed ^ (static_cast<std::uint64_t>(c.pid()) << 32) ^
-                  static_cast<std::uint64_t>(c.superstep()));
-    const auto kind = rng.below(4);
-    std::int64_t count = 0;
-    if (kind == 0) count = 0;                                  // silent
-    else if (kind == 1) count = static_cast<std::int64_t>(rng.below(4));
-    else if (kind == 2) count = static_cast<std::int64_t>(rng.below(12));
-    else count = c.pid() == 0 ? 0 : 3;  // fan-in to processor 0
-    for (std::int64_t k = 0; k < count; ++k) {
-      const auto dst =
-          kind == 3 ? ProcId{0}
-                    : static_cast<ProcId>(
-                          rng.below(static_cast<std::uint64_t>(p)));
-      c.send(dst, rng.uniform(-1000, 1000),
-             static_cast<std::int32_t>(rng.below(100)));
-    }
-    c.charge(static_cast<Time>(rng.below(20)));
-    return true;
-  });
-}
-
-class FuzzEquivalence
-    : public ::testing::TestWithParam<std::tuple<ProcId, std::uint64_t>> {};
-
-TEST_P(FuzzEquivalence, NativeAndSimulatedReceiveIdenticalMultisets) {
-  const auto [p, seed] = GetParam();
   const std::int64_t supersteps = 4;
+  struct Result {
+    workload::FuzzLog native;
+    workload::FuzzLog sim;
+    bool native_hit_limit = true;
+    bool sim_completed = false;
+    bool sim_stall_free = false;
+    std::int64_t schedule_violations = -1;
+  };
+  std::vector<Result> results(grid.size());
+  core::parallel_for_indexed(
+      grid.size(), core::hardware_jobs(), [&](std::size_t i) {
+        const auto [p, seed] = grid[i];
+        Result& r = results[i];
+        auto native_progs =
+            workload::fuzz_supersteps(p, supersteps, seed, r.native);
+        bsp::Machine native(p, bsp::Params{1, 1});
+        r.native_hit_limit = native.run(native_progs).hit_superstep_limit;
 
-  FuzzLog native_log;
-  auto native_progs = make_fuzz_program(p, supersteps, seed, native_log);
-  bsp::Machine native(p, bsp::Params{1, 1});
-  const auto native_stats = native.run(native_progs);
-  ASSERT_FALSE(native_stats.hit_superstep_limit);
+        auto sim_progs =
+            workload::fuzz_supersteps(p, supersteps, seed, r.sim);
+        BspOnLogp sim(p, logp::Params{16, 1, 2});
+        const auto rep = sim.run(sim_progs);
+        r.sim_completed = rep.logp.completed();
+        r.sim_stall_free = rep.logp.stall_free();
+        r.schedule_violations = rep.schedule_violations;
+      });
 
-  FuzzLog sim_log;
-  auto sim_progs = make_fuzz_program(p, supersteps, seed, sim_log);
-  BspOnLogp sim(p, logp::Params{16, 1, 2});
-  const auto rep = sim.run(sim_progs);
-  EXPECT_TRUE(rep.logp.completed());
-  EXPECT_TRUE(rep.logp.stall_free());
-  EXPECT_EQ(rep.schedule_violations, 0);
-
-  ASSERT_EQ(sim_log.received.size(), native_log.received.size());
-  for (std::size_t s = 0; s < native_log.received.size(); ++s)
-    for (ProcId i = 0; i < p; ++i)
-      EXPECT_EQ(sim_log.received[s][static_cast<std::size_t>(i)],
-                native_log.received[s][static_cast<std::size_t>(i)])
-          << "superstep " << s << " proc " << i << " seed " << seed;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto [p, seed] = grid[i];
+    const Result& r = results[i];
+    ASSERT_FALSE(r.native_hit_limit) << "p=" << p << " seed=" << seed;
+    EXPECT_TRUE(r.sim_completed) << "p=" << p << " seed=" << seed;
+    EXPECT_TRUE(r.sim_stall_free) << "p=" << p << " seed=" << seed;
+    EXPECT_EQ(r.schedule_violations, 0) << "p=" << p << " seed=" << seed;
+    ASSERT_EQ(r.sim.received.size(), r.native.received.size());
+    for (std::size_t s = 0; s < r.native.received.size(); ++s)
+      for (ProcId pid = 0; pid < p; ++pid)
+        EXPECT_EQ(r.sim.received[s][static_cast<std::size_t>(pid)],
+                  r.native.received[s][static_cast<std::size_t>(pid)])
+            << "superstep " << s << " proc " << pid << " seed " << seed;
+  }
 }
-
-INSTANTIATE_TEST_SUITE_P(
-    Seeds, FuzzEquivalence,
-    ::testing::Combine(::testing::Values<ProcId>(2, 3, 8, 16),
-                       ::testing::Values<std::uint64_t>(1, 2, 3, 4, 5)),
-    [](const auto& info) {
-      return "p" + std::to_string(std::get<0>(info.param)) + "seed" +
-             std::to_string(std::get<1>(info.param));
-    });
 
 TEST(FuzzEquivalence, PolicySweepOnOneSeed) {
   const ProcId p = 8;
   const std::int64_t supersteps = 3;
   const std::uint64_t seed = 99;
 
-  FuzzLog reference;
-  auto ref_progs = make_fuzz_program(p, supersteps, seed, reference);
+  workload::FuzzLog reference;
+  auto ref_progs = workload::fuzz_supersteps(p, supersteps, seed, reference);
   bsp::Machine native(p, bsp::Params{1, 1});
   (void)native.run(ref_progs);
 
@@ -117,8 +92,8 @@ TEST(FuzzEquivalence, PolicySweepOnOneSeed) {
     for (const auto delivery :
          {logp::DeliverySchedule::Latest, logp::DeliverySchedule::Earliest,
           logp::DeliverySchedule::UniformRandom}) {
-      FuzzLog log;
-      auto progs = make_fuzz_program(p, supersteps, seed, log);
+      workload::FuzzLog log;
+      auto progs = workload::fuzz_supersteps(p, supersteps, seed, log);
       BspOnLogpOptions opt;
       opt.engine.accept_order = accept;
       opt.engine.delivery = delivery;

@@ -10,6 +10,7 @@
 #include "src/algo/logp_collectives.h"
 #include "src/algo/mailbox.h"
 #include "src/logp/machine.h"
+#include "src/workload/workload.h"
 
 namespace bsplogp::xsim {
 namespace {
@@ -19,38 +20,25 @@ using logp::Proc;
 using logp::ProgramFn;
 using logp::Task;
 
-/// All-to-all exchange with payload sums: touches send, recv, and compute.
-std::vector<ProgramFn> all_to_all(ProcId p, std::vector<Word>& sums) {
-  std::vector<ProgramFn> progs;
-  for (ProcId i = 0; i < p; ++i)
-    progs.emplace_back([&sums, p](Proc& pr) -> Task<> {
-      co_await pr.compute(3);
-      for (ProcId d = 1; d < p; ++d) {
-        const auto dst = static_cast<ProcId>((pr.id() + d) % p);
-        co_await pr.send(dst, pr.id() * 1000 + dst);
-      }
-      Word sum = 0;
-      for (ProcId k = 1; k < p; ++k) sum += (co_await pr.recv()).payload;
-      sums[static_cast<std::size_t>(pr.id())] = sum;
-    });
-  return progs;
-}
+// End-to-end exchange tests run the registry's all_to_all family (payload
+// sums checked against the native machine); the compute path is exercised
+// by the local programs further down.
 
 TEST(LogpOnBsp, AllToAllMatchesNativeResults) {
   const ProcId p = 8;
   const Params prm{8, 1, 2};
 
-  std::vector<Word> native_sums(static_cast<std::size_t>(p), -1);
+  std::vector<Word> native_sums;
   logp::Machine native(p, prm);
-  const auto native_stats = native.run(all_to_all(p, native_sums));
+  const auto native_stats = native.run(workload::all_to_all(p, &native_sums));
   ASSERT_TRUE(native_stats.completed());
   ASSERT_TRUE(native_stats.stall_free());
 
-  std::vector<Word> sim_sums(static_cast<std::size_t>(p), -1);
+  std::vector<Word> sim_sums;
   LogpOnBspOptions opt;
   opt.bsp = bsp::Params{prm.G, prm.L};
   LogpOnBsp sim(p, prm, opt);
-  const LogpOnBspReport rep = sim.run(all_to_all(p, sim_sums));
+  const LogpOnBspReport rep = sim.run(workload::all_to_all(p, &sim_sums));
 
   EXPECT_EQ(sim_sums, native_sums);
   EXPECT_FALSE(rep.stuck);
@@ -95,11 +83,11 @@ TEST(LogpOnBsp, SlowdownScalesWithGRatio) {
   const ProcId p = 8;
   const Params prm{8, 1, 2};
   auto bsp_time = [&](Time g) {
-    std::vector<Word> sums(static_cast<std::size_t>(p));
+    std::vector<Word> sums;
     LogpOnBspOptions opt;
     opt.bsp = bsp::Params{g, prm.L};
     LogpOnBsp sim(p, prm, opt);
-    return sim.run(all_to_all(p, sums)).bsp.finish_time;
+    return sim.run(workload::all_to_all(p, &sums)).bsp.finish_time;
   };
   const Time t1 = bsp_time(prm.G);
   const Time t8 = bsp_time(8 * prm.G);

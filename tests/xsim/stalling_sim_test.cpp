@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/logp/machine.h"
+#include "src/workload/workload.h"
 #include "src/xsim/logp_on_bsp.h"
 
 namespace bsplogp::xsim {
@@ -18,21 +19,8 @@ using logp::Proc;
 using logp::ProgramFn;
 using logp::Task;
 
-/// k messages from every sender to processor 0, which sums the payloads.
-std::vector<ProgramFn> hotspot(ProcId p, Time k, std::vector<Word>& out) {
-  std::vector<ProgramFn> progs;
-  progs.emplace_back([p, k, &out](Proc& pr) -> Task<> {
-    Word sum = 0;
-    for (Time j = 0; j < static_cast<Time>(p - 1) * k; ++j)
-      sum += (co_await pr.recv()).payload;
-    out[0] = sum;
-  });
-  for (ProcId i = 1; i < p; ++i)
-    progs.emplace_back([i, k](Proc& pr) -> Task<> {
-      for (Time j = 0; j < k; ++j) co_await pr.send(0, i * 100 + j);
-    });
-  return progs;
-}
+// Stalling traffic throughout: workload::hotspot with the payload-sum out
+// parameter, so native and simulated runs can be compared end to end.
 
 TEST(StallingSim, HotspotResultsMatchNative) {
   const ProcId p = 10;
@@ -41,7 +29,8 @@ TEST(StallingSim, HotspotResultsMatchNative) {
 
   std::vector<Word> native_out(1, 0);
   logp::Machine native(p, prm);
-  const auto native_stats = native.run(hotspot(p, k, native_out));
+  const auto native_stats =
+      native.run(workload::hotspot(p, k, false, &native_out));
   ASSERT_TRUE(native_stats.completed());
   ASSERT_GT(native_stats.stall_events, 0);
 
@@ -49,7 +38,7 @@ TEST(StallingSim, HotspotResultsMatchNative) {
   LogpOnBspOptions opt;
   opt.bsp = bsp::Params{prm.G, prm.L};
   LogpOnBsp sim(p, prm, opt);
-  const auto rep = sim.run(hotspot(p, k, sim_out));
+  const auto rep = sim.run(workload::hotspot(p, k, false, &sim_out));
 
   EXPECT_FALSE(rep.stuck);
   EXPECT_EQ(sim_out[0], native_out[0]);
@@ -68,12 +57,12 @@ TEST(StallingSim, EmulatedDrainTracksNativeHotspotTime) {
   std::vector<Word> out(1, 0);
 
   logp::Machine native(p, prm);
-  const auto native_stats = native.run(hotspot(p, 1, out));
+  const auto native_stats = native.run(workload::hotspot(p, 1, false, &out));
 
   LogpOnBspOptions opt;
   opt.bsp = bsp::Params{prm.G, prm.L};
   LogpOnBsp sim(p, prm, opt);
-  const auto rep = sim.run(hotspot(p, 1, out));
+  const auto rep = sim.run(workload::hotspot(p, 1, false, &out));
 
   EXPECT_FALSE(rep.stuck);
   EXPECT_GE(rep.logical_finish,
@@ -107,7 +96,7 @@ TEST(StallingSim, PreprocessedTimeChargesOnlyOverloadedSupersteps) {
   LogpOnBspOptions opt;
   opt.bsp = bsp::Params{prm.G, prm.L};
   LogpOnBsp sim(p, prm, opt);
-  const auto rep = sim.run(hotspot(p, 2, out));
+  const auto rep = sim.run(workload::hotspot(p, 2, false, &out));
   ASSERT_GT(rep.overloaded_supersteps, 0);
 
   const Time naive = rep.bsp.finish_time;
