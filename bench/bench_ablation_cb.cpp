@@ -26,6 +26,12 @@ namespace {
 struct Run {
   Time time = 0;
   std::int64_t stalls = 0;
+
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(time);
+    ar(stalls);
+  }
 };
 
 Run run_logp(ProcId p, const logp::Params& prm,
@@ -35,6 +41,49 @@ Run run_logp(ProcId p, const logp::Params& prm,
   const auto st = m.run(std::move(progs));
   return Run{st.finish_time, st.stall_events};
 }
+
+// Cacheable section results (file scope: local classes cannot carry the
+// io() member template the cache codec needs).
+
+/// Section (b): the d-ary tree CB next to the greedy schedule pair.
+struct Pair {
+  Run tree;
+  Run greedy;
+
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(tree);
+    ar(greedy);
+  }
+};
+
+/// Section (d): the same relation routed clocked and free-running.
+struct ModeRuns {
+  Run clocked;
+  Run free_running;
+
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(clocked);
+    ar(free_running);
+  }
+};
+
+/// Section (e): one cycle-length choice under Theorem 1's simulation.
+struct CycleRun {
+  std::int64_t supersteps = 0;
+  Time finish = 0;
+  bool capacity_ok = false;
+  Time max_fan_in = 0;
+
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(supersteps);
+    ar(finish);
+    ar(capacity_ok);
+    ar(max_fan_in);
+  }
+};
 
 }  // namespace
 
@@ -72,10 +121,19 @@ int main(int argc, char** argv) {
     std::vector<Point> grid;
     for (const auto& prm : {logp::Params{16, 1, 2}, logp::Params{8, 1, 4}})
       for (const ProcId arity : arities) grid.push_back(Point{prm, arity});
-    const auto runs = runner.map<Run>(grid.size(), [&](std::size_t i) {
-      return run_logp(big_p, grid[i].prm,
-                      workload::cb_arity(big_p, grid[i].arity));
-    });
+    const auto runs = runner.map_cached<Run>(
+        grid.size(),
+        [&](std::size_t i) {
+          return cache::PointKey{
+              "sec=arity;L=" + std::to_string(grid[i].prm.L) + ";o=" +
+              std::to_string(grid[i].prm.o) + ";G=" +
+              std::to_string(grid[i].prm.G) + ";arity=" +
+              std::to_string(grid[i].arity) + ";p=" + std::to_string(big_p)};
+        },
+        [&](std::size_t i) {
+          return run_logp(big_p, grid[i].prm,
+                          workload::cb_arity(big_p, grid[i].arity));
+        });
     for (std::size_t i = 0; i < grid.size(); ++i) {
       const auto& [prm, arity] = grid[i];
       const Time cap = prm.capacity();
@@ -98,16 +156,20 @@ int main(int argc, char** argv) {
     const std::vector<ProcId> ps =
         rep.smoke() ? std::vector<ProcId>{16, 64}
                     : std::vector<ProcId>{16, 64, 256, 1024};
-    struct Pair {
-      Run tree;
-      Run greedy;
-    };
-    const auto runs = runner.map<Pair>(ps.size(), [&](std::size_t i) {
-      const ProcId p = ps[i];
-      return Pair{
-          run_logp(p, prm, workload::cb_arity(p, algo::cb_arity(prm))),
-          run_logp(p, prm, workload::cb_greedy_pair(p, prm))};
-    });
+    const auto runs = runner.map_cached<Pair>(
+        ps.size(),
+        [&](std::size_t i) {
+          return cache::PointKey{"sec=greedy;p=" + std::to_string(ps[i]) +
+                                 ";L=" + std::to_string(prm.L) + ";o=" +
+                                 std::to_string(prm.o) + ";G=" +
+                                 std::to_string(prm.G)};
+        },
+        [&](std::size_t i) {
+          const ProcId p = ps[i];
+          return Pair{
+              run_logp(p, prm, workload::cb_arity(p, algo::cb_arity(prm))),
+              run_logp(p, prm, workload::cb_greedy_pair(p, prm))};
+        });
     for (std::size_t i = 0; i < ps.size(); ++i) {
       const auto& [tree, greedy] = runs[i];
       greedy_table.row({ps[i], prm.L, prm.G, tree.time, greedy.time,
@@ -130,13 +192,25 @@ int main(int argc, char** argv) {
         policies{{logp::DeliverySchedule::Latest, "Latest (adversarial)"},
                  {logp::DeliverySchedule::Earliest, "Earliest"},
                  {logp::DeliverySchedule::UniformRandom, "UniformRandom"}};
-    const auto runs = runner.map<Run>(policies.size(), [&](std::size_t i) {
-      logp::Machine::Options opt;
-      opt.delivery = policies[i].first;
-      opt.seed = 3;
-      return run_logp(big_p, prm,
-                      workload::cb_arity(big_p, algo::cb_arity(prm)), opt);
-    });
+    const auto runs = runner.map_cached<Run>(
+        policies.size(),
+        [&](std::size_t i) {
+          return cache::PointKey{"sec=policy;policy=" +
+                                     std::string(policies[i].second) + ";p=" +
+                                     std::to_string(big_p) + ";L=" +
+                                     std::to_string(prm.L) + ";o=" +
+                                     std::to_string(prm.o) + ";G=" +
+                                     std::to_string(prm.G),
+                                 3};
+        },
+        [&](std::size_t i) {
+          logp::Machine::Options opt;
+          opt.delivery = policies[i].first;
+          opt.seed = 3;
+          return run_logp(big_p, prm,
+                          workload::cb_arity(big_p, algo::cb_arity(prm)),
+                          opt);
+        });
     for (std::size_t i = 0; i < policies.size(); ++i)
       policy_table.row({policies[i].second, runs[i].time});
     policy_table.print(std::cout);
@@ -159,11 +233,19 @@ int main(int argc, char** argv) {
     for (const ProcId p : ps)
       for (const bool regular : {true, false})
         grid.push_back(Point{p, regular});
-    struct ModeRuns {
-      Run clocked;
-      Run free_running;
-    };
-    const auto runs = runner.map<ModeRuns>(grid.size(), [&](std::size_t i) {
+    const auto runs = runner.map_cached<ModeRuns>(
+        grid.size(),
+        [&](std::size_t i) {
+          return cache::PointKey{"sec=clocked;p=" +
+                                     std::to_string(grid[i].p) + ";regular=" +
+                                     (grid[i].regular ? "1" : "0") + ";i=" +
+                                     std::to_string(i) + ";L=" +
+                                     std::to_string(prm.L) + ";o=" +
+                                     std::to_string(prm.o) + ";G=" +
+                                     std::to_string(prm.G),
+                                 71};
+        },
+        [&](std::size_t i) {
       const Point& pt = grid[i];
       // Both modes must route the SAME relation, so the point draws it
       // once from its own stream and runs each mode on a fresh program.
@@ -210,21 +292,25 @@ int main(int argc, char** argv) {
     const ProcId p = 16;
     const logp::Params prm{16, 1, 2};  // capacity 8
     const std::vector<Time> cycles{prm.L / 4, prm.L / 2, prm.L, 2 * prm.L};
-    struct CycleRun {
-      std::int64_t supersteps = 0;
-      Time finish = 0;
-      bool capacity_ok = false;
-      Time max_fan_in = 0;
-    };
-    const auto runs = runner.map<CycleRun>(cycles.size(), [&](std::size_t i) {
-      xsim::LogpOnBspOptions opt;
-      opt.bsp = bsp::Params{prm.G, prm.L};
-      opt.cycle_length = cycles[i];
-      xsim::LogpOnBsp sim(p, prm, opt);
-      const auto rp = sim.run(workload::all_to_all(p));
-      return CycleRun{rp.bsp.supersteps, rp.bsp.finish_time, rp.capacity_ok,
-                      rp.max_cycle_fan_in};
-    });
+    const auto runs = runner.map_cached<CycleRun>(
+        cycles.size(),
+        [&](std::size_t i) {
+          return cache::PointKey{"sec=cycle;cycle=" +
+                                 std::to_string(cycles[i]) + ";p=" +
+                                 std::to_string(p) + ";L=" +
+                                 std::to_string(prm.L) + ";o=" +
+                                 std::to_string(prm.o) + ";G=" +
+                                 std::to_string(prm.G)};
+        },
+        [&](std::size_t i) {
+          xsim::LogpOnBspOptions opt;
+          opt.bsp = bsp::Params{prm.G, prm.L};
+          opt.cycle_length = cycles[i];
+          xsim::LogpOnBsp sim(p, prm, opt);
+          const auto rp = sim.run(workload::all_to_all(p));
+          return CycleRun{rp.bsp.supersteps, rp.bsp.finish_time,
+                          rp.capacity_ok, rp.max_cycle_fan_in};
+        });
     for (std::size_t i = 0; i < cycles.size(); ++i) {
       std::string label = core::fmt(cycles[i]);
       if (cycles[i] == prm.L / 2) label += " (= L/2, paper)";

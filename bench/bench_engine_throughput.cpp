@@ -6,17 +6,27 @@
 // (SchedulerKind::ReferenceHeap) — so BENCH_engine.json records events/sec,
 // model finish times, and the bucket/heap speedup per workload.
 //
-// It also anchors the sweep-runner trajectory: a deterministic model-time
-// grid is run serially and with --jobs N, the model results are asserted
-// identical, and the wall-clock ratio is recorded as `sweep_speedup`.
+// It also anchors two sweep-runner trajectories on a deterministic
+// model-time grid:
+//   * sweep_scaling — the grid run with --jobs 1 and --jobs max(2, hw),
+//     model results asserted identical, both wall clocks recorded
+//     (`sweep_speedup` = serial/parallel);
+//   * cache_replay — the grid run cold and then warm against a private
+//     scratch cache directory (DESIGN.md §10), results asserted
+//     identical, `cache_replay_speedup` = cold/warm. This is the
+//     "unchanged grid points are free" claim, measured.
 //
 //   bench_engine_throughput --json BENCH_engine.json
+#include <unistd.h>
+
 #include <chrono>
+#include <filesystem>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench/harness.h"
+#include "src/cache/point_cache.h"
 #include "src/logp/machine.h"
 #include "src/workload/workload.h"
 
@@ -73,8 +83,11 @@ int main(int argc, char** argv) {
       {"workload", "p", "events/run", "bucket ev/s", "heap ev/s", "speedup",
        "model finish"});
   auto& sweep_series = rep.series(
-      "sweep_scaling", {"grid points", "jobs", "serial s", "parallel s",
-                        "speedup", "model times equal"});
+      "sweep_scaling",
+      {"grid points", "jobs", "wall s", "speedup", "model times equal"});
+  auto& replay_series = rep.series(
+      "cache_replay", {"grid points", "cold s", "warm s", "speedup", "hits",
+                       "results equal"});
   if (rep.list()) return rep.finish();
 
   const double min_seconds = rep.smoke() ? 0.01 : 0.4;
@@ -136,16 +149,14 @@ int main(int argc, char** argv) {
                "baseline; both schedulers\nreplay the identical event "
                "sequence (RunStats are bit-identical per seed).\n\n";
 
-  // SweepRunner scaling: the same deterministic model-time grid, run
-  // serially and with --jobs N. Model times must be identical (that is
-  // the sweep contract); the wall-clock ratio is the `sweep_speedup`
-  // trajectory metric.
+  // The shared deterministic model-time grid behind both trajectory
+  // sections below. Point results are a pure function of (p, k).
+  struct Point {
+    ProcId p;
+    Time k;
+  };
+  std::vector<Point> grid;
   {
-    struct Point {
-      ProcId p;
-      Time k;
-    };
-    std::vector<Point> grid;
     const std::vector<ProcId> ps =
         rep.smoke() ? std::vector<ProcId>{9, 17}
                     : std::vector<ProcId>{17, 33, 65, 97, 129};
@@ -153,41 +164,110 @@ int main(int argc, char** argv) {
                                              : std::vector<Time>{2, 4, 8, 16};
     for (const ProcId p : ps)
       for (const Time k : ks) grid.push_back(Point{p, k});
+  }
+  const std::function<Time(std::size_t)> compute_point = [&](std::size_t i) {
+    logp::Machine m(grid[i].p, logp::Params{16, 1, 2});
+    return m.run(workload::hotspot(grid[i].p, grid[i].k)).finish_time;
+  };
+  const std::function<cache::PointKey(std::size_t)> point_key =
+      [&](std::size_t i) {
+        return cache::PointKey{"sweep;p=" + std::to_string(grid[i].p) +
+                               ";k=" + std::to_string(grid[i].k) +
+                               ";L=16;o=1;G=2"};
+      };
+  auto run_grid = [&](int jobs, cache::PointCache* pc, double* seconds) {
+    using clock = std::chrono::steady_clock;
+    const auto t0 = clock::now();
+    const bench::SweepRunner grid_runner(jobs, pc);
+    auto finishes =
+        pc != nullptr
+            ? grid_runner.map_cached<Time>(grid.size(), point_key,
+                                           compute_point)
+            : grid_runner.map<Time>(grid.size(), compute_point);
+    *seconds = std::chrono::duration<double>(clock::now() - t0).count();
+    return finishes;
+  };
 
-    auto run_grid = [&](int jobs, double* seconds) {
-      using clock = std::chrono::steady_clock;
-      const auto t0 = clock::now();
-      const bench::SweepRunner grid_runner(jobs);
-      auto finishes =
-          grid_runner.map<Time>(grid.size(), [&](std::size_t i) {
-            logp::Machine m(grid[i].p, logp::Params{16, 1, 2});
-            return m.run(workload::hotspot(grid[i].p, grid[i].k))
-                .finish_time;
-          });
-      *seconds = std::chrono::duration<double>(clock::now() - t0).count();
-      return finishes;
-    };
+  // SweepRunner scaling: --jobs 1 vs --jobs max(2, hw) on the grid, both
+  // rows recorded. Model times must be identical (the sweep contract);
+  // the wall-clock ratio is the `sweep_speedup` trajectory metric. Smoke
+  // runs stick to the harness --jobs value to stay cheap.
+  {
+    const int par_jobs = rep.smoke() ? std::max(2, rep.jobs())
+                                     : std::max(2, core::hardware_jobs());
     double serial_s = 0, parallel_s = 0;
-    const auto serial = run_grid(1, &serial_s);
-    const auto parallel = run_grid(rep.jobs(), &parallel_s);
+    const auto serial = run_grid(1, nullptr, &serial_s);
+    const auto parallel = run_grid(par_jobs, nullptr, &parallel_s);
     const bool equal = serial == parallel;
     if (!equal) {
       std::cerr << "sweep model times diverge between --jobs 1 and --jobs "
-                << rep.jobs() << "!\n";
+                << par_jobs << "!\n";
       return 1;
     }
     const double sweep_speedup = serial_s / parallel_s;
-    sweep_series.row({static_cast<std::int64_t>(grid.size()), rep.jobs(),
-                      bench::Cell(serial_s, 3), bench::Cell(parallel_s, 3),
+    sweep_series.row({static_cast<std::int64_t>(grid.size()), 1,
+                      bench::Cell(serial_s, 3), bench::Cell(1.0, 2),
+                      equal ? "yes" : "NO"});
+    sweep_series.row({static_cast<std::int64_t>(grid.size()), par_jobs,
+                      bench::Cell(parallel_s, 3),
                       bench::Cell(sweep_speedup, 2), equal ? "yes" : "NO"});
     sweep_series.print(std::cout);
     rep.metric("sweep_speedup", sweep_speedup);
-    rep.metric("sweep_jobs", static_cast<std::int64_t>(rep.jobs()));
-    std::cout << "\nsweep_speedup = serial wall-clock over --jobs "
-              << rep.jobs()
+    rep.metric("sweep_jobs", static_cast<std::int64_t>(par_jobs));
+    rep.metric("sweep_serial_s", serial_s);
+    rep.metric("sweep_parallel_s", parallel_s);
+    std::cout << "\nsweep_speedup = --jobs 1 wall-clock over --jobs "
+              << par_jobs
               << " wall-clock for the same grid;\nmodel finish times are "
                  "asserted identical — parallelism never changes "
-                 "results.\n";
+                 "results.\n\n";
+  }
+
+  // Cache replay: the same grid computed cold into a scratch cache
+  // directory, then replayed warm from it. Warm results must equal cold
+  // ones and every point must hit; the wall-clock ratio is the
+  // `cache_replay_speedup` trajectory metric (target: >= 5x on full
+  // sweeps — replayed points skip machine construction entirely).
+  {
+    namespace fs = std::filesystem;
+    const fs::path replay_dir =
+        fs::temp_directory_path() /
+        ("bsplogp_replay_" + std::to_string(::getpid()));
+    fs::remove_all(replay_dir);
+    double cold_s = 0, warm_s = 0;
+    std::vector<Time> cold, warm;
+    cache::Stats warm_stats;
+    {
+      cache::PointCache pc(cache::Mode::kOn, replay_dir.string(),
+                           "engine_throughput", "hotspot");
+      cold = run_grid(1, &pc, &cold_s);
+    }
+    {
+      cache::PointCache pc(cache::Mode::kOn, replay_dir.string(),
+                           "engine_throughput", "hotspot");
+      warm = run_grid(1, &pc, &warm_s);
+      warm_stats = pc.stats();
+    }
+    fs::remove_all(replay_dir);
+    const bool equal = warm == cold;
+    if (!equal ||
+        warm_stats.hits != static_cast<std::int64_t>(grid.size())) {
+      std::cerr << "cache replay diverged: results equal=" << equal
+                << ", hits=" << warm_stats.hits << "/" << grid.size()
+                << "\n";
+      return 1;
+    }
+    const double replay_speedup = cold_s / warm_s;
+    replay_series.row({static_cast<std::int64_t>(grid.size()),
+                       bench::Cell(cold_s, 3), bench::Cell(warm_s, 3),
+                       bench::Cell(replay_speedup, 2), warm_stats.hits,
+                       equal ? "yes" : "NO"});
+    replay_series.print(std::cout);
+    rep.metric("cache_replay_speedup", replay_speedup);
+    rep.metric("cache_replay_hits", warm_stats.hits);
+    std::cout << "\ncache_replay_speedup = cold wall-clock over warm "
+                 "wall-clock for the same grid;\nwarm results are asserted "
+                 "identical to cold — replay never changes results.\n";
   }
   return rep.finish();
 }

@@ -27,6 +27,12 @@ struct Point {
 struct PointResult {
   Time t = 0;
   bool stall_free = true;
+
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(t);
+    ar(stall_free);
+  }
 };
 
 PointResult run_point(const Point& pt) {
@@ -61,8 +67,16 @@ int main(int argc, char** argv) {
     for (const ProcId p : ps) grid.push_back(Point{&regime, p});
 
   const bench::SweepRunner runner(rep);
-  const auto results = runner.map<PointResult>(
-      grid.size(), [&](std::size_t i) { return run_point(grid[i]); });
+  const auto results = runner.map_cached<PointResult>(
+      grid.size(),
+      [&](std::size_t i) {
+        const logp::Params& prm = grid[i].regime->prm;
+        return cache::PointKey{"L=" + std::to_string(prm.L) + ";o=" +
+                               std::to_string(prm.o) + ";G=" +
+                               std::to_string(prm.G) + ";p=" +
+                               std::to_string(grid[i].p)};
+      },
+      [&](std::size_t i) { return run_point(grid[i]); });
 
   for (std::size_t i = 0; i < grid.size(); ++i) {
     const auto& [prm, label] = *grid[i].regime;

@@ -36,6 +36,13 @@ struct PointResult {
   Time bitonic = 0;
   Time columnsort = 0;
   bool clean = true;
+
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(bitonic);
+    ar(columnsort);
+    ar(clean);
+  }
 };
 
 }  // namespace
@@ -58,7 +65,19 @@ int main(int argc, char** argv) {
                   : std::vector<Time>{1, 4, 16, 64, 128, 256, 512, 1024};
 
   const bench::SweepRunner runner(rep);
-  const auto results = runner.map<PointResult>(rs.size(), [&](std::size_t i) {
+  const auto results = runner.map_cached<PointResult>(
+      rs.size(),
+      [&](std::size_t i) {
+        // Relations come from rng_for_index(31, i): index in the key.
+        return cache::PointKey{"p=" + std::to_string(p) + ";r=" +
+                                   std::to_string(rs[i]) + ";i=" +
+                                   std::to_string(i) + ";L=" +
+                                   std::to_string(prm.L) + ";o=" +
+                                   std::to_string(prm.o) + ";G=" +
+                                   std::to_string(prm.G),
+                               31};
+      },
+      [&](std::size_t i) {
     core::Rng rng = core::rng_for_index(31, i);
     const auto rel = routing::random_regular(p, rs[i], rng);
     PointResult r;

@@ -28,6 +28,14 @@ struct Outcome {
   std::int64_t stalls = 0;
   Time stall_total = 0;
   Time stall_max = 0;
+
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(finish);
+    ar(stalls);
+    ar(stall_total);
+    ar(stall_max);
+  }
 };
 
 Outcome run_hotspot(ProcId p, Time k, const logp::Params& prm, bool staged,
@@ -43,6 +51,12 @@ Outcome run_hotspot(ProcId p, Time k, const logp::Params& prm, bool staged,
 struct PointResult {
   Outcome naive;
   Outcome staged;
+
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(naive);
+    ar(staged);
+  }
 };
 
 }  // namespace
@@ -68,8 +82,16 @@ int main(int argc, char** argv) {
     for (const Time k : ks) grid.push_back(Point{p, k});
 
   const bench::SweepRunner runner(rep);
-  const auto results =
-      runner.map<PointResult>(grid.size(), [&](std::size_t i) {
+  const auto results = runner.map_cached<PointResult>(
+      grid.size(),
+      [&](std::size_t i) {
+        return cache::PointKey{"p=" + std::to_string(grid[i].p) + ";k=" +
+                               std::to_string(grid[i].k) + ";L=" +
+                               std::to_string(prm.L) + ";o=" +
+                               std::to_string(prm.o) + ";G=" +
+                               std::to_string(prm.G)};
+      },
+      [&](std::size_t i) {
         return PointResult{
             run_hotspot(grid[i].p, grid[i].k, prm, false, nullptr),
             run_hotspot(grid[i].p, grid[i].k, prm, true, nullptr)};

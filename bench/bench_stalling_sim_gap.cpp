@@ -30,6 +30,15 @@ struct PointResult {
   Time t_preproc = 0;
   std::int64_t stalls = 0;
   std::int64_t overloaded = 0;
+
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(t_native);
+    ar(t_bsp);
+    ar(t_preproc);
+    ar(stalls);
+    ar(overloaded);
+  }
 };
 
 PointResult run_point(ProcId p, Time k, const logp::Params& prm,
@@ -74,9 +83,18 @@ int main(int argc, char** argv) {
   const Time k = 2;
 
   const bench::SweepRunner runner(rep);
-  const auto results = runner.map<PointResult>(ps.size(), [&](std::size_t i) {
-    return run_point(ps[i], k, prm, host);
-  });
+  const auto results = runner.map_cached<PointResult>(
+      ps.size(),
+      [&](std::size_t i) {
+        return cache::PointKey{"p=" + std::to_string(ps[i]) + ";k=" +
+                               std::to_string(k) + ";L=" +
+                               std::to_string(prm.L) + ";o=" +
+                               std::to_string(prm.o) + ";G=" +
+                               std::to_string(prm.G) + ";g=" +
+                               std::to_string(host.g) + ";l=" +
+                               std::to_string(host.l)};
+      },
+      [&](std::size_t i) { return run_point(ps[i], k, prm, host); });
 
   for (std::size_t i = 0; i < ps.size(); ++i) {
     const ProcId p = ps[i];

@@ -30,6 +30,18 @@ struct PointResult {
   double delta_hat = 0;
   double analytic_delta = 0;
   double r_squared = 0;
+
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(nprocs);
+    ar(nodes);
+    ar(diameter);
+    ar(gamma_hat);
+    ar(analytic_gamma);
+    ar(delta_hat);
+    ar(analytic_delta);
+    ar(r_squared);
+  }
 };
 
 PointResult run_point(const Point& pt, const std::vector<Time>& hs,
@@ -78,8 +90,17 @@ int main(int argc, char** argv) {
     for (const ProcId p : ps) grid.push_back(Point{kind, p});
 
   const bench::SweepRunner runner(rep);
-  const auto results = runner.map<PointResult>(
-      grid.size(), [&](std::size_t i) { return run_point(grid[i], hs, reps); });
+  const auto results = runner.map_cached<PointResult>(
+      grid.size(),
+      [&](std::size_t i) {
+        // reps shapes the fit's sampled relations (seed 777 is fixed in
+        // run_point), so it belongs in the key alongside the grid params.
+        return cache::PointKey{"topo=" + net::to_string(grid[i].kind) +
+                                   ";p=" + std::to_string(grid[i].p) +
+                                   ";reps=" + std::to_string(reps),
+                               777};
+      },
+      [&](std::size_t i) { return run_point(grid[i], hs, reps); });
 
   for (std::size_t i = 0; i < grid.size(); ++i) {
     const PointResult& r = results[i];

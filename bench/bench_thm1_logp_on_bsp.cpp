@@ -26,13 +26,23 @@ struct Point {
 };
 
 /// What one grid point measures. Everything the table row needs comes back
-/// in one value, so points can run on any thread in any order.
+/// in one value, so points can run on any thread in any order — and, via
+/// io(), replay from the sweep cache without constructing a machine.
 struct PointResult {
   Time t_native = 0;
   Time t_bsp = 0;
   double slowdown = 0;
   double predicted = 0;
   bool capacity_ok = false;
+
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(t_native);
+    ar(t_bsp);
+    ar(slowdown);
+    ar(predicted);
+    ar(capacity_ok);
+  }
 };
 
 PointResult run_point(const Point& pt, const logp::Params& prm,
@@ -86,8 +96,18 @@ int main(int argc, char** argv) {
           grid.push_back(Point{name, make, p, gr, lr});
 
   const bench::SweepRunner runner(rep);
-  const auto results = runner.map<PointResult>(
+  const auto results = runner.map_cached<PointResult>(
       grid.size(),
+      [&](std::size_t i) {
+        // Deterministic workloads: the point's parameters are its whole
+        // identity (no RNG stream, so no index in the key).
+        const Point& pt = grid[i];
+        return cache::PointKey{
+            "wl=" + std::string(pt.name) + ";p=" + std::to_string(pt.p) +
+            ";gr=" + std::to_string(pt.gr) + ";lr=" + std::to_string(pt.lr) +
+            ";L=" + std::to_string(prm.L) + ";o=" + std::to_string(prm.o) +
+            ";G=" + std::to_string(prm.G)};
+      },
       [&](std::size_t i) { return run_point(grid[i], prm, nullptr); });
 
   double worst_ratio = 0;

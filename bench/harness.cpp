@@ -26,12 +26,18 @@ std::string real_to_json(double v) {
   std::cerr << "bench_" << name << ": " << complaint << "\n"
             << "usage: bench_" << name
             << " [--smoke] [--jobs N] [--json <path>] [--trace <path>]"
-               " [--list]\n"
+               " [--cache on|off|readonly] [--cache-dir <dir>] [--list]\n"
             << "  --smoke        tiny CI sweep (ctest -L bench_smoke)\n"
             << "  --jobs N       run sweep grid points on N threads;"
                " output is identical for every N\n"
             << "  --json <path>  also write the machine-readable document\n"
-            << "  --trace <path> Chrome trace-event JSON of the traced runs\n"
+            << "  --trace <path> Chrome trace-event JSON of the traced runs"
+               " (forces --cache off)\n"
+            << "  --cache M      sweep-result cache: on (replay unchanged"
+               " grid points from disk\n"
+               "                 and commit new ones), readonly (replay"
+               " only), off (default)\n"
+            << "  --cache-dir D  cache directory (default .bsplogp-cache/)\n"
             << "  --list         list workload families and series, run"
                " nothing\n";
   std::exit(2);
@@ -150,12 +156,42 @@ Reporter::Reporter(int argc, char** argv, std::string bench_name)
         usage_and_exit(name_, std::string("bad --jobs value '") + argv[i] +
                                   "' (want an integer >= 1)");
       jobs_ = static_cast<int>(v);
+    } else if (arg == "--cache") {
+      if (i + 1 >= argc) usage_and_exit(name_, "--cache needs a mode");
+      if (!cache::parse_mode(argv[++i], &cache_mode_))
+        usage_and_exit(name_, std::string("bad --cache value '") + argv[i] +
+                                  "' (want on, off, or readonly)");
+    } else if (arg == "--cache-dir") {
+      if (i + 1 >= argc) usage_and_exit(name_, "--cache-dir needs a path");
+      cache_dir_ = argv[++i];
     } else {
       usage_and_exit(name_, "unknown flag '" + arg + "'");
     }
   }
-  if (!trace_path_.empty())
+  if (!trace_path_.empty()) {
     trace_ = std::make_unique<trace::ChromeTraceSink>();
+    if (cache_mode_ != cache::Mode::kOff) {
+      // A replayed point constructs no machine, so it emits no events;
+      // traces must observe the live execution (DESIGN.md §10).
+      std::cerr << "bench_" << name_
+                << ": --trace forces --cache off (traced runs always"
+                   " execute live)\n";
+      cache_mode_ = cache::Mode::kOff;
+    }
+  }
+}
+
+cache::PointCache* Reporter::cache() const {
+  if (cache_ == nullptr) {
+    std::string spec;
+    for (const std::string& w : workloads_) {
+      if (!spec.empty()) spec += ",";
+      spec += w;
+    }
+    cache_ = std::make_unique<cache::PointCache>(cache_mode_, cache_dir_,
+                                                 name_, spec);
+  }
+  return cache_.get();
 }
 
 void Reporter::use_workloads(std::vector<std::string> names) {
@@ -184,9 +220,13 @@ void Reporter::metric(const std::string& key, std::int64_t value) {
 }
 
 void Reporter::write_json(std::ostream& os) const {
+  const cache::Stats cs = cache()->stats();
   os << "{\"bench\": \"" << json_escape(name_) << "\", \"smoke\": "
      << (smoke_ ? "true" : "false") << ", \"jobs\": " << jobs_
-     << ", \"metrics\": {";
+     << ", \"cache\": {\"mode\": \"" << cache::to_string(cache_mode_)
+     << "\", \"hits\": " << cs.hits << ", \"misses\": " << cs.misses
+     << ", \"stale_evictions\": " << cs.stale_evictions
+     << "}, \"metrics\": {";
   for (std::size_t i = 0; i < metrics_.size(); ++i) {
     if (i) os << ", ";
     os << "\"" << json_escape(metrics_[i].first)
@@ -209,7 +249,20 @@ int Reporter::finish() {
     }
     std::cout << "series:\n";
     for (const Series& s : series_) std::cout << "  " << s.id() << "\n";
+    std::cout << "cache: " << cache::to_string(cache_mode_) << ", dir "
+              << cache_dir_
+              << "  (--cache on|off|readonly, --cache-dir <path>; --trace"
+                 " forces off)\n";
     return 0;
+  }
+  if (cache_mode_ != cache::Mode::kOff) {
+    // stderr, never stdout: a warm run's tables must stay byte-identical
+    // to the cold run's.
+    const cache::Stats cs = cache()->stats();
+    std::cerr << "cache[" << cache::to_string(cache_mode_) << "]: "
+              << cs.hits << " hits, " << cs.misses << " misses, "
+              << cs.stale_evictions << " stale evictions -> " << cache_dir_
+              << "\n";
   }
   if (trace_ != nullptr) {
     if (!trace_->write_file(trace_path_)) {

@@ -11,15 +11,27 @@
 //                              # (open in Perfetto / chrome://tracing)
 //   bench_foo --jobs N         # run sweep grid points on N threads; output
 //                              # is byte-identical for every N
+//   bench_foo --cache on       # content-addressed sweep cache: unchanged
+//                              # grid points replay from disk (DESIGN.md
+//                              # §10); `readonly` reads but never writes,
+//                              # `off` (default) computes everything live
+//   bench_foo --cache-dir D    # cache directory (default .bsplogp-cache/)
 //   bench_foo --list           # list workload families + series, run nothing
 // Unknown flags are an error (usage on stderr, exit 2): a typo must not
-// silently run the wrong experiment.
+// silently run the wrong experiment. `--trace` forces the cache off: a
+// replayed point constructs no machine, so it would emit no events.
 //
 // JSON shape:
 //   { "bench": "<name>", "smoke": false, "jobs": 1,
+//     "cache": { "mode": "off", "hits": 0, "misses": 0,
+//                "stale_evictions": 0 },
 //     "metrics": { "<key>": <number>, ... },
 //     "series": [ { "id": "<id>", "columns": [...],
 //                   "rows": [[cell, ...], ...] }, ... ] }
+// The document is byte-identical between a cold and a warm run except for
+// the self-describing "cache" counters (cmake/cache_replay.cmake
+// normalizes exactly that block before demanding byte equality); stdout
+// is byte-identical unconditionally.
 // Cells are numbers (integral results exact, reals full-precision) or
 // strings; the table rendering applies core::fmt with the per-cell
 // precision instead.
@@ -33,6 +45,7 @@
 #include <string>
 #include <vector>
 
+#include "src/cache/point_cache.h"
 #include "src/core/parallel.h"
 #include "src/trace/chrome_sink.h"
 
@@ -108,6 +121,13 @@ class Reporter {
   /// the registry. Shown by --list.
   void use_workloads(std::vector<std::string> names);
 
+  /// The sweep-result cache for this run (never null; mode kOff when
+  /// `--cache on|readonly` was not given, or when `--trace` is active —
+  /// traced runs always execute live). Created lazily so use_workloads()
+  /// declarations land in the cache key's workload spec; call it only
+  /// after declaring workloads (SweepRunner's Reporter constructor does).
+  [[nodiscard]] cache::PointCache* cache() const;
+
   /// Null unless `--trace <path>` was given; otherwise a ChromeTraceSink
   /// the bench plugs into machine Options. Every traced run becomes one
   /// Perfetto "process" (pid = run index). Benches pass this unchecked:
@@ -141,6 +161,9 @@ class Reporter {
   bool smoke_ = false;
   bool list_ = false;
   int jobs_ = 1;
+  cache::Mode cache_mode_ = cache::Mode::kOff;
+  std::string cache_dir_ = ".bsplogp-cache";
+  mutable std::unique_ptr<cache::PointCache> cache_;  // lazy, see cache()
   std::vector<std::string> workloads_;
   std::deque<Series> series_;  // deque: stable references across growth
   std::vector<std::pair<std::string, std::string>> metrics_;  // key -> json
@@ -153,10 +176,19 @@ class Reporter {
 /// function of its index (model-time simulation + rng_for_index streams)
 /// and emission is serial and ordered, the bench output is byte-identical
 /// for every --jobs value (DESIGN.md §9 determinism rules).
+///
+/// map_cached() adds the content-addressed cache (DESIGN.md §10) on top:
+/// a point whose key is already in the cache directory replays its
+/// result from disk and skips machine construction entirely; everything
+/// else computes live and commits. Results still land by index and are
+/// emitted in grid order, and the codec round-trips byte-exactly, so
+/// cached and computed sweeps print identical output.
 class SweepRunner {
  public:
-  explicit SweepRunner(const Reporter& rep) : jobs_(rep.jobs()) {}
-  explicit SweepRunner(int jobs) : jobs_(jobs) {}
+  explicit SweepRunner(const Reporter& rep)
+      : jobs_(rep.jobs()), cache_(rep.cache()) {}
+  explicit SweepRunner(int jobs, cache::PointCache* cache = nullptr)
+      : jobs_(jobs), cache_(cache) {}
 
   [[nodiscard]] int jobs() const { return jobs_; }
 
@@ -169,8 +201,28 @@ class SweepRunner {
     return out;
   }
 
+  /// key_fn(i) must be a pure function of the grid definition (never of
+  /// prior results); fn(i) runs only on cache misses. R is either
+  /// arithmetic or provides the io() member the cache codec requires
+  /// (src/cache/point_cache.h).
+  template <typename R>
+  [[nodiscard]] std::vector<R> map_cached(
+      std::size_t n, const std::function<cache::PointKey(std::size_t)>& key_fn,
+      const std::function<R(std::size_t)>& fn) const {
+    if (cache_ == nullptr || !cache_->enabled()) return map<R>(n, fn);
+    std::vector<R> out(n);
+    core::parallel_for_indexed(n, jobs_, [&](std::size_t i) {
+      const cache::PointKey key = key_fn(i);
+      if (cache_->try_get(key, &out[i])) return;
+      out[i] = fn(i);
+      cache_->put(key, out[i]);
+    });
+    return out;
+  }
+
  private:
   int jobs_;
+  cache::PointCache* cache_ = nullptr;
 };
 
 /// JSON string escaping (quotes, backslashes, control characters).

@@ -1,0 +1,91 @@
+# Asserts the sweep-cache replay contract (DESIGN.md §10) end to end for
+# one bench binary, sharing a cache directory across three runs:
+#   1. cold  — every grid point misses and is committed,
+#   2. warm  — every grid point hits (hits == the cold run's misses),
+#      with byte-identical stdout and byte-identical JSON modulo the
+#      self-describing "cache" block,
+#   3. flipped build — BSPLOGP_BUILD_ID overridden, so every entry is
+#      evicted as stale and recomputed live, and stdout is still
+#      byte-identical (a stale cache can slow a run down, never skew it).
+#
+# Run as a ctest script:
+#   cmake -DBENCH=<path-to-binary> -DWORKDIR=<scratch-dir> \
+#         -P cmake/cache_replay.cmake
+#
+# Only pure model-time benches qualify (the same restriction as
+# jobs_determinism.cmake); bench/CMakeLists.txt registers the eligible
+# binaries.
+
+if(NOT DEFINED BENCH OR NOT DEFINED WORKDIR)
+  message(FATAL_ERROR "usage: cmake -DBENCH=<bin> -DWORKDIR=<dir> -P cache_replay.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+set(cache_dir "${WORKDIR}/cache")
+
+# Pulls "H hits, M misses, S stale evictions" out of a run's stderr
+# cache summary into <out>_hits / <out>_misses / <out>_stale.
+function(parse_cache_summary stderr_text out)
+  if(NOT stderr_text MATCHES "cache\\[on\\]: ([0-9]+) hits, ([0-9]+) misses, ([0-9]+) stale evictions")
+    message(FATAL_ERROR "no cache summary on stderr:\n${stderr_text}")
+  endif()
+  set(${out}_hits "${CMAKE_MATCH_1}" PARENT_SCOPE)
+  set(${out}_misses "${CMAKE_MATCH_2}" PARENT_SCOPE)
+  set(${out}_stale "${CMAKE_MATCH_3}" PARENT_SCOPE)
+endfunction()
+
+foreach(leg cold warm flipped)
+  set(env_prefix)
+  if(leg STREQUAL "flipped")
+    set(env_prefix ${CMAKE_COMMAND} -E env BSPLOGP_BUILD_ID=flipped-${leg})
+  endif()
+  execute_process(
+    COMMAND ${env_prefix} "${BENCH}" --smoke --jobs 4
+      --cache on --cache-dir "${cache_dir}"
+      --json "${WORKDIR}/doc_${leg}.json"
+    OUTPUT_VARIABLE stdout_${leg}
+    ERROR_VARIABLE stderr_${leg}
+    RESULT_VARIABLE status_${leg})
+  if(NOT status_${leg} EQUAL 0)
+    message(FATAL_ERROR "${BENCH} (${leg}) exited ${status_${leg}}:\n${stderr_${leg}}")
+  endif()
+  parse_cache_summary("${stderr_${leg}}" ${leg})
+endforeach()
+
+# Replay must be invisible on stdout, bytes included.
+if(NOT stdout_cold STREQUAL stdout_warm)
+  message(FATAL_ERROR "stdout differs between cold and warm cache runs for ${BENCH}")
+endif()
+if(NOT stdout_cold STREQUAL stdout_flipped)
+  message(FATAL_ERROR "stdout differs between cold and flipped-build runs for ${BENCH}")
+endif()
+
+# The JSON document self-describes its cache traffic; neutralize that one
+# block, then demand byte equality of everything else.
+foreach(leg cold warm flipped)
+  file(READ "${WORKDIR}/doc_${leg}.json" doc_${leg})
+  string(REGEX REPLACE "\"cache\": {[^}]*}" "\"cache\": X"
+    doc_${leg} "${doc_${leg}}")
+endforeach()
+if(NOT doc_cold STREQUAL doc_warm)
+  message(FATAL_ERROR "JSON document differs (beyond the cache block) between cold and warm runs for ${BENCH}")
+endif()
+if(NOT doc_cold STREQUAL doc_flipped)
+  message(FATAL_ERROR "JSON document differs (beyond the cache block) between cold and flipped-build runs for ${BENCH}")
+endif()
+
+# Cold: nothing to hit, every point committed.
+if(NOT cold_hits EQUAL 0 OR cold_misses EQUAL 0 OR NOT cold_stale EQUAL 0)
+  message(FATAL_ERROR "cold run expected 0 hits / >0 misses / 0 stale, got ${cold_hits}/${cold_misses}/${cold_stale} for ${BENCH}")
+endif()
+# Warm: every cold miss replays as a hit, nothing recomputes.
+if(NOT warm_hits EQUAL cold_misses OR NOT warm_misses EQUAL 0 OR NOT warm_stale EQUAL 0)
+  message(FATAL_ERROR "warm run expected ${cold_misses} hits / 0 misses / 0 stale, got ${warm_hits}/${warm_misses}/${warm_stale} for ${BENCH}")
+endif()
+# Flipped build: every entry is a dead generation — evicted and recomputed.
+if(NOT flipped_stale EQUAL cold_misses OR NOT flipped_misses EQUAL cold_misses OR NOT flipped_hits EQUAL 0)
+  message(FATAL_ERROR "flipped-build run expected 0 hits / ${cold_misses} misses / ${cold_misses} stale, got ${flipped_hits}/${flipped_misses}/${flipped_stale} for ${BENCH}")
+endif()
+
+message(STATUS "cache replay OK: ${BENCH} (${cold_misses} grid points)")

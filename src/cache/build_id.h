@@ -1,0 +1,22 @@
+// The build fingerprint that makes stale cache binaries self-invalidate
+// (DESIGN.md §10). build_id() is baked into the generated build_id.cpp:
+// cmake/build_id.cmake hashes every source file under src/ and bench/
+// plus the compiler id/version/flags, and regenerates the constant
+// whenever any of them changes — so a cache entry written by an older
+// binary is evicted instead of replayed.
+#pragma once
+
+#include <string>
+
+namespace bsplogp::cache {
+
+/// The generated fingerprint (16 hex chars). Implemented by the
+/// build-tree build_id.cpp, never by a checked-in file.
+[[nodiscard]] const char* build_id();
+
+/// build_id(), unless the BSPLOGP_BUILD_ID environment variable is set —
+/// the test hook that lets ctest flip the fingerprint without rebuilding
+/// (cmake/cache_replay.cmake's stale-eviction leg).
+[[nodiscard]] std::string effective_build_id();
+
+}  // namespace bsplogp::cache

@@ -1,0 +1,13 @@
+#include <cstdlib>
+
+#include "src/cache/build_id.h"
+
+namespace bsplogp::cache {
+
+std::string effective_build_id() {
+  const char* env = std::getenv("BSPLOGP_BUILD_ID");
+  if (env != nullptr && env[0] != '\0') return env;
+  return build_id();
+}
+
+}  // namespace bsplogp::cache

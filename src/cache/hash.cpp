@@ -1,0 +1,34 @@
+#include "src/cache/hash.h"
+
+#include <cstdio>
+
+namespace bsplogp::cache {
+
+namespace {
+constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+}  // namespace
+
+Hasher& Hasher::bytes(const void* data, std::size_t n) {
+  const auto* b = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    lo_ = (lo_ ^ b[i]) * kPrime;
+    hi_ = (hi_ ^ static_cast<unsigned char>(b[i] ^ 0x5c)) * kPrime;
+  }
+  return *this;
+}
+
+Hasher& Hasher::u64(std::uint64_t v) {
+  unsigned char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+  return bytes(b, sizeof b);
+}
+
+std::string to_hex(const Hash128& h) {
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                static_cast<unsigned long long>(h.hi),
+                static_cast<unsigned long long>(h.lo));
+  return buf;
+}
+
+}  // namespace bsplogp::cache

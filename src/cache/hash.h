@@ -1,0 +1,53 @@
+// Self-contained 128-bit content hash for cache keys (DESIGN.md §10).
+//
+// Two independent 64-bit FNV-1a lanes: the low lane is textbook FNV-1a
+// (offset 0xcbf29ce484222325, prime 0x100000001b3); the high lane uses the
+// same prime from a different offset and perturbs each byte, so the lanes
+// do not cancel on permuted input. 128 bits keeps the birthday bound far
+// below any realistic sweep-cache population; correctness never rests on
+// it anyway — the store verifies the full key preimage on every lookup,
+// so a filename collision degrades to a cache miss, never a wrong result.
+//
+// Stability matters: these constants are part of the on-disk format. A
+// lane change orphans existing cache dirs (harmless — entries just miss)
+// but must never change silently, hence the known-answer test in
+// tests/cache/hash_test.cpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace bsplogp::cache {
+
+struct Hash128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Hash128&, const Hash128&) = default;
+};
+
+/// 32 lowercase hex characters, hi lane first.
+[[nodiscard]] std::string to_hex(const Hash128& h);
+
+/// Incremental FNV-1a x2 hasher. field() frames its input with a length
+/// prefix so ("ab","c") and ("a","bc") hash differently — key fields are
+/// hashed as a sequence of fields, never as a raw concatenation.
+class Hasher {
+ public:
+  Hasher& bytes(const void* data, std::size_t n);
+  Hasher& u64(std::uint64_t v);  // little-endian framing
+  Hasher& field(std::string_view s) {
+    u64(s.size());
+    return bytes(s.data(), s.size());
+  }
+
+  [[nodiscard]] Hash128 digest() const { return {hi_, lo_}; }
+
+ private:
+  std::uint64_t lo_ = 0xcbf29ce484222325ULL;
+  std::uint64_t hi_ = 0x6c62272e07bb0142ULL;
+};
+
+}  // namespace bsplogp::cache

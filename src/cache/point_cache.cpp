@@ -1,0 +1,58 @@
+#include "src/cache/point_cache.h"
+
+namespace bsplogp::cache {
+
+const char* to_string(Mode m) {
+  switch (m) {
+    case Mode::kOff: return "off";
+    case Mode::kOn: return "on";
+    case Mode::kReadOnly: return "readonly";
+  }
+  return "off";
+}
+
+bool parse_mode(const std::string& s, Mode* out) {
+  if (s == "on") *out = Mode::kOn;
+  else if (s == "off") *out = Mode::kOff;
+  else if (s == "readonly") *out = Mode::kReadOnly;
+  else return false;
+  return true;
+}
+
+std::string Encoder::escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+PointCache::PointCache(Mode mode, std::string dir, std::string bench,
+                       std::string workload_spec, std::string build)
+    : mode_(mode),
+      bench_(std::move(bench)),
+      workload_spec_(std::move(workload_spec)),
+      store_(std::move(dir), std::move(build)) {}
+
+Stats PointCache::stats() const {
+  return Stats{hits_.load(std::memory_order_relaxed),
+               misses_.load(std::memory_order_relaxed),
+               stale_evictions_.load(std::memory_order_relaxed)};
+}
+
+}  // namespace bsplogp::cache

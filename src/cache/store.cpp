@@ -1,0 +1,155 @@
+#include "src/cache/store.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "src/cache/hash.h"
+
+namespace bsplogp::cache {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string seed_str(std::uint64_t seed) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu",
+                static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+/// Hashes the logical point identity; the build fingerprint is chained
+/// on top by key_hex() but deliberately kept out of the filename.
+Hash128 point_hash(const Key& key) {
+  Hasher h;
+  h.field(key.bench).field(key.point).u64(key.seed).field(key.workload);
+  return h.digest();
+}
+
+}  // namespace
+
+Store::Store(std::string dir, std::string build_id)
+    : dir_(std::move(dir)), build_id_(std::move(build_id)) {}
+
+std::string Store::entry_name(const Key& key) const {
+  return to_hex(point_hash(key)) + ".json";
+}
+
+std::string Store::key_hex(const Key& key) const {
+  Hasher h;
+  h.field(build_id_)
+      .field(key.bench)
+      .field(key.point)
+      .u64(key.seed)
+      .field(key.workload);
+  return to_hex(h.digest());
+}
+
+Store::Lookup Store::lookup(const Key& key) const {
+  const fs::path path = fs::path(dir_) / entry_name(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  core::JsonValue root;
+  if (!core::JsonParser(text).parse(root) ||
+      root.type != core::JsonValue::Type::Object)
+    return {};  // truncated or corrupt: plain miss, next commit overwrites
+
+  const core::JsonValue* format = root.find("format");
+  const core::JsonValue* build = root.find("build_id");
+  const core::JsonValue* preimage = root.find("preimage");
+  const core::JsonValue* payload = root.find("payload");
+  if (format == nullptr || format->raw != "1" || build == nullptr ||
+      build->type != core::JsonValue::Type::String || preimage == nullptr ||
+      preimage->type != core::JsonValue::Type::Object || payload == nullptr ||
+      payload->type != core::JsonValue::Type::Array)
+    return {};
+
+  // The preimage is the ground truth; hashes only picked the filename.
+  const core::JsonValue* bench = preimage->find("bench");
+  const core::JsonValue* point = preimage->find("point");
+  const core::JsonValue* seed = preimage->find("seed");
+  const core::JsonValue* wl = preimage->find("workload");
+  if (bench == nullptr || bench->str != key.bench || point == nullptr ||
+      point->str != key.point || seed == nullptr ||
+      seed->str != seed_str(key.seed) || wl == nullptr ||
+      wl->str != key.workload)
+    return {};  // filename collision: treat as a miss
+
+  if (build->str != build_id_) {
+    // A different binary generation wrote this point: evict so the
+    // directory holds at most one generation per point.
+    std::error_code ec;
+    fs::remove(path, ec);
+    return {Outcome::Stale, {}};
+  }
+  return {Outcome::Hit, *payload};
+}
+
+void Store::commit(const Key& key, const std::string& payload_json) const {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) return;
+
+  std::ostringstream os;
+  os << "{\"format\": 1, \"build_id\": \"" << escape(build_id_)
+     << "\", \"key\": \"" << key_hex(key)
+     << "\",\n \"preimage\": {\"bench\": \"" << escape(key.bench)
+     << "\", \"point\": \"" << escape(key.point) << "\", \"seed\": \""
+     << seed_str(key.seed) << "\", \"workload\": \"" << escape(key.workload)
+     << "\"},\n \"payload\": " << payload_json << "}\n";
+
+  // Unique temp name per (thread, commit): concurrent workers never share
+  // a temp file, and rename() makes publication atomic.
+  const std::uint64_t n =
+      temp_counter_.fetch_add(1, std::memory_order_relaxed);
+  const auto tid =
+      static_cast<std::uint64_t>(std::hash<std::thread::id>{}(
+          std::this_thread::get_id()));
+  const fs::path final_path = fs::path(dir_) / entry_name(key);
+  const fs::path tmp_path =
+      final_path.string() + ".tmp." + seed_str(tid) + "." + seed_str(n);
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) return;
+    out << os.str();
+    if (!out.good()) {
+      out.close();
+      fs::remove(tmp_path, ec);
+      return;
+    }
+  }
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) fs::remove(tmp_path, ec);
+}
+
+}  // namespace bsplogp::cache

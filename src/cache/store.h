@@ -1,0 +1,91 @@
+// On-disk half of the content-addressed sweep cache (DESIGN.md §10).
+//
+// One JSON file per grid point under the cache directory:
+//
+//   <hex128(bench, point, seed, workload)>.json
+//   { "format": 1,
+//     "build_id": "<fingerprint of the binary that wrote it>",
+//     "key": "<hex128 over (build_id, bench, point, seed, workload)>",
+//     "preimage": { "bench": ..., "point": ..., "seed": "...",
+//                   "workload": ... },
+//     "payload": [ ... ] }
+//
+// The *filename* hash excludes the build fingerprint on purpose: a new
+// binary must find (and evict) the entries an old binary wrote, instead
+// of leaving them to shadow the directory forever. The *recorded* key
+// hash covers all five fields for audit. Lookups never trust either
+// hash: the stored preimage is compared field-by-field against the
+// requested key, so a hash collision degrades to a miss, never to a
+// wrong result.
+//
+// Commits write a uniquely-named temp file and rename() it into place —
+// atomic on POSIX — so concurrent --jobs workers (or two processes
+// sharing a nightly cache dir) can race on the same entry and the loser
+// simply overwrites the winner with identical bytes. Corrupt, truncated,
+// or foreign files behave as misses and are overwritten by the next
+// commit. The Store is pure mechanism: hit/miss/stale accounting lives
+// in PointCache (point_cache.h), which owns the policy.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/core/json.h"
+
+namespace bsplogp::cache {
+
+/// Logical identity of one cached grid point. `point` is the bench's
+/// parameter encoding (e.g. "wl=all-to-all;p=16;gr=2;lr=1;i=3"); `seed`
+/// is the base RNG seed (0 for deterministic workloads); `workload` is
+/// the bench's workload spec (registry family names).
+struct Key {
+  std::string bench;
+  std::string point;
+  std::uint64_t seed = 0;
+  std::string workload;
+};
+
+class Store {
+ public:
+  enum class Outcome { Hit, Miss, Stale };
+
+  struct Lookup {
+    Outcome outcome = Outcome::Miss;
+    core::JsonValue payload;  // array; valid only when outcome == Hit
+  };
+
+  /// `dir` is created lazily on first commit; lookups against a missing
+  /// directory are plain misses. `build_id` is the fingerprint entries
+  /// are validated against (production: cache::effective_build_id()).
+  Store(std::string dir, std::string build_id);
+
+  /// Stale entries (valid file, different build fingerprint) are removed
+  /// from disk so the directory never accumulates dead generations.
+  [[nodiscard]] Lookup lookup(const Key& key) const;
+
+  /// Atomically writes the entry for `key`. `payload_json` must be a
+  /// JSON array (the encoded point result). Failures (unwritable dir,
+  /// full disk) are swallowed: the cache is an accelerator, never a
+  /// correctness dependency.
+  void commit(const Key& key, const std::string& payload_json) const;
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+  [[nodiscard]] const std::string& build_id() const { return build_id_; }
+
+  /// Entry filename (no directory) for `key` — exposed for tests that
+  /// corrupt or inspect entries.
+  [[nodiscard]] std::string entry_name(const Key& key) const;
+
+  /// Full key hash over (build_id, bench, point, seed, workload), as
+  /// recorded in the entry for audit.
+  [[nodiscard]] std::string key_hex(const Key& key) const;
+
+ private:
+  std::string dir_;
+  std::string build_id_;
+  mutable std::atomic<std::uint64_t> temp_counter_{0};
+};
+
+}  // namespace bsplogp::cache

@@ -6,7 +6,9 @@
 // 4.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
+#include <filesystem>
 #include <initializer_list>
 #include <sstream>
 #include <string>
@@ -218,6 +220,107 @@ std::string sweep_document(const SweepRunner& runner) {
   std::ostringstream os;
   rep.write_json(os);
   return os.str();
+}
+
+TEST(ReporterDeathTest, BadCacheFlagsDieWithExitCode2) {
+  {
+    Argv args({"--cache", "sometimes"});
+    EXPECT_EXIT(Reporter(args.argc(), args.argv(), "unit"),
+                ::testing::ExitedWithCode(2),
+                "bad --cache value 'sometimes'");
+  }
+  {
+    Argv args({"--cache"});
+    EXPECT_EXIT(Reporter(args.argc(), args.argv(), "unit"),
+                ::testing::ExitedWithCode(2), "--cache needs a mode");
+  }
+  {
+    Argv args({"--cache-dir"});
+    EXPECT_EXIT(Reporter(args.argc(), args.argv(), "unit"),
+                ::testing::ExitedWithCode(2), "--cache-dir needs a path");
+  }
+}
+
+TEST(Reporter, JsonCarriesTheCacheBlock) {
+  Argv args({"--smoke"});
+  Reporter rep(args.argc(), args.argv(), "unit");
+  std::ostringstream os;
+  rep.write_json(os);
+  JsonValue v;
+  ASSERT_TRUE(JsonParser(os.str()).parse(v)) << os.str();
+  const JsonValue* c = v.find("cache");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->find("mode")->str, "off");  // default
+  EXPECT_EQ(c->find("hits")->number, 0);
+  EXPECT_EQ(c->find("misses")->number, 0);
+  EXPECT_EQ(c->find("stale_evictions")->number, 0);
+}
+
+TEST(Reporter, TraceForcesCacheOff) {
+  const std::string trace_path =
+      ::testing::TempDir() + "/bsplogp_harness_trace_cache.json";
+  Argv args({"--trace", trace_path.c_str(), "--cache", "on"});
+  ::testing::internal::CaptureStderr();
+  Reporter rep(args.argc(), args.argv(), "unit");
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("--trace forces --cache off"), std::string::npos);
+  ASSERT_NE(rep.trace_sink(), nullptr);
+  EXPECT_EQ(rep.cache()->mode(), cache::Mode::kOff);
+}
+
+/// Point result for the map_cached replay test (namespace scope: local
+/// classes cannot carry the io() member template the codec needs).
+struct CachedSweepResult {
+  Time finish = 0;
+  double ratio = 0;
+
+  friend bool operator==(const CachedSweepResult&,
+                         const CachedSweepResult&) = default;
+
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(finish);
+    ar(ratio);
+  }
+};
+
+TEST(SweepRunner, MapCachedReplaysTheColdRunByteExactly) {
+  const std::string dir =
+      ::testing::TempDir() + "/bsplogp_harness_map_cached";
+  std::filesystem::remove_all(dir);
+  const std::vector<ProcId> ps{4, 8, 16};
+  const auto key_fn = [&](std::size_t i) {
+    return cache::PointKey{"p=" + std::to_string(ps[i])};
+  };
+  std::atomic<int> computed{0};
+  const auto compute = [&](std::size_t i) {
+    computed.fetch_add(1);
+    logp::Machine m(ps[i], logp::Params{12, 1, 3});
+    const auto st = m.run(workload::hotspot(ps[i], 2));
+    return CachedSweepResult{st.finish_time,
+                             static_cast<double>(st.messages) / 3.0};
+  };
+
+  const auto sweep = [&](cache::PointCache* pc) {
+    return SweepRunner(2, pc).map_cached<CachedSweepResult>(ps.size(), key_fn,
+                                                            compute);
+  };
+  cache::PointCache cold(cache::Mode::kOn, dir, "unit", "hotspot", "b1");
+  cache::PointCache warm(cache::Mode::kOn, dir, "unit", "hotspot", "b1");
+  const auto first = sweep(&cold);
+  EXPECT_EQ(computed.load(), 3);
+  const auto second = sweep(&warm);
+  EXPECT_EQ(computed.load(), 3);  // warm run computed nothing
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(warm.stats().hits, 3);
+  EXPECT_EQ(warm.stats().misses, 0);
+
+  // A cacheless runner and a disabled cache both take the plain path.
+  cache::PointCache off(cache::Mode::kOff, dir, "unit", "hotspot", "b1");
+  EXPECT_EQ(sweep(nullptr), first);
+  EXPECT_EQ(sweep(&off), first);
+  EXPECT_EQ(computed.load(), 9);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(SweepRunner, DocumentIsByteIdenticalAcrossJobCounts) {

@@ -1,0 +1,62 @@
+// The cache key hash (src/cache/hash.h). The lane constants are on-disk
+// format: the known-answer tests below pin them so a change can never
+// land silently (it would orphan every existing cache directory). The
+// framing tests pin the property lookups rely on — field sequences hash
+// by (length, bytes) pairs, never by concatenation.
+#include "src/cache/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace bsplogp::cache {
+namespace {
+
+TEST(Hash, KnownAnswersPinTheOnDiskFormat) {
+  // Empty input exposes the two lane offsets verbatim.
+  EXPECT_EQ(to_hex(Hasher().digest()), "6c62272e07bb0142cbf29ce484222325");
+  // The low lane of "abc" is textbook 64-bit FNV-1a; the high lane is the
+  // perturbed companion.
+  EXPECT_EQ(to_hex(Hasher().bytes("abc", 3).digest()),
+            "aa27d32f0b6c99a2e71fa2190541574b");
+  EXPECT_EQ(to_hex(Hasher().field("abc").digest()),
+            "759d575a69c902f3c11ab6d2519bc2b2");
+  EXPECT_EQ(to_hex(Hasher().u64(1).digest()),
+            "9bed7fce5f03c84389cd31291d2aefa4");
+}
+
+TEST(Hash, HexIs32LowercaseDigitsHiLaneFirst) {
+  const Hash128 h{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  EXPECT_EQ(to_hex(h), "0123456789abcdeffedcba9876543210");
+  EXPECT_EQ(to_hex(Hash128{}), std::string(32, '0'));
+}
+
+TEST(Hash, FieldFramingSeparatesPermutedSplits) {
+  // ("ab","c") vs ("a","bc") vs raw "abc": all distinct, because field()
+  // length-prefixes each piece.
+  const Hash128 ab_c = Hasher().field("ab").field("c").digest();
+  const Hash128 a_bc = Hasher().field("a").field("bc").digest();
+  const Hash128 raw = Hasher().bytes("abc", 3).digest();
+  EXPECT_FALSE(ab_c == a_bc);
+  EXPECT_FALSE(ab_c == raw);
+  EXPECT_FALSE(a_bc == raw);
+  // And the empty field is not a no-op.
+  EXPECT_FALSE(Hasher().field("").digest() == Hasher().digest());
+}
+
+TEST(Hash, LanesDoNotCancelOnSwappedBytes) {
+  const Hash128 ab = Hasher().bytes("ab", 2).digest();
+  const Hash128 ba = Hasher().bytes("ba", 2).digest();
+  EXPECT_NE(ab.lo, ba.lo);
+  EXPECT_NE(ab.hi, ba.hi);
+}
+
+TEST(Hash, IncrementalAndOneShotAgree) {
+  const Hash128 once = Hasher().bytes("stall-free", 10).digest();
+  const Hash128 split =
+      Hasher().bytes("stall", 5).bytes("-free", 5).digest();
+  EXPECT_TRUE(once == split);
+}
+
+}  // namespace
+}  // namespace bsplogp::cache

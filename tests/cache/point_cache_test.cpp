@@ -1,0 +1,278 @@
+// The cache policy layer (src/cache/point_cache.h): the result codec's
+// byte-exact round trip (the foundation of the replay byte-identity
+// guarantee), its rejection of mismatched payloads, PointCache mode
+// semantics and hit/miss/stale accounting, and concurrent commits from
+// SweepRunner-style worker threads.
+#include "src/cache/point_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace bsplogp::cache {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Inner {
+  std::int64_t ticks = 0;
+  bool ok = false;
+
+  friend bool operator==(const Inner&, const Inner&) = default;
+
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(ticks);
+    ar(ok);
+  }
+};
+
+struct Outer {
+  std::int64_t big = 0;
+  double ratio = 0;
+  std::string note;
+  Inner inner;
+
+  friend bool operator==(const Outer&, const Outer&) = default;
+
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(big);
+    ar(ratio);
+    ar(note);
+    ar(inner);
+  }
+};
+
+template <typename R>
+R reencode(const R& r) {
+  core::JsonValue payload;
+  EXPECT_TRUE(core::JsonParser(encode_result(r)).parse(payload));
+  R out{};
+  EXPECT_TRUE(decode_result(payload, &out));
+  return out;
+}
+
+TEST(ResultCodec, RoundTripsExtremeValuesExactly) {
+  Outer r;
+  r.big = std::numeric_limits<std::int64_t>::max();  // > 2^53: needs raw
+  r.ratio = 0.1;                                     // not binary-exact
+  r.note = "line\nwith \"quotes\" and \\slash";
+  r.inner = Inner{std::numeric_limits<std::int64_t>::min(), true};
+  EXPECT_EQ(reencode(r), r);
+
+  // Byte-exactness, not just equality: re-encoding the decoded value
+  // reproduces the identical payload string.
+  core::JsonValue payload;
+  ASSERT_TRUE(core::JsonParser(encode_result(r)).parse(payload));
+  Outer decoded{};
+  ASSERT_TRUE(decode_result(payload, &decoded));
+  EXPECT_EQ(encode_result(decoded), encode_result(r));
+}
+
+struct One {
+  double v = 0;
+
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(v);
+  }
+};
+
+TEST(ResultCodec, RoundTripsDoubleBitPatterns) {
+  for (const double d :
+       {1.0 / 3.0, 1e300, 5e-324, -0.0, 123456789.123456789}) {
+    One r{d}, out{};
+    core::JsonValue payload;
+    ASSERT_TRUE(core::JsonParser(encode_result(r)).parse(payload));
+    ASSERT_TRUE(decode_result(payload, &out));
+    EXPECT_EQ(std::signbit(out.v), std::signbit(d));
+    EXPECT_EQ(out.v, d);
+  }
+}
+
+TEST(ResultCodec, RejectsArityAndTypeMismatches) {
+  Inner out{};
+  core::JsonValue payload;
+  // Too few fields.
+  ASSERT_TRUE(core::JsonParser("[1]").parse(payload));
+  EXPECT_FALSE(decode_result(payload, &out));
+  // Too many fields.
+  ASSERT_TRUE(core::JsonParser("[1, true, 3]").parse(payload));
+  EXPECT_FALSE(decode_result(payload, &out));
+  // Wrong type where the bool belongs.
+  ASSERT_TRUE(core::JsonParser("[1, 2]").parse(payload));
+  EXPECT_FALSE(decode_result(payload, &out));
+  // Fractional number where the integer belongs.
+  ASSERT_TRUE(core::JsonParser("[1.5, true]").parse(payload));
+  EXPECT_FALSE(decode_result(payload, &out));
+  // A failed decode leaves the output untouched at the call site's
+  // default — decode_result only writes through on full success.
+  out = Inner{77, true};
+  ASSERT_TRUE(core::JsonParser("[1]").parse(payload));
+  EXPECT_FALSE(decode_result(payload, &out));
+  EXPECT_EQ(out, (Inner{77, true}));
+}
+
+TEST(ParseMode, AcceptsExactlyTheThreeModes) {
+  Mode m = Mode::kOff;
+  EXPECT_TRUE(parse_mode("on", &m));
+  EXPECT_EQ(m, Mode::kOn);
+  EXPECT_TRUE(parse_mode("off", &m));
+  EXPECT_EQ(m, Mode::kOff);
+  EXPECT_TRUE(parse_mode("readonly", &m));
+  EXPECT_EQ(m, Mode::kReadOnly);
+  for (const char* bad : {"", "On", "ON", "read-only", "true", "1"})
+    EXPECT_FALSE(parse_mode(bad, &m)) << bad;
+  EXPECT_STREQ(to_string(Mode::kOn), "on");
+  EXPECT_STREQ(to_string(Mode::kOff), "off");
+  EXPECT_STREQ(to_string(Mode::kReadOnly), "readonly");
+}
+
+class PointCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("bsplogp_point_cache_test_" +
+            std::string(
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] PointCache make(Mode mode, const std::string& build) const {
+    return PointCache(mode, dir_.string(), "unit", "hotspot", build);
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(PointCacheTest, MissThenPutThenHitWithExactStats) {
+  PointCache pc = make(Mode::kOn, "build-a");
+  EXPECT_TRUE(pc.enabled());
+  const PointKey key{"p=16;k=2", 7};
+  const Inner computed{123, true};
+
+  Inner out{};
+  EXPECT_FALSE(pc.try_get(key, &out));
+  pc.put(key, computed);
+  EXPECT_TRUE(pc.try_get(key, &out));
+  EXPECT_EQ(out, computed);
+  EXPECT_EQ(pc.stats().hits, 1);
+  EXPECT_EQ(pc.stats().misses, 1);
+  EXPECT_EQ(pc.stats().stale_evictions, 0);
+
+  // A second cache over the same directory (the warm run) hits cold.
+  PointCache warm = make(Mode::kOn, "build-a");
+  EXPECT_TRUE(warm.try_get(key, &out));
+  EXPECT_EQ(warm.stats().hits, 1);
+  EXPECT_EQ(warm.stats().misses, 0);
+}
+
+TEST_F(PointCacheTest, OffModeNeverTouchesDiskOrCounters) {
+  PointCache pc = make(Mode::kOff, "build-a");
+  EXPECT_FALSE(pc.enabled());
+  const PointKey key{"p=16", 0};
+  Inner out{};
+  EXPECT_FALSE(pc.try_get(key, &out));
+  pc.put(key, Inner{1, true});
+  EXPECT_FALSE(fs::exists(dir_));
+  EXPECT_EQ(pc.stats().hits, 0);
+  EXPECT_EQ(pc.stats().misses, 0);
+}
+
+TEST_F(PointCacheTest, ReadOnlyReadsButNeverWrites) {
+  const PointKey key{"p=16", 0};
+  {
+    PointCache writer = make(Mode::kOn, "build-a");
+    writer.put(key, Inner{9, false});
+  }
+  PointCache ro = make(Mode::kReadOnly, "build-a");
+  Inner out{};
+  EXPECT_TRUE(ro.try_get(key, &out));
+  EXPECT_EQ(out.ticks, 9);
+
+  const PointKey fresh{"p=32", 0};
+  EXPECT_FALSE(ro.try_get(fresh, &out));
+  ro.put(fresh, Inner{1, true});  // silently dropped
+  EXPECT_FALSE(ro.try_get(fresh, &out));
+  EXPECT_EQ(ro.stats().hits, 1);
+  EXPECT_EQ(ro.stats().misses, 2);
+}
+
+TEST_F(PointCacheTest, NewBuildEvictsAndRecomputesOldGeneration) {
+  const PointKey key{"p=16", 0};
+  {
+    PointCache old_gen = make(Mode::kOn, "build-a");
+    old_gen.put(key, Inner{5, true});
+  }
+  PointCache new_gen = make(Mode::kOn, "build-b");
+  Inner out{};
+  EXPECT_FALSE(new_gen.try_get(key, &out));  // stale: counted miss + eviction
+  EXPECT_EQ(new_gen.stats().stale_evictions, 1);
+  EXPECT_EQ(new_gen.stats().misses, 1);
+  new_gen.put(key, Inner{6, true});
+  EXPECT_TRUE(new_gen.try_get(key, &out));
+  EXPECT_EQ(out.ticks, 6);
+  EXPECT_EQ(new_gen.stats().stale_evictions, 1);
+}
+
+TEST_F(PointCacheTest, MismatchedResultShapeDemotesHitToMiss) {
+  const PointKey key{"p=16", 0};
+  PointCache pc = make(Mode::kOn, "build-a");
+  pc.put(key, Inner{5, true});
+  // Same key read back as a different result type: the decode fails and
+  // the caller recomputes — never a type-confused hit.
+  Outer wrong{};
+  EXPECT_FALSE(pc.try_get(key, &wrong));
+  EXPECT_EQ(pc.stats().misses, 1);
+  EXPECT_EQ(pc.stats().hits, 0);
+}
+
+TEST_F(PointCacheTest, ConcurrentWorkersCommitAndReplayConsistently) {
+  // 4 SweepRunner-style workers share one cache: each computes-and-puts
+  // its own stripe, then every worker try_gets every point.
+  constexpr int kThreads = 4;
+  constexpr int kPoints = 32;
+  PointCache pc = make(Mode::kOn, "build-a");
+  const auto key_for = [](int i) {
+    return PointKey{"i=" + std::to_string(i),
+                    static_cast<std::uint64_t>(i)};
+  };
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+      workers.emplace_back([&, t] {
+        for (int i = t; i < kPoints; i += kThreads)
+          pc.put(key_for(i), Inner{i * 10, i % 2 == 0});
+      });
+    for (auto& w : workers) w.join();
+  }
+  std::atomic<int> bad{0};
+  {
+    std::vector<std::thread> readers;
+    readers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+      readers.emplace_back([&] {
+        for (int i = 0; i < kPoints; ++i) {
+          Inner out{};
+          if (!pc.try_get(key_for(i), &out) || out.ticks != i * 10)
+            bad.fetch_add(1);
+        }
+      });
+    for (auto& r : readers) r.join();
+  }
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_EQ(pc.stats().hits, kThreads * kPoints);
+  EXPECT_EQ(pc.stats().misses, 0);
+}
+
+}  // namespace
+}  // namespace bsplogp::cache

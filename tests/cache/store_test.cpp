@@ -1,0 +1,172 @@
+// The on-disk cache store (src/cache/store.h): commit/lookup round trips,
+// the stale-generation eviction path, and the damage matrix — corrupt,
+// truncated, foreign, and preimage-tampered entries must all degrade to
+// misses, never to wrong payloads or crashes.
+#include "src/cache/store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace bsplogp::cache {
+namespace {
+
+namespace fs = std::filesystem;
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("bsplogp_store_test_" +
+            std::string(
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string read_entry(const Store& store,
+                                       const Key& key) const {
+    std::ifstream in(dir_ / store.entry_name(key), std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  }
+
+  void write_entry(const Store& store, const Key& key,
+                   const std::string& text) const {
+    std::ofstream out(dir_ / store.entry_name(key),
+                      std::ios::binary | std::ios::trunc);
+    out << text;
+  }
+
+  fs::path dir_;
+  Key key_{"thm1", "wl=hotspot;p=16;gr=2", 42, "hotspot"};
+};
+
+TEST_F(StoreTest, LookupAgainstMissingDirectoryIsAMiss) {
+  const Store store(dir_.string(), "build-a");
+  EXPECT_EQ(store.lookup(key_).outcome, Store::Outcome::Miss);
+  EXPECT_FALSE(fs::exists(dir_));  // lookups never create the directory
+}
+
+TEST_F(StoreTest, CommitThenLookupRoundTripsThePayload) {
+  const Store store(dir_.string(), "build-a");
+  store.commit(key_, "[1, 2.5, \"x\", true]");
+  const Store::Lookup found = store.lookup(key_);
+  ASSERT_EQ(found.outcome, Store::Outcome::Hit);
+  ASSERT_EQ(found.payload.type, core::JsonValue::Type::Array);
+  ASSERT_EQ(found.payload.array.size(), 4u);
+  EXPECT_EQ(found.payload.array[0].raw, "1");
+  EXPECT_EQ(found.payload.array[1].raw, "2.5");
+  EXPECT_EQ(found.payload.array[2].str, "x");
+  EXPECT_TRUE(found.payload.array[3].boolean);
+
+  // The entry records the full audit trail.
+  const std::string text = read_entry(store, key_);
+  EXPECT_NE(text.find("\"build_id\": \"build-a\""), std::string::npos);
+  EXPECT_NE(text.find("\"key\": \"" + store.key_hex(key_) + "\""),
+            std::string::npos);
+  EXPECT_NE(text.find("\"seed\": \"42\""), std::string::npos);
+}
+
+TEST_F(StoreTest, DistinctKeysNeverAlias) {
+  const Store store(dir_.string(), "build-a");
+  Key other = key_;
+  other.point += ";i=1";
+  store.commit(key_, "[1]");
+  store.commit(other, "[2]");
+  EXPECT_NE(store.entry_name(key_), store.entry_name(other));
+  EXPECT_EQ(store.lookup(key_).payload.array[0].raw, "1");
+  EXPECT_EQ(store.lookup(other).payload.array[0].raw, "2");
+
+  Key reseeded = key_;
+  reseeded.seed += 1;
+  EXPECT_EQ(store.lookup(reseeded).outcome, Store::Outcome::Miss);
+}
+
+TEST_F(StoreTest, EntryNameIgnoresBuildButKeyHexCoversIt) {
+  const Store a(dir_.string(), "build-a");
+  const Store b(dir_.string(), "build-b");
+  // Filenames must match across generations so a new binary can find (and
+  // evict) an old binary's entries...
+  EXPECT_EQ(a.entry_name(key_), b.entry_name(key_));
+  // ...while the recorded audit key distinguishes them.
+  EXPECT_NE(a.key_hex(key_), b.key_hex(key_));
+  EXPECT_EQ(a.entry_name(key_).size(), 32u + 5u);  // <hex128>.json
+}
+
+TEST_F(StoreTest, StaleGenerationIsEvictedFromDisk) {
+  const Store old_gen(dir_.string(), "build-a");
+  old_gen.commit(key_, "[7]");
+  const Store new_gen(dir_.string(), "build-b");
+  EXPECT_EQ(new_gen.lookup(key_).outcome, Store::Outcome::Stale);
+  // The stale file is gone: the next lookup is a plain miss.
+  EXPECT_FALSE(fs::exists(dir_ / new_gen.entry_name(key_)));
+  EXPECT_EQ(new_gen.lookup(key_).outcome, Store::Outcome::Miss);
+}
+
+TEST_F(StoreTest, DamagedEntriesDegradeToMisses) {
+  const Store store(dir_.string(), "build-a");
+  store.commit(key_, "[7]");
+  const std::string good = read_entry(store, key_);
+
+  // Truncated mid-document.
+  write_entry(store, key_, good.substr(0, good.size() / 2));
+  EXPECT_EQ(store.lookup(key_).outcome, Store::Outcome::Miss);
+
+  // Not JSON at all.
+  write_entry(store, key_, "{garbage");
+  EXPECT_EQ(store.lookup(key_).outcome, Store::Outcome::Miss);
+
+  // Valid JSON, wrong shape.
+  write_entry(store, key_, "[1, 2, 3]\n");
+  EXPECT_EQ(store.lookup(key_).outcome, Store::Outcome::Miss);
+
+  // Unknown format version.
+  write_entry(store, key_,
+              good.substr(0, good.find('1')) + "2" +
+                  good.substr(good.find('1') + 1));
+  EXPECT_EQ(store.lookup(key_).outcome, Store::Outcome::Miss);
+
+  // A tampered preimage field no longer matches the requested key — the
+  // store trusts the preimage, not the filename.
+  std::string tampered = good;
+  const auto at = tampered.find("hotspot");
+  ASSERT_NE(at, std::string::npos);
+  tampered.replace(at, 7, "hotspoX");
+  write_entry(store, key_, tampered);
+  EXPECT_EQ(store.lookup(key_).outcome, Store::Outcome::Miss);
+
+  // And a fresh commit repairs the entry in place.
+  store.commit(key_, "[7]");
+  EXPECT_EQ(store.lookup(key_).outcome, Store::Outcome::Hit);
+}
+
+TEST_F(StoreTest, CommitOverwritesAndLeavesNoTempFiles) {
+  const Store store(dir_.string(), "build-a");
+  store.commit(key_, "[1]");
+  store.commit(key_, "[2]");
+  const Store::Lookup found = store.lookup(key_);
+  ASSERT_EQ(found.outcome, Store::Outcome::Hit);
+  EXPECT_EQ(found.payload.array[0].raw, "2");
+  std::size_t files = 0;
+  for (const auto& e : fs::directory_iterator(dir_)) {
+    ++files;
+    EXPECT_EQ(e.path().extension(), ".json") << e.path();
+  }
+  EXPECT_EQ(files, 1u);
+}
+
+TEST_F(StoreTest, KeysWithSpecialCharactersRoundTrip) {
+  const Store store(dir_.string(), "build \"quoted\"\\slash");
+  const Key weird{"bench\nline", "point\twith\"quotes\"", 0,
+                  "workload\\back"};
+  store.commit(weird, "[3]");
+  EXPECT_EQ(store.lookup(weird).outcome, Store::Outcome::Hit);
+}
+
+}  // namespace
+}  // namespace bsplogp::cache
