@@ -19,6 +19,7 @@
 //   bench_engine_throughput --json BENCH_engine.json
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <iostream>
@@ -27,6 +28,7 @@
 
 #include "bench/harness.h"
 #include "src/cache/point_cache.h"
+#include "src/core/parallel.h"
 #include "src/logp/machine.h"
 #include "src/workload/workload.h"
 
@@ -82,9 +84,13 @@ int main(int argc, char** argv) {
       "throughput",
       {"workload", "p", "events/run", "bucket ev/s", "heap ev/s", "speedup",
        "model finish"});
+  auto& micro_series = rep.series(
+      "micro_engine", {"p", "k", "events/run", "bucket ev/s", "model finish"});
   auto& sweep_series = rep.series(
       "sweep_scaling",
       {"grid points", "jobs", "wall s", "speedup", "model times equal"});
+  auto& micro_sweep_series = rep.series(
+      "micro_sweep", {"grid points", "jobs", "wall s", "points/s", "speedup"});
   auto& replay_series = rep.series(
       "cache_replay", {"grid points", "cold s", "warm s", "speedup", "hits",
                        "results equal"});
@@ -148,6 +154,37 @@ int main(int argc, char** argv) {
   std::cout << "\nspeedup = bucket events/sec over the priority-queue "
                "baseline; both schedulers\nreplay the identical event "
                "sequence (RunStats are bit-identical per seed).\n\n";
+  rep.metric("hardware_jobs", static_cast<std::int64_t>(core::hardware_jobs()));
+
+  // Raw-engine micro series: one machine reused across runs at large p, so
+  // this tracks exactly what the proc arena + ring buffers + bitmap rank
+  // were built for — per-run cost with zero steady-state allocation. k
+  // shrinks as p grows to keep the event count per run comparable.
+  {
+    struct MicroPoint {
+      ProcId p;
+      Time k;
+    };
+    const std::vector<MicroPoint> points =
+        rep.smoke() ? std::vector<MicroPoint>{{17, 2}, {65, 1}, {129, 1}}
+                    : std::vector<MicroPoint>{{256, 4}, {4096, 2}, {65536, 1}};
+    for (const MicroPoint& mp : points) {
+      const Workload w{"micro_hotspot", logp::Params{256, 1, 2}, mp.p,
+                       logp::DeliverySchedule::Earliest,
+                       workload::hotspot(mp.p, mp.k)};
+      const Measurement m =
+          measure(w, logp::SchedulerKind::Bucket, min_seconds / 2);
+      micro_series.row({mp.p, static_cast<std::int64_t>(mp.k),
+                        m.events / m.reps, bench::Cell(m.events_per_sec, 0),
+                        m.finish});
+      rep.metric("micro_events_per_sec_p" + std::to_string(mp.p),
+                 m.events_per_sec);
+    }
+    micro_series.print(std::cout);
+    std::cout << "\nmicro_engine = bucket-scheduler hotspot throughput as p "
+                 "grows; one machine is\nreused across runs, so the series "
+                 "isolates steady-state engine cost.\n\n";
+  }
 
   // The shared deterministic model-time grid behind both trajectory
   // sections below. Point results are a pure function of (p, k).
@@ -175,10 +212,11 @@ int main(int argc, char** argv) {
                                ";k=" + std::to_string(grid[i].k) +
                                ";L=16;o=1;G=2"};
       };
-  auto run_grid = [&](int jobs, cache::PointCache* pc, double* seconds) {
+  auto run_grid = [&](int jobs, cache::PointCache* pc, core::ThreadPool* pool,
+                      double* seconds) {
     using clock = std::chrono::steady_clock;
     const auto t0 = clock::now();
-    const bench::SweepRunner grid_runner(jobs, pc);
+    const bench::SweepRunner grid_runner(jobs, pc, pool);
     auto finishes =
         pc != nullptr
             ? grid_runner.map_cached<Time>(grid.size(), point_key,
@@ -190,14 +228,20 @@ int main(int argc, char** argv) {
 
   // SweepRunner scaling: --jobs 1 vs --jobs max(2, hw) on the grid, both
   // rows recorded. Model times must be identical (the sweep contract);
-  // the wall-clock ratio is the `sweep_speedup` trajectory metric. Smoke
-  // runs stick to the harness --jobs value to stay cheap.
+  // the wall-clock ratio is the `sweep_speedup` trajectory metric. The
+  // parallel leg reuses one persistent pool — spawned before the clock
+  // starts, exactly as a multi-grid bench would hold it — and each leg
+  // gets one untimed warm-up pass so neither side pays first-touch costs.
+  // Smoke runs stick to the harness --jobs value to stay cheap.
   {
     const int par_jobs = rep.smoke() ? std::max(2, rep.jobs())
                                      : std::max(2, core::hardware_jobs());
-    double serial_s = 0, parallel_s = 0;
-    const auto serial = run_grid(1, nullptr, &serial_s);
-    const auto parallel = run_grid(par_jobs, nullptr, &parallel_s);
+    core::ThreadPool pool(par_jobs - 1);
+    double serial_s = 0, parallel_s = 0, warm = 0;
+    (void)run_grid(1, nullptr, nullptr, &warm);
+    (void)run_grid(par_jobs, nullptr, &pool, &warm);
+    const auto serial = run_grid(1, nullptr, nullptr, &serial_s);
+    const auto parallel = run_grid(par_jobs, nullptr, &pool, &parallel_s);
     const bool equal = serial == parallel;
     if (!equal) {
       std::cerr << "sweep model times diverge between --jobs 1 and --jobs "
@@ -223,6 +267,62 @@ int main(int argc, char** argv) {
                  "results.\n\n";
   }
 
+  // Sweep-size micro series: the base grid tiled to {20, 200, 2000} points
+  // and run at jobs {1, 2, hw} (deduped). Small grids expose dispatch
+  // overhead (chunk claims, pool hand-off), large ones the steady-state
+  // point rate; together they locate where parallel sweeps start paying
+  // off on a given host.
+  {
+    const std::vector<std::size_t> sizes =
+        rep.smoke() ? std::vector<std::size_t>{4, 8}
+                    : std::vector<std::size_t>{20, 200, 2000};
+    std::vector<int> job_counts{1, 2};
+    if (!rep.smoke() && core::hardware_jobs() > 2)
+      job_counts.push_back(core::hardware_jobs());
+    const std::function<Time(std::size_t)> tiled_point = [&](std::size_t i) {
+      const std::size_t b = i % grid.size();
+      logp::Machine m(grid[b].p, logp::Params{16, 1, 2});
+      return m.run(workload::hotspot(grid[b].p, grid[b].k)).finish_time;
+    };
+    const int max_workers =
+        *std::max_element(job_counts.begin(), job_counts.end()) - 1;
+    core::ThreadPool pool(max_workers);
+    for (const std::size_t n : sizes) {
+      double base_s = 0;
+      for (const int jobs : job_counts) {
+        // SweepRunner caps useful parallelism at its jobs value even when
+        // the shared pool is wider; a jobs-limited chunk count keeps the
+        // extra workers idle, so one max-width pool serves every leg.
+        using clock = std::chrono::steady_clock;
+        core::ThreadPool* p = jobs > 1 ? &pool : nullptr;
+        auto leg = [&](double* seconds) {
+          const auto t0 = clock::now();
+          const bench::SweepRunner r(jobs, nullptr, p);
+          auto out = r.map<Time>(n, tiled_point);
+          *seconds =
+              std::chrono::duration<double>(clock::now() - t0).count();
+          return out;
+        };
+        double warm_s = 0, wall_s = 0;
+        (void)leg(&warm_s);  // untimed warm-up
+        (void)leg(&wall_s);
+        if (jobs == 1) base_s = wall_s;
+        const double pps = static_cast<double>(n) / wall_s;
+        const double speedup = base_s / wall_s;
+        micro_sweep_series.row({static_cast<std::int64_t>(n), jobs,
+                                bench::Cell(wall_s, 4), bench::Cell(pps, 0),
+                                bench::Cell(speedup, 2)});
+        rep.metric("micro_sweep_pps_n" + std::to_string(n) + "_j" +
+                       std::to_string(jobs),
+                   pps);
+      }
+    }
+    micro_sweep_series.print(std::cout);
+    std::cout << "\nmicro_sweep = grid points/sec as the grid grows and jobs "
+                 "scale; speedup is\nrelative to the jobs-1 leg of the same "
+                 "grid size (persistent pool, warmed legs).\n\n";
+  }
+
   // Cache replay: the same grid computed cold into a scratch cache
   // directory, then replayed warm from it. Warm results must equal cold
   // ones and every point must hit; the wall-clock ratio is the
@@ -240,12 +340,12 @@ int main(int argc, char** argv) {
     {
       cache::PointCache pc(cache::Mode::kOn, replay_dir.string(),
                            "engine_throughput", "hotspot");
-      cold = run_grid(1, &pc, &cold_s);
+      cold = run_grid(1, &pc, nullptr, &cold_s);
     }
     {
       cache::PointCache pc(cache::Mode::kOn, replay_dir.string(),
                            "engine_throughput", "hotspot");
-      warm = run_grid(1, &pc, &warm_s);
+      warm = run_grid(1, &pc, nullptr, &warm_s);
       warm_stats = pc.stats();
     }
     fs::remove_all(replay_dir);

@@ -82,7 +82,7 @@ int main(int argc, char** argv) {
     const auto& [prm, label] = *grid[i].regime;
     const ProcId p = grid[i].p;
     if (!results[i].stall_free)
-      std::cerr << "WARNING: CB stalled at p=" << p << "\n";
+      bench::Reporter::diag("WARNING: CB stalled at p=" + std::to_string(p));
     const double cap = static_cast<double>(prm.capacity());
     const double formula = static_cast<double>(prm.L) *
                            std::log2(static_cast<double>(p)) /

@@ -88,7 +88,9 @@ int main(int argc, char** argv) {
 
   for (std::size_t i = 0; i < rs.size(); ++i) {
     const PointResult& r = results[i];
-    if (!r.clean) std::cerr << "WARNING: unclean run at r=" << rs[i] << "\n";
+    if (!r.clean)
+      bench::Reporter::diag("WARNING: unclean run at r=" +
+                            std::to_string(rs[i]));
     table.row({rs[i], r.bitonic, r.columnsort,
                r.bitonic <= r.columnsort ? "bitonic" : "columnsort",
                bench::Cell(static_cast<double>(r.columnsort) /

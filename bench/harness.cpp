@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <ostream>
 
 #include "src/core/contracts.h"
@@ -194,6 +195,12 @@ cache::PointCache* Reporter::cache() const {
   return cache_.get();
 }
 
+core::ThreadPool* Reporter::pool() const {
+  if (jobs_ <= 1) return nullptr;  // serial runs never spawn workers
+  if (pool_ == nullptr) pool_ = std::make_unique<core::ThreadPool>(jobs_ - 1);
+  return pool_.get();
+}
+
 void Reporter::use_workloads(std::vector<std::string> names) {
   for (const std::string& n : names)
     if (workload::find(n) == nullptr) {
@@ -217,6 +224,15 @@ void Reporter::metric(const std::string& key, std::int64_t value) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "%" PRId64, value);
   metrics_.emplace_back(key, buf);
+}
+
+void Reporter::diag(const std::string& line) {
+  // One mutex, one pre-composed write: a chain of operator<< calls from a
+  // pool worker can interleave with another thread's chain mid-line;
+  // serializing whole lines here makes stderr tear-free under --jobs > 1.
+  static std::mutex mu;
+  const std::lock_guard<std::mutex> lock(mu);
+  std::cerr << line << '\n';
 }
 
 void Reporter::write_json(std::ostream& os) const {
@@ -257,21 +273,22 @@ int Reporter::finish() {
   }
   if (cache_mode_ != cache::Mode::kOff) {
     // stderr, never stdout: a warm run's tables must stay byte-identical
-    // to the cold run's.
+    // to the cold run's. Through diag() so a straggling worker line can
+    // never tear the summary.
     const cache::Stats cs = cache()->stats();
-    std::cerr << "cache[" << cache::to_string(cache_mode_) << "]: "
-              << cs.hits << " hits, " << cs.misses << " misses, "
-              << cs.stale_evictions << " stale evictions -> " << cache_dir_
-              << "\n";
+    diag("cache[" + std::string(cache::to_string(cache_mode_)) + "]: " +
+         std::to_string(cs.hits) + " hits, " + std::to_string(cs.misses) +
+         " misses, " + std::to_string(cs.stale_evictions) +
+         " stale evictions -> " + cache_dir_);
   }
   if (trace_ != nullptr) {
     if (!trace_->write_file(trace_path_)) {
-      std::cerr << "harness: cannot write trace to " << trace_path_ << "\n";
+      diag("harness: cannot write trace to " + trace_path_);
       return 1;
     }
-    std::cerr << "trace: " << trace_->event_rows() << " events over "
-              << trace_->runs() << " run(s) -> " << trace_path_
-              << " (open in ui.perfetto.dev)\n";
+    diag("trace: " + std::to_string(trace_->event_rows()) + " events over " +
+         std::to_string(trace_->runs()) + " run(s) -> " + trace_path_ +
+         " (open in ui.perfetto.dev)");
   }
   if (json_path_.empty()) return 0;
   std::ofstream os(json_path_);

@@ -128,6 +128,13 @@ class Reporter {
   /// after declaring workloads (SweepRunner's Reporter constructor does).
   [[nodiscard]] cache::PointCache* cache() const;
 
+  /// The persistent worker pool for --jobs > 1 sweeps (null at --jobs 1).
+  /// Spawned once on first use and shared by every SweepRunner built from
+  /// this Reporter, so a bench with many grids pays thread start-up once,
+  /// not once per map() — on tiny grids the transient pool's spawn cost
+  /// was a measurable slice of the whole sweep.
+  [[nodiscard]] core::ThreadPool* pool() const;
+
   /// Null unless `--trace <path>` was given; otherwise a ChromeTraceSink
   /// the bench plugs into machine Options. Every traced run becomes one
   /// Perfetto "process" (pid = run index). Benches pass this unchecked:
@@ -144,6 +151,13 @@ class Reporter {
   /// Records a scalar summary metric (events/sec, slowdown ratio, ...).
   void metric(const std::string& key, double value);
   void metric(const std::string& key, std::int64_t value);
+
+  /// Emits one whole diagnostic line to stderr, serialized process-wide.
+  /// Sweep points run on pool workers under --jobs > 1; a worker warning
+  /// interleaved with the main thread's end-of-run cache summary must
+  /// never tear mid-line, so every stderr writer inside or after a sweep
+  /// goes through here (finish() does for its own summaries).
+  static void diag(const std::string& line);
 
   /// Writes the JSON document (the --json payload) to `os`.
   void write_json(std::ostream& os) const;
@@ -164,6 +178,7 @@ class Reporter {
   cache::Mode cache_mode_ = cache::Mode::kOff;
   std::string cache_dir_ = ".bsplogp-cache";
   mutable std::unique_ptr<cache::PointCache> cache_;  // lazy, see cache()
+  mutable std::unique_ptr<core::ThreadPool> pool_;    // lazy, see pool()
   std::vector<std::string> workloads_;
   std::deque<Series> series_;  // deque: stable references across growth
   std::vector<std::pair<std::string, std::string>> metrics_;  // key -> json
@@ -186,18 +201,24 @@ class Reporter {
 class SweepRunner {
  public:
   explicit SweepRunner(const Reporter& rep)
-      : jobs_(rep.jobs()), cache_(rep.cache()) {}
-  explicit SweepRunner(int jobs, cache::PointCache* cache = nullptr)
-      : jobs_(jobs), cache_(cache) {}
+      : jobs_(rep.jobs()), cache_(rep.cache()), pool_(rep.pool()) {}
+  explicit SweepRunner(int jobs, cache::PointCache* cache = nullptr,
+                       core::ThreadPool* pool = nullptr)
+      : jobs_(jobs), cache_(cache), pool_(pool) {}
 
   [[nodiscard]] int jobs() const { return jobs_; }
 
-  template <typename R>
-  [[nodiscard]] std::vector<R> map(
-      std::size_t n, const std::function<R(std::size_t)>& fn) const {
+  template <typename R, typename F>
+  [[nodiscard]] std::vector<R> map(std::size_t n, const F& fn) const {
     std::vector<R> out(n);
-    core::parallel_for_indexed(n, jobs_,
-                               [&](std::size_t i) { out[i] = fn(i); });
+    // Range dispatch: one std::function call (and one pool claim) per
+    // chunk; the per-point calls inside are direct and inlinable. Results
+    // still commit by index, so output is byte-identical for every jobs
+    // value and every chunk size (jobs_determinism.cmake forces
+    // pathological chunks to prove it).
+    dispatch(n, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) out[i] = fn(i);
+    });
     return out;
   }
 
@@ -205,24 +226,40 @@ class SweepRunner {
   /// prior results); fn(i) runs only on cache misses. R is either
   /// arithmetic or provides the io() member the cache codec requires
   /// (src/cache/point_cache.h).
-  template <typename R>
-  [[nodiscard]] std::vector<R> map_cached(
-      std::size_t n, const std::function<cache::PointKey(std::size_t)>& key_fn,
-      const std::function<R(std::size_t)>& fn) const {
+  template <typename R, typename K, typename F>
+  [[nodiscard]] std::vector<R> map_cached(std::size_t n, const K& key_fn,
+                                          const F& fn) const {
     if (cache_ == nullptr || !cache_->enabled()) return map<R>(n, fn);
     std::vector<R> out(n);
-    core::parallel_for_indexed(n, jobs_, [&](std::size_t i) {
-      const cache::PointKey key = key_fn(i);
-      if (cache_->try_get(key, &out[i])) return;
-      out[i] = fn(i);
-      cache_->put(key, out[i]);
+    dispatch(n, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        const cache::PointKey key = key_fn(i);
+        if (cache_->try_get(key, &out[i])) continue;
+        out[i] = fn(i);
+        cache_->put(key, out[i]);
+      }
     });
     return out;
   }
 
  private:
+  void dispatch(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t)>& fn) const {
+    // A Reporter-owned persistent pool (already spawned, reused across
+    // every grid in the bench) beats the transient fallback, which pays
+    // jobs-1 thread spawns per map() — a real cost on sub-millisecond
+    // grids. Both paths produce identical output.
+    if (pool_ != nullptr && jobs_ > 1) {
+      pool_->for_ranges(n, fn);
+    } else {
+      core::parallel_for_ranges(n, jobs_, fn);
+    }
+  }
+
   int jobs_;
   cache::PointCache* cache_ = nullptr;
+  core::ThreadPool* pool_ = nullptr;
 };
 
 /// JSON string escaping (quotes, backslashes, control characters).

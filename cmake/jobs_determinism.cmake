@@ -3,6 +3,10 @@
 #   * byte-identical stdout (tables),
 #   * byte-identical Chrome traces (traced runs stay on the main thread),
 #   * identical JSON documents modulo the self-describing "jobs" field.
+# On top of the jobs sweep, `--jobs 4` is re-run with BSPLOGP_SWEEP_CHUNK
+# forcing pathological range-claim sizes (1 = maximal claim traffic, 7 =
+# misaligned with every grid, 10^9 = one thread takes everything): chunked
+# dispatch must never change a byte either.
 #
 # Run as a ctest script:
 #   cmake -DBENCH=<path-to-binary> -DWORKDIR=<scratch-dir> \
@@ -50,4 +54,31 @@ if(NOT doc_1 STREQUAL doc_4)
   message(FATAL_ERROR "JSON document differs (beyond the jobs field) between --jobs 1 and --jobs 4 for ${BENCH}")
 endif()
 
-message(STATUS "jobs determinism OK: ${BENCH}")
+# Chunk-forced legs, each compared against the --jobs 1 baseline above.
+foreach(chunk 1 7 1000000000)
+  execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E env BSPLOGP_SWEEP_CHUNK=${chunk}
+      "${BENCH}" --smoke --jobs 4
+      --json "${WORKDIR}/doc_chunk${chunk}.json"
+      --trace "${WORKDIR}/trace_chunk${chunk}.json"
+    OUTPUT_VARIABLE stdout_chunk
+    ERROR_VARIABLE stderr_chunk
+    RESULT_VARIABLE status_chunk)
+  if(NOT status_chunk EQUAL 0)
+    message(FATAL_ERROR "${BENCH} --jobs 4 (chunk ${chunk}) exited ${status_chunk}:\n${stderr_chunk}")
+  endif()
+  if(NOT stdout_1 STREQUAL stdout_chunk)
+    message(FATAL_ERROR "stdout differs between --jobs 1 and --jobs 4 with BSPLOGP_SWEEP_CHUNK=${chunk} for ${BENCH}")
+  endif()
+  file(READ "${WORKDIR}/trace_chunk${chunk}.json" trace_chunk)
+  if(NOT trace_1 STREQUAL trace_chunk)
+    message(FATAL_ERROR "Chrome trace differs under BSPLOGP_SWEEP_CHUNK=${chunk} for ${BENCH}")
+  endif()
+  file(READ "${WORKDIR}/doc_chunk${chunk}.json" doc_chunk)
+  string(REGEX REPLACE "\"jobs\": [0-9]+" "\"jobs\": N" doc_chunk "${doc_chunk}")
+  if(NOT doc_1 STREQUAL doc_chunk)
+    message(FATAL_ERROR "JSON document differs (beyond the jobs field) under BSPLOGP_SWEEP_CHUNK=${chunk} for ${BENCH}")
+  endif()
+endforeach()
+
+message(STATUS "jobs determinism OK (jobs 1/4, chunks 1/7/10^9): ${BENCH}")

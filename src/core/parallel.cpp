@@ -1,6 +1,8 @@
 #include "src/core/parallel.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <exception>
 
 #include "src/core/contracts.h"
@@ -12,16 +14,51 @@ int hardware_jobs() {
   return n == 0 ? 1 : static_cast<int>(n);
 }
 
-/// One for_indexed() call. Heap-allocated and shared with the workers so a
+namespace {
+
+/// BSPLOGP_SWEEP_CHUNK, parsed once: the jobs-determinism ctest scripts
+/// force pathological chunk sizes (1, odd, > n) through the environment to
+/// prove chunking never leaks into results. 0 = not set / invalid.
+std::size_t env_chunk_override() {
+  static const std::size_t value = [] {
+    const char* s = std::getenv("BSPLOGP_SWEEP_CHUNK");
+    if (s == nullptr || *s == '\0') return std::size_t{0};
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    return (end != nullptr && *end == '\0') ? static_cast<std::size_t>(v)
+                                            : std::size_t{0};
+  }();
+  return value;
+}
+
+}  // namespace
+
+std::size_t sweep_chunk(std::size_t n, int threads, std::size_t requested) {
+  if (n <= 1) return 1;
+  std::size_t c = requested;
+  if (c == 0) c = env_chunk_override();
+  if (c == 0) {
+    // ~4 claims per thread: enough slack for uneven point costs to
+    // balance, few enough claims that dispatch stops mattering on tiny
+    // grids (the sweep_speedup 0.83 regression was per-point claims).
+    const auto t = static_cast<std::size_t>(std::max(threads, 1));
+    c = (n + 4 * t - 1) / (4 * t);
+  }
+  return std::clamp<std::size_t>(c, 1, n);
+}
+
+/// One batch submission. Heap-allocated and shared with the workers so a
 /// worker that wakes late (after the batch already drained) still holds a
-/// valid object: it claims an out-of-range index and goes back to sleep
+/// valid object: it claims an out-of-range chunk and goes back to sleep
 /// without ever touching the pool's next batch mid-setup.
 struct ThreadPool::Batch {
-  Batch(std::size_t n_items, const std::function<void(std::size_t)>& f)
-      : fn(f), n(n_items) {}
+  Batch(std::size_t n_items, std::size_t chunk_size,
+        const std::function<void(std::size_t, std::size_t)>& f)
+      : fn(f), n(n_items), chunk(chunk_size) {}
 
-  const std::function<void(std::size_t)>& fn;
+  const std::function<void(std::size_t, std::size_t)>& fn;
   const std::size_t n;
+  const std::size_t chunk;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
 
@@ -29,19 +66,21 @@ struct ThreadPool::Batch {
   std::condition_variable done_cv;
   std::exception_ptr error;
 
-  /// Claims and runs items until the batch is exhausted. Safe to call from
-  /// any number of threads.
+  /// Claims and runs chunks until the batch is exhausted. Safe to call
+  /// from any number of threads. A throwing callback abandons only its
+  /// own range; the chunk still counts as done so the batch drains.
   void run() {
     while (true) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
+      const std::size_t b = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (b >= n) return;
+      const std::size_t e = std::min(b + chunk, n);
       try {
-        fn(i);
+        fn(b, e);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(mu);
         if (error == nullptr) error = std::current_exception();
       }
-      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+      if (done.fetch_add(e - b, std::memory_order_acq_rel) + (e - b) == n) {
         { const std::lock_guard<std::mutex> lock(mu); }
         done_cv.notify_all();
       }
@@ -79,12 +118,14 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::for_indexed(std::size_t n,
-                             const std::function<void(std::size_t)>& fn) {
+void ThreadPool::for_ranges(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t chunk) {
   if (n == 0) return;
   // The batch lives on the heap: stragglers from a previous generation may
   // still hold their (drained) batch while this one runs.
-  const auto batch = std::make_shared<Batch>(n, fn);
+  const auto batch =
+      std::make_shared<Batch>(n, sweep_chunk(n, workers() + 1, chunk), fn);
   if (!threads_.empty()) {
     {
       const std::lock_guard<std::mutex> lock(mu_);
@@ -103,14 +144,51 @@ void ThreadPool::for_indexed(std::size_t n,
   }
 }
 
+void ThreadPool::for_indexed(std::size_t n,
+                             const std::function<void(std::size_t)>& fn,
+                             std::size_t chunk) {
+  for_ranges(
+      n,
+      [&fn](std::size_t b, std::size_t e) {
+        // Per-item isolation: a throwing item must not abandon the rest
+        // of its chunk (the documented for_indexed contract). The first
+        // failure resurfaces at the end of the chunk and becomes the
+        // batch's recorded error.
+        std::exception_ptr first;
+        for (std::size_t i = b; i < e; ++i) {
+          try {
+            fn(i);
+          } catch (...) {
+            if (first == nullptr) first = std::current_exception();
+          }
+        }
+        if (first != nullptr) std::rethrow_exception(first);
+      },
+      chunk);
+}
+
 void parallel_for_indexed(std::size_t n, int jobs,
-                          const std::function<void(std::size_t)>& fn) {
+                          const std::function<void(std::size_t)>& fn,
+                          std::size_t chunk) {
   if (jobs <= 1 || n <= 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
   ThreadPool pool(jobs - 1);
-  pool.for_indexed(n, fn);
+  pool.for_indexed(n, fn, chunk);
+}
+
+void parallel_for_ranges(
+    std::size_t n, int jobs,
+    const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t chunk) {
+  if (n == 0) return;
+  if (jobs <= 1 || n <= 1) {
+    fn(0, n);
+    return;
+  }
+  ThreadPool pool(jobs - 1);
+  pool.for_ranges(n, fn, chunk);
 }
 
 }  // namespace bsplogp::core

@@ -2,13 +2,15 @@
 //
 // Every experiment in the paper is a sweep — a grid over (p, L, G, h, g/G,
 // l/L) — whose points are independent machine instantiations. ThreadPool
-// runs such a batch data-parallel: items are claimed dynamically (so uneven
-// point costs balance), but callers that want deterministic output commit
-// results *by index* into pre-sized slots, never in completion order. The
-// bench harness's SweepRunner (bench/harness.h) and the parameterized
-// equivalence tests are the two consumers; both pair each index with its
-// own core::rng_for_index stream so results are independent of both thread
-// count and execution order.
+// runs such a batch data-parallel: workers claim contiguous index *ranges*
+// (so uneven point costs still balance, but the per-claim atomic traffic
+// and std::function dispatch are paid once per chunk, not once per point),
+// while callers that want deterministic output commit results *by index*
+// into pre-sized slots, never in completion order. The bench harness's
+// SweepRunner (bench/harness.h) and the parameterized equivalence tests
+// are the two consumers; both pair each index with its own
+// core::rng_for_index stream so results are independent of thread count,
+// chunk size, and execution order.
 #pragma once
 
 #include <condition_variable>
@@ -24,14 +26,23 @@ namespace bsplogp::core {
 /// Number of worker threads that saturates this host (>= 1).
 [[nodiscard]] int hardware_jobs();
 
+/// The chunk size a batch of `n` items will actually use on `threads`
+/// total threads: `requested` if positive, else the BSPLOGP_SWEEP_CHUNK
+/// environment override if set (pathological-size forcing for determinism
+/// tests), else an automatic size targeting a few claims per thread.
+/// Always in [1, n] for n >= 1.
+[[nodiscard]] std::size_t sweep_chunk(std::size_t n, int threads,
+                                      std::size_t requested);
+
 /// A fixed-size worker pool for blocking, batch-at-a-time parallel loops.
-/// One orchestrating thread submits batches via for_indexed(); the pool is
-/// not a general task queue. Thread-compatible, not thread-safe: concurrent
-/// for_indexed() calls from different threads are not supported.
+/// One orchestrating thread submits batches via for_indexed()/for_ranges();
+/// the pool is not a general task queue. Thread-compatible, not
+/// thread-safe: concurrent batch calls from different threads are not
+/// supported.
 class ThreadPool {
  public:
-  /// Spawns `workers` background threads (0 is valid: for_indexed then
-  /// runs entirely on the calling thread).
+  /// Spawns `workers` background threads (0 is valid: batches then run
+  /// entirely on the calling thread).
   explicit ThreadPool(int workers);
   ~ThreadPool();
 
@@ -42,11 +53,23 @@ class ThreadPool {
 
   /// Runs fn(i) exactly once for every i in [0, n), on the pool's workers
   /// plus the calling thread, and blocks until all items completed. Items
-  /// are claimed dynamically; fn must therefore not depend on execution
-  /// order. If any item throws, the first exception (in completion order)
-  /// is rethrown on the caller after the batch drains; the remaining items
-  /// still run.
-  void for_indexed(std::size_t n, const std::function<void(std::size_t)>& fn);
+  /// are claimed in chunks (see sweep_chunk; `chunk` forces a size) but fn
+  /// must not depend on execution order. If any item throws, the first
+  /// exception (in completion order) is rethrown on the caller after the
+  /// batch drains; the remaining items — including the rest of the
+  /// throwing item's chunk — still run, and the pool stays reusable.
+  void for_indexed(std::size_t n, const std::function<void(std::size_t)>& fn,
+                   std::size_t chunk = 0);
+
+  /// Range-at-a-time variant: fn(begin, end) covers [begin, end) and is
+  /// invoked once per claimed chunk, so per-item dispatch can be a direct
+  /// (inlinable) call inside the callback. A throwing callback abandons
+  /// the *rest of its own range* (unlike for_indexed, which isolates
+  /// items); other ranges still run and the first exception is rethrown
+  /// after the batch drains.
+  void for_ranges(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& fn,
+                  std::size_t chunk = 0);
 
  private:
   struct Batch;
@@ -62,8 +85,16 @@ class ThreadPool {
 };
 
 /// One-shot helper: for_indexed on a transient pool of `jobs` total
-/// threads (jobs - 1 workers plus the caller). jobs <= 1 runs inline.
+/// threads (jobs - 1 workers plus the caller). jobs <= 1 runs inline (an
+/// exception then propagates immediately, aborting the remaining items).
 void parallel_for_indexed(std::size_t n, int jobs,
-                          const std::function<void(std::size_t)>& fn);
+                          const std::function<void(std::size_t)>& fn,
+                          std::size_t chunk = 0);
+
+/// One-shot helper for for_ranges. jobs <= 1 runs fn(0, n) inline.
+void parallel_for_ranges(
+    std::size_t n, int jobs,
+    const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t chunk = 0);
 
 }  // namespace bsplogp::core

@@ -1,0 +1,113 @@
+// Flat circular FIFO for the engines' in-flight value queues.
+//
+// The LogP machine keeps two queues per processor/destination — the input
+// buffer of delivered-but-unacquired messages and the pending-submission
+// queue of the Stalling Rule — whose elements are small trivially-copyable
+// records (Message, PendingSubmission). std::deque pays a node allocation
+// for its very first element and frees chunks back on pop, so a machine
+// running millions of events churns the allocator with fixed-size blocks.
+// RingBuffer replaces that with one power-of-two vector per queue: pushes
+// and pops move head/size indices, storage is recycled in place (the
+// free-list degenerates to "the slots behind head"), and a Machine reused
+// across run() calls performs zero steady-state queue allocations.
+//
+// Deliberately minimal: elements are overwritten, not destroyed, on pop —
+// use it only for trivially-destructible value types.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+#include "src/core/contracts.h"
+
+namespace bsplogp::core {
+
+template <typename T>
+class RingBuffer {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "RingBuffer elements are overwritten, never destroyed");
+
+ public:
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Drops every element; keeps the storage for reuse.
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Ensures capacity for at least `n` elements without reallocation.
+  void reserve(std::size_t n) {
+    if (n > slots_.size()) grow(n);
+  }
+
+  void push_back(const T& v) {
+    if (size_ == slots_.size()) grow(size_ + 1);
+    slots_[wrap(head_ + size_)] = v;
+    size_ += 1;
+  }
+
+  [[nodiscard]] T& front() {
+    BSPLOGP_ASSERT(size_ > 0);
+    return slots_[head_];
+  }
+  [[nodiscard]] T& back() {
+    BSPLOGP_ASSERT(size_ > 0);
+    return slots_[wrap(head_ + size_ - 1)];
+  }
+  [[nodiscard]] T& operator[](std::size_t i) {
+    BSPLOGP_ASSERT(i < size_);
+    return slots_[wrap(head_ + i)];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    BSPLOGP_ASSERT(i < size_);
+    return slots_[wrap(head_ + i)];
+  }
+
+  void pop_front() {
+    BSPLOGP_ASSERT(size_ > 0);
+    head_ = wrap(head_ + 1);
+    size_ -= 1;
+  }
+  void pop_back() {
+    BSPLOGP_ASSERT(size_ > 0);
+    size_ -= 1;
+  }
+
+  /// Removes the i-th element (0 = front), preserving the relative order
+  /// of the rest; shifts whichever side is shorter.
+  void erase(std::size_t i) {
+    BSPLOGP_ASSERT(i < size_);
+    if (i < size_ / 2) {
+      for (std::size_t j = i; j > 0; --j)
+        (*this)[j] = (*this)[j - 1];
+      head_ = wrap(head_ + 1);
+    } else {
+      for (std::size_t j = i; j + 1 < size_; ++j)
+        (*this)[j] = (*this)[j + 1];
+    }
+    size_ -= 1;
+  }
+
+ private:
+  [[nodiscard]] std::size_t wrap(std::size_t i) const {
+    return i & (slots_.size() - 1);
+  }
+
+  void grow(std::size_t need) {
+    std::size_t cap = slots_.empty() ? 8 : slots_.size() * 2;
+    while (cap < need) cap *= 2;
+    std::vector<T> next(cap);
+    for (std::size_t i = 0; i < size_; ++i) next[i] = (*this)[i];
+    slots_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<T> slots_;  // power-of-two size, or empty
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace bsplogp::core

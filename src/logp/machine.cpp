@@ -1,6 +1,7 @@
 #include "src/logp/machine.h"
 
 #include <algorithm>
+#include <new>
 #include <utility>
 
 #include "src/core/contracts.h"
@@ -60,9 +61,27 @@ Machine::Machine(ProcId nprocs, Params params, Options options)
   BSPLOGP_EXPECTS(options_.max_time >= 1);
 }
 
+Machine::~Machine() {
+  destroy_procs();
+  ::operator delete(static_cast<void*>(procs_));
+}
+
+void Machine::destroy_procs() {
+  for (ProcId i = 0; i < live_procs_; ++i)
+    proc(i).~EngineProc();
+  live_procs_ = 0;
+}
+
 RunStats Machine::run(const ProgramFn& program) {
-  std::vector<ProgramFn> programs(static_cast<std::size_t>(nprocs_), program);
-  return run(std::span<const ProgramFn>(programs));
+  // One shared functor: every processor runs the same program object. The
+  // old path copied it nprocs_ times — 64Ki std::function clones per
+  // machine construction at p = 65536.
+  return run_impl(std::span<const ProgramFn>(&program, 1), /*shared=*/true);
+}
+
+RunStats Machine::run(std::span<const ProgramFn> programs) {
+  BSPLOGP_EXPECTS(std::cmp_equal(programs.size(), nprocs_));
+  return run_impl(programs, /*shared=*/false);
 }
 
 void Machine::push(Time t, Phase phase, EventKind kind, ProcId proc,
@@ -102,17 +121,28 @@ Time Machine::choose_delivery_slot(DstState& dst, Time accept_time) {
       // Occupied slots number < capacity <= L, so random probing converges
       // fast; fall back to an exhaustive scan for tiny windows. The rng
       // draw sequence is identical under both schedulers, keeping runs
-      // bit-reproducible across SchedulerKind.
+      // bit-reproducible across SchedulerKind: both draw below(free count)
+      // and return the k-th free slot — the bitmap ranks word-at-a-time,
+      // the reference path materializes the list into a reused scratch.
       for (int tries = 0; tries < 64; ++tries) {
         const Time s = lo + static_cast<Time>(rng_.below(
                                  static_cast<std::uint64_t>(hi - lo + 1)));
         if (free_slot(s)) return s;
       }
-      std::vector<Time> free;
+      if (!ref) {
+        const Time cnt = dst.slots.count_free(lo, hi);
+        BSPLOGP_ASSERT(cnt > 0);
+        const auto k = static_cast<Time>(
+            rng_.below(static_cast<std::uint64_t>(cnt)));
+        const Time s = dst.slots.nth_free(lo, hi, k);
+        BSPLOGP_ASSERT(s >= 0);
+        return s;
+      }
+      free_scratch_.clear();
       for (Time s = lo; s <= hi; ++s)
-        if (free_slot(s)) free.push_back(s);
-      BSPLOGP_ASSERT(!free.empty());
-      return free[rng_.below(free.size())];
+        if (free_slot(s)) free_scratch_.push_back(s);
+      BSPLOGP_ASSERT(!free_scratch_.empty());
+      return free_scratch_[rng_.below(free_scratch_.size())];
     }
   }
   // The capacity constraint guarantees a free slot exists in the window.
@@ -167,13 +197,12 @@ void Machine::handle_accept(ProcId dst_id, Time t) {
         const auto idx =
             static_cast<std::size_t>(rng_.below(dst.pending.size()));
         ps = dst.pending[idx];
-        dst.pending.erase(dst.pending.begin() +
-                          static_cast<std::ptrdiff_t>(idx));
+        dst.pending.erase(idx);
         break;
       }
     }
 
-    EngineProc& sender = *procs_[static_cast<std::size_t>(ps.msg.src)];
+    EngineProc& sender = proc(ps.msg.src);
     BSPLOGP_ASSERT(sender.status_ == EngineProc::Status::Stalling);
     if (t > ps.submit_time) {
       const Time stalled = t - ps.submit_time;
@@ -207,7 +236,8 @@ void Machine::handle_accept(ProcId dst_id, Time t) {
   // Submissions still pending were refused by the Stalling Rule at this
   // step: their senders are stalling from here until acceptance.
   if (options_.sink != nullptr) {
-    for (PendingSubmission& ps : dst.pending) {
+    for (std::size_t i = 0; i < dst.pending.size(); ++i) {
+      PendingSubmission& ps = dst.pending[i];
       if (ps.stall_traced) continue;
       ps.stall_traced = true;
       options_.sink->emit(
@@ -225,7 +255,7 @@ void Machine::handle_delivery(ProcId dst_id, Time t, const Message& msg) {
   } else {
     dst.slots.clear(t);
   }
-  EngineProc& p = *procs_[static_cast<std::size_t>(dst_id)];
+  EngineProc& p = proc(dst_id);
   p.inbox_.push_back(msg);
   stats_.messages += 1;
   stats_.max_inbox =
@@ -270,19 +300,24 @@ void Machine::do_acquire(EngineProc& p, Time t) {
   resume(p);
 }
 
-RunStats Machine::run(std::span<const ProgramFn> programs) {
-  BSPLOGP_EXPECTS(std::cmp_equal(programs.size(), nprocs_));
-
+RunStats Machine::run_impl(std::span<const ProgramFn> programs, bool shared) {
   if (options_.sink != nullptr)
     options_.sink->run_begin(trace::RunInfo{"logp", nprocs_, params_.L,
                                             params_.o, params_.G,
                                             params_.capacity(), 0, 0});
 
-  // Reset per-run state so a Machine can be reused.
-  procs_.clear();
-  dsts_.assign(static_cast<std::size_t>(nprocs_), DstState{});
-  if (!reference_scheduler()) {
-    for (DstState& dst : dsts_) dst.slots.init(params_.L);
+  // Reset per-run state so a Machine can be reused. Every container below
+  // is reset in place — capacities (destination rings, slot-bitmap words,
+  // the proc arena) survive across runs, so a machine re-run in a timing
+  // loop or a sweep performs no steady-state reallocation.
+  destroy_procs();
+  if (dsts_.size() != static_cast<std::size_t>(nprocs_))
+    dsts_.resize(static_cast<std::size_t>(nprocs_));
+  for (DstState& dst : dsts_) {
+    dst.pending.clear();
+    dst.in_transit = 0;
+    dst.slots_ref.clear();
+    if (!reference_scheduler()) dst.slots.init(params_.L);
   }
   events_.reset(!reference_scheduler());
   next_seq_ = 0;
@@ -291,11 +326,17 @@ RunStats Machine::run(std::span<const ProgramFn> programs) {
   stats_.proc_finish.assign(static_cast<std::size_t>(nprocs_), 0);
   done_count_ = 0;
 
-  procs_.reserve(static_cast<std::size_t>(nprocs_));
+  if (proc_capacity_ < static_cast<std::size_t>(nprocs_)) {
+    ::operator delete(static_cast<void*>(procs_));
+    procs_ = static_cast<EngineProc*>(
+        ::operator new(sizeof(EngineProc) * static_cast<std::size_t>(nprocs_)));
+    proc_capacity_ = static_cast<std::size_t>(nprocs_);
+  }
   for (ProcId i = 0; i < nprocs_; ++i) {
-    procs_.push_back(std::unique_ptr<EngineProc>(new EngineProc(*this, i)));
-    EngineProc& p = *procs_.back();
-    p.root_ = programs[static_cast<std::size_t>(i)](p);
+    EngineProc& p = *new (&procs_[static_cast<std::size_t>(i)])
+        EngineProc(*this, i);
+    live_procs_ = i + 1;  // destroy_procs cleans up if the program throws
+    p.root_ = programs[shared ? 0 : static_cast<std::size_t>(i)](p);
     BSPLOGP_EXPECTS(p.root_.valid());
     p.frame_ = p.root_.handle();
     push(0, Phase::Processor, EventKind::Start, i);
@@ -308,7 +349,7 @@ RunStats Machine::run(std::span<const ProgramFn> programs) {
       break;
     }
     stats_.events_processed += 1;
-    EngineProc& p = *procs_[static_cast<std::size_t>(ev.proc)];
+    EngineProc& p = proc(ev.proc);
     switch (ev.kind) {
       case EventKind::Start:
         resume(p);
@@ -337,11 +378,12 @@ RunStats Machine::run(std::span<const ProgramFn> programs) {
   }
 
   Time finish = 0;
-  for (const auto& p : procs_) {
-    if (p->status_ != EngineProc::Status::Done) {
-      stats_.blocked_procs.push_back(p->id());
+  for (ProcId i = 0; i < nprocs_; ++i) {
+    const EngineProc& p = proc(i);
+    if (p.status_ != EngineProc::Status::Done) {
+      stats_.blocked_procs.push_back(p.id());
     }
-    finish = std::max(finish, p->now());
+    finish = std::max(finish, p.now());
   }
   // A processor parked past the horizon (e.g. in SubmitWait or ComputeWait)
   // has a local clock beyond max_time; a timed-out run still ends at the

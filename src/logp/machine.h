@@ -32,11 +32,11 @@
 // tests/logp/scheduler_equivalence_test.cpp enforces this.
 #pragma once
 
-#include <memory>
 #include <set>
 #include <span>
 #include <vector>
 
+#include "src/core/ring_buffer.h"
 #include "src/core/rng.h"
 #include "src/core/types.h"
 #include "src/logp/event_queue.h"
@@ -124,9 +124,14 @@ class Machine {
 
   Machine(ProcId nprocs, Params params) : Machine(nprocs, params, Options{}) {}
   Machine(ProcId nprocs, Params params, Options options);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
 
   /// Runs `program` on every processor (SPMD) until all complete; returns
-  /// exact model-time statistics. Throws whatever a program throws.
+  /// exact model-time statistics. Throws whatever a program throws. The
+  /// one functor is shared across processors, never copied per proc.
   RunStats run(const ProgramFn& program);
   /// Runs a distinct program per processor.
   RunStats run(std::span<const ProgramFn> programs);
@@ -157,14 +162,19 @@ class Machine {
   };
 
   struct DstState {
-    std::deque<PendingSubmission> pending;  // submitted, not accepted
-    Time in_transit = 0;                    // accepted, not delivered
+    // Flat ring, not std::deque: in-flight submissions recycle their
+    // slots in place, so steady-state acceptance churn never touches the
+    // allocator (Fifo pops the front, Lifo the back, Random erases by
+    // index — all supported on the ring).
+    core::RingBuffer<PendingSubmission> pending;  // submitted, not accepted
+    Time in_transit = 0;                          // accepted, not delivered
     detail::SlotBitmap slots;     // scheduled delivery times (Bucket)
     std::set<Time> slots_ref;     // scheduled delivery times (ReferenceHeap)
   };
 
   void push(Time t, Phase phase, EventKind kind, ProcId proc,
             Message msg = {});
+  RunStats run_impl(std::span<const ProgramFn> programs, bool shared);
   void handle_submit(EngineProc& p, Time t);
   void handle_accept(ProcId dst, Time t);
   void handle_delivery(ProcId dst, Time t, const Message& msg);
@@ -176,18 +186,33 @@ class Machine {
     return options_.scheduler == SchedulerKind::ReferenceHeap;
   }
 
+  /// Destroys the arena's live EngineProcs (keeps the storage).
+  void destroy_procs();
+  [[nodiscard]] EngineProc& proc(ProcId i) {
+    return procs_[static_cast<std::size_t>(i)];
+  }
+
   ProcId nprocs_;
   Params params_;
   Options options_;
 
-  // Per-run state (reset by run()).
-  std::vector<std::unique_ptr<EngineProc>> procs_;
+  // Per-run state (reset by run()). The processors live in one contiguous
+  // arena sized at the first run and reused afterwards: constructing a
+  // p-processor machine run costs one allocation, not p unique_ptr news,
+  // and the event loop indexes procs without a pointer chase per event.
+  EngineProc* procs_ = nullptr;  // arena; live_procs_ constructed
+  std::size_t proc_capacity_ = 0;
+  ProcId live_procs_ = 0;
   std::vector<DstState> dsts_;
   detail::EventQueue events_;
   std::int64_t next_seq_ = 0;
   core::Rng rng_{0};
   RunStats stats_;
   ProcId done_count_ = 0;
+  // Scratch for the ReferenceHeap UniformRandom free-slot fallback;
+  // cleared per use, capacity kept (the Bucket path ranks into the slot
+  // bitmap word-at-a-time instead and needs no materialized list).
+  std::vector<Time> free_scratch_;
 };
 
 }  // namespace bsplogp::logp

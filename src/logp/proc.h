@@ -19,10 +19,10 @@
 
 #include <algorithm>
 #include <coroutine>
-#include <deque>
 #include <functional>
 
 #include "src/core/contracts.h"
+#include "src/core/ring_buffer.h"
 #include "src/core/types.h"
 #include "src/logp/params.h"
 #include "src/logp/task.h"
@@ -96,7 +96,10 @@ class Proc {
   Time last_acquire_ = 0;  // valid only if has_acquired_
   bool has_submitted_ = false;
   bool has_acquired_ = false;
-  std::deque<Message> inbox_;
+  // Flat ring, not std::deque: the input buffer is unbounded in the model
+  // but recycles its storage in steady state, and an empty buffer costs no
+  // allocation — constructing p = 65536 processors allocates nothing here.
+  core::RingBuffer<Message> inbox_;
   Message acquired_{};  // message returned by the resolving recv
 };
 

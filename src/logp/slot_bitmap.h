@@ -62,6 +62,50 @@ class SlotBitmap {
     return -1;
   }
 
+  /// Number of free slots in [lo, hi], popcounted a word (64 slots) per
+  /// iteration. Pairs with nth_free: the UniformRandom delivery schedule
+  /// draws k below this count and selects the k-th free slot, replacing
+  /// the per-slot scan that rebuilt a std::vector<Time> on every fallback.
+  [[nodiscard]] Time count_free(Time lo, Time hi) const {
+    Time cnt = 0;
+    Time s = lo;
+    while (s <= hi) {
+      const std::uint64_t i = static_cast<std::uint64_t>(s) & mask_;
+      const unsigned bitpos = static_cast<unsigned>(i & 63);
+      const Time chunk =
+          std::min<Time>(static_cast<Time>(64 - bitpos), hi - s + 1);
+      std::uint64_t free = ~words_[i >> 6] >> bitpos;  // bit 0 == time s
+      if (chunk < 64) free &= (std::uint64_t{1} << chunk) - 1;
+      cnt += std::popcount(free);
+      s += chunk;
+    }
+    return cnt;
+  }
+
+  /// The k-th free slot in [lo, hi] (k = 0 is the smallest), or -1 if
+  /// fewer than k + 1 slots are free. Word-at-a-time: whole occupied words
+  /// are skipped by popcount, and the in-word rank reduces to clearing k
+  /// low set bits.
+  [[nodiscard]] Time nth_free(Time lo, Time hi, Time k) const {
+    Time s = lo;
+    while (s <= hi) {
+      const std::uint64_t i = static_cast<std::uint64_t>(s) & mask_;
+      const unsigned bitpos = static_cast<unsigned>(i & 63);
+      const Time chunk =
+          std::min<Time>(static_cast<Time>(64 - bitpos), hi - s + 1);
+      std::uint64_t free = ~words_[i >> 6] >> bitpos;  // bit 0 == time s
+      if (chunk < 64) free &= (std::uint64_t{1} << chunk) - 1;
+      const Time in_word = std::popcount(free);
+      if (k < in_word) {
+        for (; k > 0; --k) free &= free - 1;  // drop k lowest set bits
+        return s + std::countr_zero(free);
+      }
+      k -= in_word;
+      s += chunk;
+    }
+    return -1;
+  }
+
   /// Largest free slot in [lo, hi], or -1 if the whole window is taken.
   [[nodiscard]] Time last_free(Time lo, Time hi) const {
     Time s = hi;

@@ -146,7 +146,7 @@ class CycleProc final : public logp::Proc {
   bool accept_decided_ = false;
   Time wait_target_ = 0;
   Time recv_earliest_ = 0;
-  std::deque<Time> arrivals_;  // parallel to inbox_
+  core::RingBuffer<Time> arrivals_;  // parallel to inbox_
 };
 
 /// Per-destination acceptance limiter emulating the Stalling Rule at cycle

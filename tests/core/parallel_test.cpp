@@ -89,6 +89,127 @@ TEST(Parallel, PoolIsReusableAcrossBatches) {
   }
 }
 
+TEST(Parallel, SweepChunkStaysWithinBounds) {
+  // requested wins verbatim but is clamped to [1, n]; the automatic size
+  // targets a few claims per thread and never exceeds n.
+  EXPECT_EQ(sweep_chunk(100, 4, 7), 7u);
+  EXPECT_EQ(sweep_chunk(100, 4, 1000), 100u);
+  EXPECT_EQ(sweep_chunk(5, 4, 0), sweep_chunk(5, 4, 0));  // stable
+  for (const int threads : {1, 2, 8}) {
+    for (const std::size_t n : {std::size_t{1}, std::size_t{5},
+                                std::size_t{1000}}) {
+      const std::size_t c = sweep_chunk(n, threads, 0);
+      EXPECT_GE(c, 1u);
+      EXPECT_LE(c, n);
+    }
+  }
+}
+
+TEST(Parallel, ResultsMatchForPathologicalChunkSizes) {
+  // Chunked range claims must not change what runs or where results land:
+  // chunk 1 (maximal claim traffic), a prime that misaligns every range,
+  // n (one chunk), and far beyond n (clamped) all produce the serial
+  // output.
+  const std::size_t n = 64;
+  auto run = [n](int jobs, std::size_t chunk) {
+    std::vector<std::uint64_t> out(n);
+    parallel_for_indexed(
+        n, jobs,
+        [&](std::size_t i) {
+          Rng rng = rng_for_index(4242, i);
+          out[i] = rng() ^ (rng() << 1);
+        },
+        chunk);
+    return out;
+  };
+  const auto serial = run(1, 0);
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{7}, n, n + 7}) {
+    EXPECT_EQ(run(2, chunk), serial) << "chunk " << chunk;
+    EXPECT_EQ(run(4, chunk), serial) << "chunk " << chunk;
+  }
+}
+
+TEST(Parallel, ThrowInsideAChunkStillRunsTheChunksOtherItems) {
+  // for_indexed isolates items even when a claim spans many of them: a
+  // throw at i=10 inside a 50-item chunk must not abandon items 11..49.
+  const std::size_t n = 100;
+  std::atomic<int> ran{0};
+  EXPECT_THROW(parallel_for_indexed(
+                   n, 4,
+                   [&](std::size_t i) {
+                     ran += 1;
+                     if (i == 10) throw std::runtime_error("mid-chunk");
+                   },
+                   /*chunk=*/50),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), static_cast<int>(n));
+}
+
+TEST(Parallel, PoolStaysReusableAfterAThrowingBatch) {
+  // The S3 regression: a batch that throws must drain (every item still
+  // runs) and leave the pool fully usable for the next batch — no wedged
+  // workers, no stale batch state, no re-thrown stale exception.
+  ThreadPool pool(3);
+  for (int round = 0; round < 3; ++round) {
+    std::atomic<int> ran{0};
+    EXPECT_THROW(pool.for_indexed(200,
+                                  [&](std::size_t i) {
+                                    ran += 1;
+                                    if (i == 17)
+                                      throw std::runtime_error("boom");
+                                  }),
+                 std::runtime_error);
+    EXPECT_EQ(ran.load(), 200);
+    std::atomic<std::int64_t> sum{0};
+    pool.for_indexed(100, [&](std::size_t i) {
+      sum += static_cast<std::int64_t>(i);
+    });
+    EXPECT_EQ(sum.load(), 99 * 100 / 2);  // clean batch after the throw
+  }
+}
+
+TEST(Parallel, ForRangesCoversEveryIndexExactlyOnce) {
+  const std::size_t n = 257;  // prime: misaligns every chunk size
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for_ranges(n, 4, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i] += 1;
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(Parallel, ForRangesThrowAbandonsOnlyItsOwnRange) {
+  // The documented contract: a throwing range callback loses the rest of
+  // that one range; every other range still runs and the first exception
+  // is rethrown after the batch drains. The pool survives.
+  ThreadPool pool(3);
+  const std::size_t n = 100;
+  std::vector<std::atomic<int>> hits(n);
+  EXPECT_THROW(pool.for_ranges(
+                   n,
+                   [&](std::size_t b, std::size_t e) {
+                     for (std::size_t i = b; i < e; ++i) {
+                       if (i == 30) throw std::runtime_error("range boom");
+                       hits[i] += 1;
+                     }
+                   },
+                   /*chunk=*/10),
+               std::runtime_error);
+  int total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_LE(hits[i].load(), 1) << i;  // never runs twice
+    total += hits[i].load();
+  }
+  // Exactly the throwing range's tail [30, 40) is lost.
+  EXPECT_EQ(total, static_cast<int>(n) - 10);
+  for (std::size_t i = 0; i < 30; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  for (std::size_t i = 40; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  std::atomic<int> ran{0};
+  pool.for_ranges(50, [&](std::size_t b, std::size_t e) {
+    ran += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(ran.load(), 50);
+}
+
 TEST(Parallel, ZeroWorkerPoolRunsOnTheCaller) {
   ThreadPool pool(0);
   EXPECT_EQ(pool.workers(), 0);

@@ -1,0 +1,109 @@
+// RingBuffer: the flat circular FIFO behind the engine's per-processor
+// input buffers and per-destination pending-submission queues. The engine
+// relies on deque-equivalent semantics (FIFO order, indexed access,
+// order-preserving erase for the Random accept policy) with recycled
+// storage; these tests pin that contract, including wrap-around states a
+// straight std::vector never sees.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "src/core/ring_buffer.h"
+
+namespace bsplogp::core {
+namespace {
+
+TEST(RingBuffer, StartsEmpty) {
+  RingBuffer<int> rb;
+  EXPECT_TRUE(rb.empty());
+  EXPECT_EQ(rb.size(), 0u);
+}
+
+TEST(RingBuffer, FifoOrderAcrossGrowth) {
+  RingBuffer<int> rb;
+  for (int i = 0; i < 100; ++i) rb.push_back(i);  // forces several grows
+  EXPECT_EQ(rb.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rb.front(), i);
+    rb.pop_front();
+  }
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, WrapAroundPreservesOrderAndIndexing) {
+  // Drive head around the ring: interleaved push/pop keeps size small while
+  // head circles the power-of-two storage many times.
+  RingBuffer<int> rb;
+  std::deque<int> model;
+  int next = 0;
+  for (int round = 0; round < 500; ++round) {
+    for (int k = 0; k < 3; ++k) {
+      rb.push_back(next);
+      model.push_back(next);
+      ++next;
+    }
+    for (int k = 0; k < 2; ++k) {
+      ASSERT_EQ(rb.front(), model.front());
+      rb.pop_front();
+      model.pop_front();
+    }
+    ASSERT_EQ(rb.size(), model.size());
+    for (std::size_t i = 0; i < model.size(); ++i)
+      ASSERT_EQ(rb[i], model[i]) << "round " << round << " index " << i;
+  }
+}
+
+TEST(RingBuffer, BackAndPopBack) {
+  RingBuffer<int> rb;
+  for (int i = 0; i < 10; ++i) rb.push_back(i);
+  EXPECT_EQ(rb.back(), 9);
+  rb.pop_back();
+  EXPECT_EQ(rb.back(), 8);
+  EXPECT_EQ(rb.front(), 0);
+  EXPECT_EQ(rb.size(), 9u);
+}
+
+TEST(RingBuffer, EraseMatchesDequeAtEveryIndex) {
+  // The Random accept policy erases by index; order of the survivors must
+  // match std::deque::erase exactly. Exercised in a wrapped state.
+  for (std::size_t victim = 0; victim < 12; ++victim) {
+    RingBuffer<int> rb;
+    std::deque<int> model;
+    for (int i = 0; i < 8; ++i) rb.push_back(-1);  // occupy, then drain:
+    for (int i = 0; i < 8; ++i) rb.pop_front();    // head now mid-ring
+    for (int i = 0; i < 12; ++i) {
+      rb.push_back(i);
+      model.push_back(i);
+    }
+    rb.erase(victim);
+    model.erase(model.begin() + static_cast<std::ptrdiff_t>(victim));
+    ASSERT_EQ(rb.size(), model.size());
+    for (std::size_t i = 0; i < model.size(); ++i)
+      ASSERT_EQ(rb[i], model[i]) << "victim " << victim << " index " << i;
+  }
+}
+
+TEST(RingBuffer, ClearKeepsStorageAndResetsState) {
+  RingBuffer<int> rb;
+  for (int i = 0; i < 50; ++i) rb.push_back(i);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  rb.push_back(7);
+  EXPECT_EQ(rb.front(), 7);
+  EXPECT_EQ(rb.back(), 7);
+}
+
+TEST(RingBuffer, ReserveThenFillDoesNotLoseElements) {
+  RingBuffer<int> rb;
+  rb.reserve(100);
+  for (int i = 0; i < 100; ++i) rb.push_back(i);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(rb.front(), i);
+    rb.pop_front();
+  }
+}
+
+}  // namespace
+}  // namespace bsplogp::core
