@@ -53,12 +53,16 @@ std::size_t sweep_chunk(std::size_t n, int threads, std::size_t requested) {
 /// without ever touching the pool's next batch mid-setup.
 struct ThreadPool::Batch {
   Batch(std::size_t n_items, std::size_t chunk_size,
-        const std::function<void(std::size_t, std::size_t)>& f)
-      : fn(f), n(n_items), chunk(chunk_size) {}
+        const std::function<void(std::size_t, std::size_t)>& f,
+        bool one_claim_per_thread = false)
+      : fn(f), n(n_items), chunk(chunk_size), one_shot(one_claim_per_thread) {}
 
   const std::function<void(std::size_t, std::size_t)>& fn;
   const std::size_t n;
   const std::size_t chunk;
+  /// SPMD mode (for_spmd): a thread claims at most one chunk, so items can
+  /// synchronize with each other without a claimer deadlocking on itself.
+  const bool one_shot;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
 
@@ -84,6 +88,7 @@ struct ThreadPool::Batch {
         { const std::lock_guard<std::mutex> lock(mu); }
         done_cv.notify_all();
       }
+      if (one_shot) return;
     }
   }
 };
@@ -135,6 +140,36 @@ void ThreadPool::for_ranges(
     work_cv_.notify_all();
   }
   batch->run();  // the calling thread is always one of the workers
+  {
+    std::unique_lock<std::mutex> lock(batch->mu);
+    batch->done_cv.wait(lock, [&] {
+      return batch->done.load(std::memory_order_acquire) == batch->n;
+    });
+    if (batch->error != nullptr) std::rethrow_exception(batch->error);
+  }
+}
+
+void ThreadPool::for_spmd(std::size_t n,
+                          const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // One thread per item or the batch deadlocks on its own barriers.
+  BSPLOGP_EXPECTS(n <= static_cast<std::size_t>(workers()) + 1);
+  const std::function<void(std::size_t, std::size_t)> range_fn =
+      [&fn](std::size_t b, std::size_t e) {
+        BSPLOGP_ASSERT(e == b + 1);
+        fn(b);
+      };
+  const auto batch = std::make_shared<Batch>(n, std::size_t{1}, range_fn,
+                                             /*one_claim_per_thread=*/true);
+  if (!threads_.empty()) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      batch_ = batch;
+      ++generation_;
+    }
+    work_cv_.notify_all();
+  }
+  batch->run();  // the calling thread runs one of the items
   {
     std::unique_lock<std::mutex> lock(batch->mu);
     batch->done_cv.wait(lock, [&] {

@@ -71,6 +71,18 @@ class ThreadPool {
                   const std::function<void(std::size_t, std::size_t)>& fn,
                   std::size_t chunk = 0);
 
+  /// SPMD batch: runs fn(i) for every i in [0, n) with every item on a
+  /// *distinct* thread, all items live concurrently. This is the primitive
+  /// the native shared-memory backend (src/native) builds on: unlike
+  /// for_indexed, items may synchronize with each other (barriers,
+  /// condition variables), because no thread ever claims a second item
+  /// while holding the first. Requires n <= workers() + 1 — there must be
+  /// a thread for every item or the batch would deadlock on its own
+  /// synchronization. Exceptions propagate like for_ranges (first one is
+  /// rethrown after the batch drains); items blocked on a sibling that
+  /// threw must unblock themselves (see native::Barrier poisoning).
+  void for_spmd(std::size_t n, const std::function<void(std::size_t)>& fn);
+
  private:
   struct Batch;
 

@@ -1,0 +1,66 @@
+// Native execution of BSP programs: the same bsp::ProcProgram vector that
+// runs on bsp::Machine (serial, simulated) or under xsim::BspOnLogp
+// (Theorem 2) runs here with one real thread per processor and a real
+// barrier per superstep.
+//
+// The executor is the parallel twin of bsp::Machine::run, phase for phase:
+// compute (each thread steps its own program against its own input pool),
+// barrier, exchange (each thread assembles its next input pool by scanning
+// the output pools in sender-id order — exactly InboxOrder::SourceOrder),
+// barrier, swap. Halted processors are never stepped again but keep
+// receiving (the model delivers regardless), and the run ends in the
+// superstep where the last processor halts, as in the Machine.
+//
+// Because the phases are identical and the model parameters (g, l) never
+// steer a BSP execution (they only price it — see bsp/params.h), the model
+// accounting here is not merely close to the simulator's, it is EQUAL:
+// NativeBspStats::model must match bsp::Machine::run's RunStats field for
+// field — finish_time, supersteps, messages, per-superstep (w_s, h_s),
+// proc_finish, everything. The differential suite asserts exactly that,
+// which pins the native executor and the simulator to each other; the
+// only thing native execution adds is a wall clock.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "src/bsp/params.h"
+#include "src/bsp/program.h"
+#include "src/core/parallel.h"
+#include "src/core/types.h"
+#include "src/trace/sink.h"
+
+namespace bsplogp::native {
+
+struct NativeBspOptions {
+  /// Thread pool to run on (needs >= p - 1 workers); null spawns a
+  /// transient pool.
+  core::ThreadPool* pool = nullptr;
+  /// Observer for SuperstepBegin/End events. Only processor 0's thread
+  /// emits, and run_begin/run_end bracket the spawn, so calls are totally
+  /// ordered: an ordinary (non-thread-safe) sink is fine here. Not owned.
+  trace::TraceSink* sink = nullptr;
+  /// Cost-model parameters for the accounting (identical role to
+  /// bsp::Machine's).
+  bsp::Params params{};
+  std::int64_t max_supersteps = 1'000'000;
+};
+
+struct NativeBspStats {
+  /// The full model accounting, field-for-field equal to what
+  /// bsp::Machine::run(programs) returns for the same programs and params.
+  bsp::RunStats model;
+  /// Real elapsed time of the run.
+  double wall_ns = 0;
+};
+
+/// Runs one program per processor in lockstep supersteps on real threads.
+/// The caller retains ownership of the programs and reads results out of
+/// them afterwards, exactly as with bsp::Machine::run. Throws what a
+/// program throws (siblings are unblocked via barrier poisoning).
+[[nodiscard]] NativeBspStats run_bsp(
+    std::span<const std::unique_ptr<bsp::ProcProgram>> programs,
+    const NativeBspOptions& options = {});
+
+}  // namespace bsplogp::native

@@ -1,0 +1,271 @@
+#include "src/native/logp_exec.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <coroutine>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "src/core/contracts.h"
+#include "src/logp/task.h"
+#include "src/native/spmd.h"
+#include "src/trace/event.h"
+
+namespace bsplogp::native {
+namespace {
+
+struct RunState;
+
+/// The native Proc implementation: a mailbox (mutex + condvar + staging
+/// deque, the only cross-thread state) plus a one-slot pending-operation
+/// record. The issue_* hooks only record; the owning thread's drive() loop
+/// resolves the operation and resumes the coroutine, so resolution code
+/// never runs inside an await_suspend and blocking waits happen in plain
+/// driver code.
+class NativeProc final : public logp::Proc {
+ public:
+  NativeProc(RunState& run, ProcId id) : Proc(id), run_(run) {}
+
+  [[nodiscard]] ProcId nprocs() const override;
+  [[nodiscard]] const logp::Params& params() const override;
+
+  /// Runs `program` on this processor to completion (called on the
+  /// processor's own thread).
+  void drive(const logp::ProgramFn& program);
+
+  // Mailbox: senders push under mu and signal cv; the owner drains into
+  // the inherited model input buffer (inbox_), which only the owner
+  // touches.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Message> arrivals;
+
+  // Owner-thread-only tallies, summed by run_logp after the join.
+  std::int64_t sent = 0;
+  std::int64_t acquired_n = 0;
+  std::vector<Message> acquired_log;
+  Time final_clock = 0;
+
+ private:
+  enum class Op { None, Send, Recv, Wait };
+
+  void issue_send(Message m, std::coroutine_handle<> frame) override {
+    op_ = Op::Send;
+    out_ = m;
+    frame_ = frame;
+  }
+  void issue_recv(std::coroutine_handle<> frame) override {
+    op_ = Op::Recv;
+    frame_ = frame;
+  }
+  void issue_wait(Time target, std::coroutine_handle<> frame) override {
+    op_ = Op::Wait;
+    wait_target_ = target;
+    frame_ = frame;
+  }
+
+  void resolve_send();
+  void resolve_recv();
+
+  RunState& run_;
+  Op op_ = Op::None;
+  Message out_{};
+  Time wait_target_ = 0;
+  std::coroutine_handle<> frame_;
+};
+
+/// State shared by the p processors of one run.
+struct RunState {
+  RunState(ProcId p, const logp::Params& prm, const NativeLogpOptions& opts)
+      : nprocs(p), params(prm), options(opts) {
+    for (ProcId i = 0; i < p; ++i) procs.emplace_back(*this, i);
+  }
+
+  /// Unparks every processor blocked in recv so a failed sibling cannot
+  /// leave the rest hanging until their timeouts.
+  void abort_all() {
+    aborted.store(true, std::memory_order_release);
+    for (NativeProc& p : procs) {
+      // Empty critical section: a waiter between its predicate check and
+      // its park must observe either the flag or this notification.
+      { const std::lock_guard<std::mutex> lock(p.mu); }
+      p.cv.notify_all();
+    }
+  }
+
+  const ProcId nprocs;
+  const logp::Params params;
+  const NativeLogpOptions options;
+  std::deque<NativeProc> procs;  // deque: Proc is neither movable nor copyable
+  std::atomic<bool> aborted{false};
+};
+
+ProcId NativeProc::nprocs() const { return run_.nprocs; }
+const logp::Params& NativeProc::params() const { return run_.params; }
+
+void NativeProc::resolve_send() {
+  // Model bookkeeping exactly as prescribed (o preparation, G spacing)...
+  const Time t = earliest_submit();
+  last_submit_ = t;
+  has_submitted_ = true;
+  clock_ = t;
+  // ...but submission, acceptance and delivery coincide: stage directly
+  // into the destination's mailbox.
+  auto& dst = run_.procs[static_cast<std::size_t>(out_.dst)];
+  {
+    const std::lock_guard<std::mutex> lock(dst.mu);
+    dst.arrivals.push_back(out_);
+  }
+  dst.cv.notify_one();
+  sent += 1;
+  if (run_.options.sink != nullptr) {
+    run_.options.sink->emit(trace::Event::submit(id_, t, out_.dst));
+    run_.options.sink->emit(trace::Event::delivery(out_.dst, t, id_));
+  }
+}
+
+void NativeProc::resolve_recv() {
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    while (!arrivals.empty()) {
+      inbox_.push_back(arrivals.front());
+      arrivals.pop_front();
+    }
+    if (inbox_.empty()) {
+      const bool signalled =
+          cv.wait_for(lock, run_.options.recv_timeout, [&] {
+            return run_.aborted.load(std::memory_order_acquire) ||
+                   !arrivals.empty();
+          });
+      if (run_.aborted.load(std::memory_order_acquire)) throw AbortedError();
+      if (!signalled)
+        throw std::runtime_error(
+            "native: recv timed out with an empty input buffer (deadlock?)");
+      while (!arrivals.empty()) {
+        inbox_.push_back(arrivals.front());
+        arrivals.pop_front();
+      }
+    }
+  }
+  const Message m = inbox_.front();
+  inbox_.pop_front();
+  const Time t = earliest_acquire();
+  last_acquire_ = t;
+  has_acquired_ = true;
+  clock_ = t + run_.params.o;
+  acquired_ = m;
+  acquired_n += 1;
+  if (run_.options.acquired != nullptr) acquired_log.push_back(m);
+  if (run_.options.sink != nullptr)
+    run_.options.sink->emit(trace::Event::acquire(id_, t, m.src));
+}
+
+void NativeProc::drive(const logp::ProgramFn& program) {
+  logp::Task<> root = program(*this);
+  BSPLOGP_EXPECTS(root.valid());
+  std::coroutine_handle<> next = root.handle();
+  while (true) {
+    op_ = Op::None;
+    next.resume();
+    if (root.done()) {
+      root.rethrow_if_failed();
+      break;
+    }
+    // Not done and suspended: exactly one operation awaiter recorded
+    // itself (children start by symmetric transfer and never park at their
+    // initial suspend).
+    BSPLOGP_ASSERT(op_ != Op::None);
+    switch (op_) {
+      case Op::Send:
+        resolve_send();
+        break;
+      case Op::Recv:
+        resolve_recv();
+        break;
+      case Op::Wait:
+        clock_ = std::max(clock_, wait_target_);
+        break;
+      case Op::None:
+        break;
+    }
+    next = frame_;
+  }
+  final_clock = clock_;
+}
+
+}  // namespace
+
+NativeLogpStats run_logp(std::span<const logp::ProgramFn> programs,
+                         const logp::Params& params,
+                         const NativeLogpOptions& options) {
+  params.validate();
+  BSPLOGP_EXPECTS(!programs.empty());
+  for (const logp::ProgramFn& fn : programs) BSPLOGP_EXPECTS(fn != nullptr);
+  const auto p = static_cast<ProcId>(programs.size());
+
+  std::optional<core::ThreadPool> transient;
+  core::ThreadPool* pool = options.pool;
+  if (pool == nullptr) {
+    transient.emplace(p - 1);
+    pool = &*transient;
+  }
+  BSPLOGP_EXPECTS(pool->workers() + 1 >= p);
+
+  RunState run(p, params, options);
+
+  if (options.sink != nullptr)
+    options.sink->run_begin(trace::RunInfo{"native.logp", p, params.L,
+                                           params.o, params.G,
+                                           params.capacity(), 0, 0});
+
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  const auto t0 = std::chrono::steady_clock::now();
+  pool->for_spmd(static_cast<std::size_t>(p), [&](std::size_t i) {
+    try {
+      run.procs[i].drive(programs[i]);
+    } catch (const AbortedError&) {
+      // Secondary failure: a sibling aborted us. Its exception wins.
+    } catch (...) {
+      {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error == nullptr) first_error = std::current_exception();
+      }
+      run.abort_all();
+    }
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+
+  NativeLogpStats stats;
+  stats.wall_ns =
+      std::chrono::duration<double, std::nano>(t1 - t0).count();
+  if (options.acquired != nullptr)
+    options.acquired->assign(static_cast<std::size_t>(p), {});
+  for (ProcId i = 0; i < p; ++i) {
+    NativeProc& pr = run.procs[static_cast<std::size_t>(i)];
+    stats.messages_sent += pr.sent;
+    stats.messages_acquired += pr.acquired_n;
+    stats.model_finish_time = std::max(stats.model_finish_time, pr.final_clock);
+    if (options.acquired != nullptr)
+      (*options.acquired)[static_cast<std::size_t>(i)] =
+          std::move(pr.acquired_log);
+  }
+  if (options.sink != nullptr) options.sink->run_end(stats.model_finish_time);
+  return stats;
+}
+
+NativeLogpStats run_logp(ProcId nprocs, const logp::ProgramFn& program,
+                         const logp::Params& params,
+                         const NativeLogpOptions& options) {
+  BSPLOGP_EXPECTS(nprocs >= 1);
+  const std::vector<logp::ProgramFn> programs(
+      static_cast<std::size_t>(nprocs), program);
+  return run_logp(programs, params, options);
+}
+
+}  // namespace bsplogp::native

@@ -1,0 +1,91 @@
+// Native execution of LogP coroutine programs: the same logp::ProgramFn
+// that runs on logp::Machine (simulated) or under xsim::LogpOnBsp
+// (Theorem 1) runs here on p real threads exchanging real messages.
+//
+// Each program instance drives its coroutine on its own OS thread
+// (core::ThreadPool::for_spmd). The three Proc interaction points resolve
+// against reality instead of a discrete-event queue:
+//
+//   send  — the message is pushed into the destination's locked arrival
+//           queue and the destination's condition variable is signalled.
+//           Submission is instantaneous: there is no Stalling Rule, no
+//           capacity ceiling, no delivery latency.
+//   recv  — arrivals are drained into the model input buffer; an empty
+//           buffer blocks on the condition variable (with a timeout that
+//           converts a real deadlock into an exception instead of a hang).
+//   wait  — advances only the model clock; the thread does not sleep.
+//
+// The Proc bookkeeping (clock, o/G gap rules, earliest_submit slots) is
+// maintained exactly as the model prescribes, so programs whose *logic*
+// consults the clock — the staged hotspot's G-aligned slots, CB's
+// wait_until rounds — take the same branches natively as under the
+// simulator. The resulting clock is a per-processor lower bound that
+// ignores stalling and latency; it is reported for curiosity, not
+// comparability. What IS comparable, and what the differential suite
+// (tests/native/differential_test.cpp) checks, is the logical outcome:
+// computed results, per-processor acquired-message multisets, and message
+// counts must match the simulators exactly.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/parallel.h"
+#include "src/core/types.h"
+#include "src/logp/params.h"
+#include "src/logp/proc.h"
+#include "src/trace/sink.h"
+
+namespace bsplogp::native {
+
+struct NativeLogpOptions {
+  /// Thread pool to run on (needs >= p - 1 workers); null spawns a
+  /// transient pool. Reuse a pool across runs to amortize thread start-up.
+  core::ThreadPool* pool = nullptr;
+  /// Observer for Submit/Delivery/Acquire events. Unlike the simulators,
+  /// emission happens concurrently from p threads: the sink MUST be
+  /// thread-safe — wrap any ordinary sink in trace::MutexSink. Not owned.
+  trace::TraceSink* sink = nullptr;
+  /// If non-null, resized to p; [i] receives processor i's acquired
+  /// messages in acquisition order (the differential suite compares these
+  /// as multisets — cross-sender arrival order is real, not simulated).
+  std::vector<std::vector<Message>>* acquired = nullptr;
+  /// A recv with an empty buffer waits at most this long for an arrival
+  /// before throwing: a real deadlock (recv without a matching send)
+  /// surfaces as an error, not a hang.
+  std::chrono::milliseconds recv_timeout{30'000};
+};
+
+struct NativeLogpStats {
+  /// max over processors of the final model clock — a lower bound that
+  /// ignores stalling and delivery latency (see header comment).
+  Time model_finish_time = 0;
+  /// Messages sent (== staged into destination buffers: native submission
+  /// and delivery coincide, so this is comparable to the simulator's
+  /// `messages` delivery count).
+  std::int64_t messages_sent = 0;
+  /// Messages acquired by recv across all processors.
+  std::int64_t messages_acquired = 0;
+  /// Real elapsed time of the run (excluding pool construction when a pool
+  /// is supplied).
+  double wall_ns = 0;
+};
+
+/// Runs one program per processor (programs.size() = p) to completion on
+/// real threads. Throws what a program throws; if one fails, its siblings
+/// are aborted (native::AbortedError internally) and the original
+/// exception propagates.
+[[nodiscard]] NativeLogpStats run_logp(
+    std::span<const logp::ProgramFn> programs, const logp::Params& params,
+    const NativeLogpOptions& options = {});
+
+/// SPMD convenience: the one program on every processor, mirroring
+/// logp::Machine::run(const ProgramFn&).
+[[nodiscard]] NativeLogpStats run_logp(ProcId nprocs,
+                                       const logp::ProgramFn& program,
+                                       const logp::Params& params,
+                                       const NativeLogpOptions& options = {});
+
+}  // namespace bsplogp::native

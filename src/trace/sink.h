@@ -19,6 +19,7 @@
 //     time-sorted view sort by Event::t.
 #pragma once
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -105,6 +106,37 @@ class TeeSink final : public TraceSink {
 
  private:
   std::vector<TraceSink*> sinks_;
+};
+
+/// Serializing adapter for multi-threaded emitters. Every sink in this
+/// module is written for the machines' single-threaded emission contract;
+/// the native shared-memory backend (src/native) emits from p real threads
+/// at once. MutexSink forwards each call to the wrapped sink under one
+/// mutex, so events are never torn or dropped and the inner sink's
+/// bookkeeping stays exactly as correct as under a simulator. Does not own
+/// the inner sink. Cross-thread emission order is whatever the lock
+/// arbitration yields: per-kind counts are exact, interleavings are not
+/// reproducible.
+class MutexSink final : public TraceSink {
+ public:
+  explicit MutexSink(TraceSink* inner) : inner_(inner) {}
+
+  void run_begin(const RunInfo& info) override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    inner_->run_begin(info);
+  }
+  void run_end(Time finish) override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    inner_->run_end(finish);
+  }
+  void emit(const Event& event) override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    inner_->emit(event);
+  }
+
+ private:
+  std::mutex mu_;
+  TraceSink* inner_;
 };
 
 }  // namespace bsplogp::trace

@@ -50,44 +50,53 @@ std::vector<logp::ProgramFn> cb_rounds(ProcId p, int rounds,
   return progs;
 }
 
-std::vector<logp::ProgramFn> cb_arity(ProcId p, ProcId arity) {
+std::vector<logp::ProgramFn> cb_arity(ProcId p, ProcId arity,
+                                      std::vector<Word>* out) {
+  if (out != nullptr) out->assign(static_cast<std::size_t>(p), 0);
   std::vector<logp::ProgramFn> progs;
   progs.reserve(static_cast<std::size_t>(p));
   for (ProcId i = 0; i < p; ++i)
-    progs.emplace_back([i, arity](logp::Proc& pr) -> logp::Task<> {
+    progs.emplace_back([i, arity, out](logp::Proc& pr) -> logp::Task<> {
       algo::Mailbox mb(pr);
-      (void)co_await algo::combine_broadcast_arity(mb, i, algo::ReduceOp::Max,
-                                                   arity);
+      const Word v = co_await algo::combine_broadcast_arity(
+          mb, i, algo::ReduceOp::Max, arity);
+      if (out != nullptr) (*out)[static_cast<std::size_t>(pr.id())] = v;
     });
   return progs;
 }
 
-std::vector<logp::ProgramFn> cb_greedy_pair(ProcId p,
-                                            const logp::Params& prm) {
+std::vector<logp::ProgramFn> cb_greedy_pair(ProcId p, const logp::Params& prm,
+                                            std::vector<Word>* out) {
   // The schedule is shared by all p programs and must outlive them.
   const auto sched = std::make_shared<const algo::BroadcastSchedule>(
       algo::optimal_broadcast_schedule(p, prm));
+  if (out != nullptr) out->assign(static_cast<std::size_t>(p), 0);
   std::vector<logp::ProgramFn> progs;
   progs.reserve(static_cast<std::size_t>(p));
   for (ProcId i = 0; i < p; ++i)
-    progs.emplace_back([i, sched](logp::Proc& pr) -> logp::Task<> {
+    progs.emplace_back([i, sched, out](logp::Proc& pr) -> logp::Task<> {
       algo::Mailbox mb(pr);
       const Word total =
           co_await algo::reduce_opt(mb, i, algo::ReduceOp::Max, *sched);
-      (void)co_await algo::broadcast_opt(mb, total, *sched);
+      const Word v = co_await algo::broadcast_opt(mb, total, *sched);
+      if (out != nullptr) (*out)[static_cast<std::size_t>(pr.id())] = v;
     });
   return progs;
 }
 
-std::vector<logp::ProgramFn> ring_shift(ProcId p, int rounds) {
+std::vector<logp::ProgramFn> ring_shift(ProcId p, int rounds,
+                                        std::vector<Word>* sums) {
+  if (sums != nullptr) sums->assign(static_cast<std::size_t>(p), 0);
   std::vector<logp::ProgramFn> progs;
   progs.reserve(static_cast<std::size_t>(p));
   for (ProcId i = 0; i < p; ++i)
-    progs.emplace_back([p, rounds](logp::Proc& pr) -> logp::Task<> {
+    progs.emplace_back([p, rounds, sums](logp::Proc& pr) -> logp::Task<> {
+      Word sum = 0;
       for (int r = 0; r < rounds; ++r) {
         co_await pr.send(static_cast<ProcId>((pr.id() + 1) % p), r);
-        (void)co_await pr.recv();
+        sum += (co_await pr.recv()).payload;
       }
+      if (sums != nullptr) (*sums)[static_cast<std::size_t>(pr.id())] = sum;
     });
   return progs;
 }
@@ -120,8 +129,9 @@ std::vector<logp::ProgramFn> hotspot(ProcId p, Time k, bool staged,
 }
 
 std::vector<logp::ProgramFn> random_traffic(ProcId p, int msgs_per_proc,
-                                            Time max_jump,
-                                            std::uint64_t seed) {
+                                            Time max_jump, std::uint64_t seed,
+                                            std::vector<Word>* sums) {
+  if (sums != nullptr) sums->assign(static_cast<std::size_t>(p), 0);
   core::Rng rng(seed);
   std::vector<std::vector<std::pair<ProcId, Time>>> plan(
       static_cast<std::size_t>(p));
@@ -140,13 +150,15 @@ std::vector<logp::ProgramFn> random_traffic(ProcId p, int msgs_per_proc,
   progs.reserve(static_cast<std::size_t>(p));
   for (ProcId i = 0; i < p; ++i)
     progs.emplace_back([mine = std::move(plan[static_cast<std::size_t>(i)]),
-                        need = expected[static_cast<std::size_t>(i)]](
-                           logp::Proc& pr) -> logp::Task<> {
+                        need = expected[static_cast<std::size_t>(i)],
+                        sums](logp::Proc& pr) -> logp::Task<> {
       for (const auto& [dst, jump] : mine) {
         co_await pr.compute(jump);
         co_await pr.send(dst, jump);
       }
-      for (int m = 0; m < need; ++m) (void)co_await pr.recv();
+      Word sum = 0;
+      for (int m = 0; m < need; ++m) sum += (co_await pr.recv()).payload;
+      if (sums != nullptr) (*sums)[static_cast<std::size_t>(pr.id())] = sum;
     });
   return progs;
 }
@@ -214,6 +226,47 @@ std::vector<std::unique_ptr<bsp::ProcProgram>> fuzz_supersteps(
   });
 }
 
+namespace {
+
+/// Delegating wrapper that records each step's inbox into one processor's
+/// slot of an InboxLog (see workload.h): per-processor storage, so filling
+/// the log is race-free even when the programs run on the native backend's
+/// concurrent threads.
+class LoggedProgram final : public bsp::ProcProgram {
+ public:
+  LoggedProgram(
+      std::unique_ptr<bsp::ProcProgram> inner,
+      std::vector<std::vector<std::tuple<ProcId, Word, std::int32_t>>>* slot)
+      : inner_(std::move(inner)), slot_(slot) {}
+
+  bool step(bsp::Ctx& ctx) override {
+    std::vector<std::tuple<ProcId, Word, std::int32_t>> seen;
+    seen.reserve(ctx.inbox().size());
+    for (const Message& m : ctx.inbox())
+      seen.emplace_back(m.src, m.payload, m.tag);
+    std::sort(seen.begin(), seen.end());
+    slot_->push_back(std::move(seen));
+    return inner_->step(ctx);
+  }
+
+ private:
+  std::unique_ptr<bsp::ProcProgram> inner_;
+  std::vector<std::vector<std::tuple<ProcId, Word, std::int32_t>>>* slot_;
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<bsp::ProcProgram>> logged(
+    std::vector<std::unique_ptr<bsp::ProcProgram>> programs, InboxLog& log) {
+  log.per_pid.assign(programs.size(), {});
+  std::vector<std::unique_ptr<bsp::ProcProgram>> out;
+  out.reserve(programs.size());
+  for (std::size_t i = 0; i < programs.size(); ++i)
+    out.push_back(std::make_unique<LoggedProgram>(std::move(programs[i]),
+                                                  &log.per_pid[i]));
+  return out;
+}
+
 // ---- Sorting inputs ---------------------------------------------------------
 
 std::vector<std::vector<Word>> random_blocks(ProcId p, std::size_t n,
@@ -262,44 +315,49 @@ std::vector<Entry> build_registry() {
       "all-to-all",
       "p(p-1)-message total exchange; every destination window active at "
       "once (knobs: p)",
-      [](const Spec& s) { return all_to_all(s.p); },
+      [](const Spec& s) { return all_to_all(s.p, s.result); },
       [](const Spec& s) { return relation_step(all_pairs(s.p)); }});
   reg.push_back(Entry{
       "cb-rounds",
       "chained Combine-and-Broadcast rounds on the paper's "
       "max{2,ceil(L/G)}-ary tree (knobs: p, rounds)",
-      [](const Spec& s) { return cb_rounds(s.p, s.rounds); },
+      [](const Spec& s) { return cb_rounds(s.p, s.rounds, algo::ReduceOp::Max,
+                                           {}, s.result); },
       nullptr});
   reg.push_back(Entry{
       "cb-arity",
       "one CB with a forced tree arity — the ablation knob (knobs: p, k = "
       "arity)",
-      [](const Spec& s) { return cb_arity(s.p, static_cast<ProcId>(s.k)); },
+      [](const Spec& s) {
+        return cb_arity(s.p, static_cast<ProcId>(s.k), s.result);
+      },
       nullptr});
   reg.push_back(Entry{
       "cb-greedy-pair",
       "combine+broadcast as the Karp-et-al greedy schedule pair (knobs: p; "
       "L=16,o=1,G=4 schedule unless instantiated directly)",
-      [](const Spec& s) { return cb_greedy_pair(s.p, logp::Params{16, 1, 4}); },
+      [](const Spec& s) {
+        return cb_greedy_pair(s.p, logp::Params{16, 1, 4}, s.result);
+      },
       nullptr});
   reg.push_back(Entry{
       "ring-shift",
       "rounds of nearest-neighbor shifts around the ring — balanced sparse "
       "1-relations (knobs: p, rounds)",
-      [](const Spec& s) { return ring_shift(s.p, s.rounds); },
+      [](const Spec& s) { return ring_shift(s.p, s.rounds, s.result); },
       nullptr});
   reg.push_back(Entry{
       "hotspot",
       "all-to-one fan-in, k messages per sender (k-hotspot); staged=true is "
       "the slot-staged stall-free variant (knobs: p, k, staged)",
-      [](const Spec& s) { return hotspot(s.p, s.k, s.staged); },
+      [](const Spec& s) { return hotspot(s.p, s.k, s.staged, s.result); },
       nullptr});
   reg.push_back(Entry{
       "random-traffic",
       "seeded random point-to-point traffic with compute jitter up to "
       "max_jump (knobs: p, rounds = msgs/proc, max_jump, seed)",
       [](const Spec& s) {
-        return random_traffic(s.p, s.rounds, s.max_jump, s.seed);
+        return random_traffic(s.p, s.rounds, s.max_jump, s.seed, s.result);
       },
       nullptr});
   reg.push_back(Entry{

@@ -54,19 +54,25 @@ namespace bsplogp::workload {
     std::function<Word(ProcId)> value = {}, std::vector<Word>* out = nullptr);
 
 /// One CB on a tree of the given arity instead of the paper's choice —
-/// the ablation knob for bench_ablation_cb (a).
-[[nodiscard]] std::vector<logp::ProgramFn> cb_arity(ProcId p, ProcId arity);
+/// the ablation knob for bench_ablation_cb (a). If `out` is given (resized
+/// to p) each processor stores its CB result (max of all ids = p - 1).
+[[nodiscard]] std::vector<logp::ProgramFn> cb_arity(
+    ProcId p, ProcId arity, std::vector<Word>* out = nullptr);
 
 /// One combine+broadcast realized as the Karp-et-al greedy schedule pair
 /// (reduce_opt then broadcast_opt); the schedule is computed internally
-/// from (p, prm) and owned by the programs.
+/// from (p, prm) and owned by the programs. If `out` is given (resized to
+/// p) each processor stores the broadcast total.
 [[nodiscard]] std::vector<logp::ProgramFn> cb_greedy_pair(
-    ProcId p, const logp::Params& prm);
+    ProcId p, const logp::Params& prm, std::vector<Word>* out = nullptr);
 
 /// Ring shift: `rounds` rounds in which every processor sends its round
 /// counter to (id + 1) mod p and receives from (id - 1) mod p. A sparse,
-/// perfectly balanced 1-relation workload (contrast with hotspot).
-[[nodiscard]] std::vector<logp::ProgramFn> ring_shift(ProcId p, int rounds);
+/// perfectly balanced 1-relation workload (contrast with hotspot). If
+/// `sums` is given (resized to p) each processor stores the sum of
+/// received payloads — rounds*(rounds-1)/2 when everything arrives.
+[[nodiscard]] std::vector<logp::ProgramFn> ring_shift(
+    ProcId p, int rounds, std::vector<Word>* sums = nullptr);
 
 /// Hot spot (Section 2.2): processors 1..p-1 each fire k messages at
 /// processor 0, which receives all (p-1)*k. k = 1 is the classic all-to-one
@@ -87,7 +93,8 @@ namespace bsplogp::workload {
 /// is deterministic and deadlock-free). Large max_jump pushes events past
 /// the calendar queue's wheel horizon — the scheduler-equivalence stress.
 [[nodiscard]] std::vector<logp::ProgramFn> random_traffic(
-    ProcId p, int msgs_per_proc, Time max_jump, std::uint64_t seed);
+    ProcId p, int msgs_per_proc, Time max_jump, std::uint64_t seed,
+    std::vector<Word>* sums = nullptr);
 
 // ---- BSP program families ---------------------------------------------------
 
@@ -121,6 +128,25 @@ struct FuzzLog {
 [[nodiscard]] std::vector<std::unique_ptr<bsp::ProcProgram>> fuzz_supersteps(
     ProcId p, std::int64_t supersteps, std::uint64_t seed, FuzzLog& log);
 
+/// Per-processor inbox log of an arbitrary BSP program:
+/// per_pid[pid][superstep] = sorted (src, payload, tag) triples the
+/// processor's program saw in that step. Storage is per-processor (each
+/// program instance appends only to its own vector), so a log can be
+/// filled from the native backend's concurrent threads as safely as from
+/// the serial Machine.
+struct InboxLog {
+  std::vector<
+      std::vector<std::vector<std::tuple<ProcId, Word, std::int32_t>>>>
+      per_pid;
+};
+
+/// Wraps each program so every step's inbox is recorded into `log` (resized
+/// to programs.size()) before delegating. Any two executors that present
+/// the same pools in any order produce identical logs — the generic
+/// differential-testing oracle for BSP families without result captures.
+[[nodiscard]] std::vector<std::unique_ptr<bsp::ProcProgram>> logged(
+    std::vector<std::unique_ptr<bsp::ProcProgram>> programs, InboxLog& log);
+
 // ---- Sorting inputs ---------------------------------------------------------
 
 /// p blocks of n uniform words in [lo, hi] — the input family for the
@@ -148,6 +174,12 @@ struct Spec {
   bool staged = false;
   /// Seed for the stochastic families.
   std::uint64_t seed = 1;
+  /// Optional end-to-end result capture for the LogP families that
+  /// support one (all-to-all, cb-rounds, cb-arity, cb-greedy-pair,
+  /// ring-shift, hotspot, random-traffic): resized by the factory; must
+  /// outlive the programs. The differential suite instantiates the same
+  /// Spec twice with two captures and compares them across executors.
+  std::vector<Word>* result = nullptr;
 };
 
 struct Entry {
