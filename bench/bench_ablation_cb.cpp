@@ -121,7 +121,7 @@ int main(int argc, char** argv) {
     std::vector<Point> grid;
     for (const auto& prm : {logp::Params{16, 1, 2}, logp::Params{8, 1, 4}})
       for (const ProcId arity : arities) grid.push_back(Point{prm, arity});
-    const auto runs = runner.map_cached<Run>(
+    const auto runs = runner.map<Run>(
         grid.size(),
         [&](std::size_t i) {
           return cache::PointKey{
@@ -156,7 +156,7 @@ int main(int argc, char** argv) {
     const std::vector<ProcId> ps =
         rep.smoke() ? std::vector<ProcId>{16, 64}
                     : std::vector<ProcId>{16, 64, 256, 1024};
-    const auto runs = runner.map_cached<Pair>(
+    const auto runs = runner.map<Pair>(
         ps.size(),
         [&](std::size_t i) {
           return cache::PointKey{"sec=greedy;p=" + std::to_string(ps[i]) +
@@ -192,7 +192,7 @@ int main(int argc, char** argv) {
         policies{{logp::DeliverySchedule::Latest, "Latest (adversarial)"},
                  {logp::DeliverySchedule::Earliest, "Earliest"},
                  {logp::DeliverySchedule::UniformRandom, "UniformRandom"}};
-    const auto runs = runner.map_cached<Run>(
+    const auto runs = runner.map<Run>(
         policies.size(),
         [&](std::size_t i) {
           return cache::PointKey{"sec=policy;policy=" +
@@ -233,7 +233,7 @@ int main(int argc, char** argv) {
     for (const ProcId p : ps)
       for (const bool regular : {true, false})
         grid.push_back(Point{p, regular});
-    const auto runs = runner.map_cached<ModeRuns>(
+    const auto runs = runner.map<ModeRuns>(
         grid.size(),
         [&](std::size_t i) {
           return cache::PointKey{"sec=clocked;p=" +
@@ -292,7 +292,7 @@ int main(int argc, char** argv) {
     const ProcId p = 16;
     const logp::Params prm{16, 1, 2};  // capacity 8
     const std::vector<Time> cycles{prm.L / 4, prm.L / 2, prm.L, 2 * prm.L};
-    const auto runs = runner.map_cached<CycleRun>(
+    const auto runs = runner.map<CycleRun>(
         cycles.size(),
         [&](std::size_t i) {
           return cache::PointKey{"sec=cycle;cycle=" +

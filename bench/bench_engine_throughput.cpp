@@ -219,7 +219,7 @@ int main(int argc, char** argv) {
     const bench::SweepRunner grid_runner(jobs, pc, pool);
     auto finishes =
         pc != nullptr
-            ? grid_runner.map_cached<Time>(grid.size(), point_key,
+            ? grid_runner.map<Time>(grid.size(), point_key,
                                            compute_point)
             : grid_runner.map<Time>(grid.size(), compute_point);
     *seconds = std::chrono::duration<double>(clock::now() - t0).count();

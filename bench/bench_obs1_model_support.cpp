@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
   const ProcId p = rep.smoke() ? 16 : 64;
 
   const bench::SweepRunner runner(rep);
-  const auto results = runner.map_cached<PointResult>(
+  const auto results = runner.map<PointResult>(
       kinds.size(),
       [&](std::size_t i) {
         // Both fits draw from fixed seeds (31/37) inside the point; reps

@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
     for (const ProcId p : ps) grid.push_back(Point{&regime, p});
 
   const bench::SweepRunner runner(rep);
-  const auto results = runner.map_cached<PointResult>(
+  const auto results = runner.map<PointResult>(
       grid.size(),
       [&](std::size_t i) {
         const logp::Params& prm = grid[i].regime->prm;

@@ -82,7 +82,7 @@ int main(int argc, char** argv) {
     for (const Time k : ks) grid.push_back(Point{p, k});
 
   const bench::SweepRunner runner(rep);
-  const auto results = runner.map_cached<PointResult>(
+  const auto results = runner.map<PointResult>(
       grid.size(),
       [&](std::size_t i) {
         return cache::PointKey{"p=" + std::to_string(grid[i].p) + ";k=" +

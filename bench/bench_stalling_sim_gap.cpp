@@ -83,7 +83,7 @@ int main(int argc, char** argv) {
   const Time k = 2;
 
   const bench::SweepRunner runner(rep);
-  const auto results = runner.map_cached<PointResult>(
+  const auto results = runner.map<PointResult>(
       ps.size(),
       [&](std::size_t i) {
         return cache::PointKey{"p=" + std::to_string(ps[i]) + ";k=" +

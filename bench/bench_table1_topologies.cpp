@@ -90,7 +90,7 @@ int main(int argc, char** argv) {
     for (const ProcId p : ps) grid.push_back(Point{kind, p});
 
   const bench::SweepRunner runner(rep);
-  const auto results = runner.map_cached<PointResult>(
+  const auto results = runner.map<PointResult>(
       grid.size(),
       [&](std::size_t i) {
         // reps shapes the fit's sampled relations (seed 777 is fixed in

@@ -78,12 +78,18 @@ int main(int argc, char** argv) {
   std::cout << "E1 / Theorem 1: stall-free LogP on BSP, slowdown "
                "O(1 + g/G + l/L)\n"
                "LogP machine: L=16, o=1, G=4 (capacity 4)\n\n";
-  const std::vector<ProcId> ps =
-      rep.smoke() ? std::vector<ProcId>{8} : std::vector<ProcId>{16, 64};
-  const std::vector<Time> grs = rep.smoke() ? std::vector<Time>{1, 4}
-                                            : std::vector<Time>{1, 2, 4, 8};
-  const std::vector<Time> lrs =
-      rep.smoke() ? std::vector<Time>{1} : std::vector<Time>{1, 4, 16};
+  // The --deep grids extend the full ones (never replace points): the
+  // nightly farm run with a warm cache replays every regular point and
+  // only farms out the extension.
+  const std::vector<ProcId> ps = rep.smoke()   ? std::vector<ProcId>{8}
+                                 : rep.deep()  ? std::vector<ProcId>{16, 64, 128}
+                                               : std::vector<ProcId>{16, 64};
+  const std::vector<Time> grs = rep.smoke()  ? std::vector<Time>{1, 4}
+                                : rep.deep() ? std::vector<Time>{1, 2, 4, 8, 16}
+                                             : std::vector<Time>{1, 2, 4, 8};
+  const std::vector<Time> lrs = rep.smoke()  ? std::vector<Time>{1}
+                                : rep.deep() ? std::vector<Time>{1, 4, 16, 64}
+                                             : std::vector<Time>{1, 4, 16};
 
   std::vector<Point> grid;
   for (const ProcId p : ps)
@@ -96,7 +102,7 @@ int main(int argc, char** argv) {
           grid.push_back(Point{name, make, p, gr, lr});
 
   const bench::SweepRunner runner(rep);
-  const auto results = runner.map_cached<PointResult>(
+  const auto results = runner.map<PointResult>(
       grid.size(),
       [&](std::size_t i) {
         // Deterministic workloads: the point's parameters are its whole

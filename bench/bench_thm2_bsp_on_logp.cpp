@@ -100,7 +100,7 @@ int main(int argc, char** argv) {
     for (const Time h : hs) grid.push_back(Point{p, h});
 
   const bench::SweepRunner runner(rep);
-  const auto results = runner.map_cached<PointResult>(
+  const auto results = runner.map<PointResult>(
       grid.size(),
       [&](std::size_t i) {
         // The relation comes from rng_for_index(base_seed, i), so the grid

@@ -17,9 +17,20 @@
 //                              # `off` (default) computes everything live
 //   bench_foo --cache-dir D    # cache directory (default .bsplogp-cache/)
 //   bench_foo --list           # list workload families + series, run nothing
-// Unknown flags are an error (usage on stderr, exit 2): a typo must not
-// silently run the wrong experiment. `--trace` forces the cache off: a
-// replayed point constructs no machine, so it would emit no events.
+//   bench_foo --deep           # nightly grids: a strict superset of the
+//                              # full grid (benches that support it)
+//   bench_foo --farm SPEC      # become a sweep-server (DESIGN.md §13):
+//                              # SPEC = N[,timeout=S][,respawns=R][,grace=S]
+//                              # spawns N localhost workers, or
+//                              # listen:PORT[,workers=N][,timeout=S][,grace=S]
+//                              # for multi-host; stdout/JSON stay
+//                              # byte-identical to a single-host run
+//   bench_foo --connect H:P    # become a sweep-worker for the server at
+//                              # host H port P (same build, same flags)
+// Unknown flags are an error (usage on stderr, exit 2), and every bad
+// flag VALUE enumerates the accepted forms in its complaint: a typo must
+// not silently run the wrong experiment. `--trace` forces the cache off:
+// a replayed point constructs no machine, so it would emit no events.
 //
 // JSON shape:
 //   { "bench": "<name>", "smoke": false, "jobs": 1,
@@ -46,8 +57,15 @@
 #include <vector>
 
 #include "src/cache/point_cache.h"
+#include "src/cache/point_codec.h"
 #include "src/core/parallel.h"
+#include "src/farm/dispatcher.h"
+#include "src/farm/spec.h"
 #include "src/trace/chrome_sink.h"
+
+namespace bsplogp::farm {
+class FarmServerDispatcher;
+}  // namespace bsplogp::farm
 
 namespace bsplogp::bench {
 
@@ -115,6 +133,11 @@ class Reporter {
   /// nothing, and finish() prints the enumeration instead of results.
   [[nodiscard]] bool list() const { return list_; }
 
+  /// --deep mode: nightly grids. A bench that supports it must extend its
+  /// full grid to a strict superset — never replace points — so a warm
+  /// cache from the regular run replays inside the deep run.
+  [[nodiscard]] bool deep() const { return deep_; }
+
   /// Declares which registered workload families this bench sweeps.
   /// Each name is validated against workload::registry() — a typo or a
   /// renamed family dies loudly here instead of silently drifting from
@@ -134,6 +157,14 @@ class Reporter {
   /// not once per map() — on tiny grids the transient pool's spawn cost
   /// was a measurable slice of the whole sweep.
   [[nodiscard]] core::ThreadPool* pool() const;
+
+  /// The sweep dispatch backend for this run (never null): a
+  /// farm::LocalDispatcher normally, the sweep-server coordinator under
+  /// --farm, the sweep-worker under --connect. Created lazily on first
+  /// use and shared by every SweepRunner built from this Reporter — which
+  /// is what keeps a multi-sweep bench's farm connection (and its sweep
+  /// sequence numbers) alive across map() calls.
+  [[nodiscard]] farm::Dispatcher* dispatcher() const;
 
   /// Null unless `--trace <path>` was given; otherwise a ChromeTraceSink
   /// the bench plugs into machine Options. Every traced run becomes one
@@ -174,92 +205,128 @@ class Reporter {
   std::unique_ptr<trace::ChromeTraceSink> trace_;
   bool smoke_ = false;
   bool list_ = false;
+  bool deep_ = false;
   int jobs_ = 1;
   cache::Mode cache_mode_ = cache::Mode::kOff;
   std::string cache_dir_ = ".bsplogp-cache";
+  farm::Spec farm_;  // role kNone unless --farm / --connect was given
+  std::vector<std::string> worker_argv_;  // spawn template (see ctor)
   mutable std::unique_ptr<cache::PointCache> cache_;  // lazy, see cache()
   mutable std::unique_ptr<core::ThreadPool> pool_;    // lazy, see pool()
+  mutable std::unique_ptr<farm::Dispatcher> dispatcher_;  // lazy
+  mutable farm::FarmServerDispatcher* server_ = nullptr;  // stats view
   std::vector<std::string> workloads_;
   std::deque<Series> series_;  // deque: stable references across growth
   std::vector<std::pair<std::string, std::string>> metrics_;  // key -> json
 };
 
 /// Deterministic parallel sweep driver. map() evaluates one function per
-/// grid point on up to jobs() threads and returns the results indexed by
-/// grid point; the caller then walks the vector in grid order on its own
-/// thread to emit rows/metrics. Because every point's result is a pure
-/// function of its index (model-time simulation + rng_for_index streams)
-/// and emission is serial and ordered, the bench output is byte-identical
-/// for every --jobs value (DESIGN.md §9 determinism rules).
+/// grid point and returns the results indexed by grid point; the caller
+/// then walks the vector in grid order on its own thread to emit
+/// rows/metrics. Because every point's result is a pure function of its
+/// index (model-time simulation + rng_for_index streams) and emission is
+/// serial and ordered, the bench output is byte-identical for every
+/// --jobs value (DESIGN.md §9), every cache state (§10), and every farm
+/// backend (§13).
 ///
-/// map_cached() adds the content-addressed cache (DESIGN.md §10) on top:
-/// a point whose key is already in the cache directory replays its
-/// result from disk and skips machine construction entirely; everything
-/// else computes live and commits. Results still land by index and are
-/// emitted in grid order, and the codec round-trips byte-exactly, so
-/// cached and computed sweeps print identical output.
+/// PR 8 collapsed the old map/map_cached pair into one map() with an
+/// optional key-fn: map(n, fn) always computes live; map(n, key_fn, fn)
+/// replays points whose key is already in the cache and commits the
+/// rest. Either form compiles its grid down to a type-erased
+/// farm::GridView and hands it to the Reporter's Dispatcher — the local
+/// thread pool, the sweep-server, or a sweep-worker — which is how every
+/// bench gained `--farm` with no per-bench code. The cost of the
+/// generality is a codec requirement: R must be arithmetic or provide
+/// the io() member cache::PointCodec requires, because any sweep might
+/// now travel the wire.
 class SweepRunner {
  public:
   explicit SweepRunner(const Reporter& rep)
-      : jobs_(rep.jobs()), cache_(rep.cache()), pool_(rep.pool()) {}
+      : jobs_(rep.jobs()), cache_(rep.cache()), local_(rep.jobs(), rep.pool()),
+        dispatcher_(rep.dispatcher()) {}
+  /// Backend-free form (tests, bench_engine's timed micro-sweeps): a
+  /// plain local dispatch over `jobs`, no farm. Allocation-free — the
+  /// LocalDispatcher is a value member, so constructing a SweepRunner in
+  /// a timing loop costs what it did before the farm existed.
   explicit SweepRunner(int jobs, cache::PointCache* cache = nullptr,
                        core::ThreadPool* pool = nullptr)
-      : jobs_(jobs), cache_(cache), pool_(pool) {}
+      : jobs_(jobs), cache_(cache), local_(jobs, pool),
+        dispatcher_(&local_) {}
+
+  SweepRunner(const SweepRunner& other)
+      : jobs_(other.jobs_), cache_(other.cache_), local_(other.local_),
+        dispatcher_(other.dispatcher_ == &other.local_ ? &local_
+                                                       : other.dispatcher_) {}
+  SweepRunner& operator=(const SweepRunner&) = delete;
 
   [[nodiscard]] int jobs() const { return jobs_; }
 
+  /// Keyless sweep: every point computes live (no cache even when one is
+  /// enabled — there is no key to look up).
   template <typename R, typename F>
   [[nodiscard]] std::vector<R> map(std::size_t n, const F& fn) const {
-    std::vector<R> out(n);
-    // Range dispatch: one std::function call (and one pool claim) per
-    // chunk; the per-point calls inside are direct and inlinable. Results
-    // still commit by index, so output is byte-identical for every jobs
-    // value and every chunk size (jobs_determinism.cmake forces
-    // pathological chunks to prove it).
-    dispatch(n, [&](std::size_t b, std::size_t e) {
-      for (std::size_t i = b; i < e; ++i) out[i] = fn(i);
-    });
-    return out;
+    const auto no_key = [](std::size_t) { return cache::PointKey{}; };
+    return run_grid<R>(n, false, no_key, fn);
   }
 
-  /// key_fn(i) must be a pure function of the grid definition (never of
-  /// prior results); fn(i) runs only on cache misses. R is either
-  /// arithmetic or provides the io() member the cache codec requires
-  /// (src/cache/point_cache.h).
+  /// Cached sweep. key_fn(i) must be a pure function of the grid
+  /// definition (never of prior results); fn(i) runs only on cache
+  /// misses.
   template <typename R, typename K, typename F>
-  [[nodiscard]] std::vector<R> map_cached(std::size_t n, const K& key_fn,
-                                          const F& fn) const {
-    if (cache_ == nullptr || !cache_->enabled()) return map<R>(n, fn);
-    std::vector<R> out(n);
-    dispatch(n, [&](std::size_t b, std::size_t e) {
-      for (std::size_t i = b; i < e; ++i) {
-        const cache::PointKey key = key_fn(i);
-        if (cache_->try_get(key, &out[i])) continue;
-        out[i] = fn(i);
-        cache_->put(key, out[i]);
-      }
-    });
-    return out;
+  [[nodiscard]] std::vector<R> map(std::size_t n, const K& key_fn,
+                                   const F& fn) const {
+    const bool cached = cache_ != nullptr && cache_->enabled();
+    return run_grid<R>(n, cached, key_fn, fn);
   }
 
  private:
-  void dispatch(
-      std::size_t n,
-      const std::function<void(std::size_t, std::size_t)>& fn) const {
-    // A Reporter-owned persistent pool (already spawned, reused across
-    // every grid in the bench) beats the transient fallback, which pays
-    // jobs-1 thread spawns per map() — a real cost on sub-millisecond
-    // grids. Both paths produce identical output.
-    if (pool_ != nullptr && jobs_ > 1) {
-      pool_->for_ranges(n, fn);
-    } else {
-      core::parallel_for_ranges(n, jobs_, fn);
-    }
+  /// Compiles the typed sweep into a farm::GridView over `out` and runs
+  /// the backend. The closures reference locals; the view dies with this
+  /// frame, which satisfies GridView's only-during-run() lifetime rule.
+  template <typename R, typename K, typename F>
+  [[nodiscard]] std::vector<R> run_grid(std::size_t n, bool cached,
+                                        const K& key_fn, const F& fn) const {
+    std::vector<R> out(n);
+    farm::GridView grid;
+    grid.n = n;
+    // Range compute: one std::function call per chunk; the per-point
+    // calls inside are direct and inlinable. Results commit by index, so
+    // output is byte-identical for every jobs value and chunk size
+    // (jobs_determinism.cmake forces pathological chunks to prove it).
+    grid.compute_range = [&, cached](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        if (cached) {
+          const cache::PointKey key = key_fn(i);
+          if (cache_->try_get(key, &out[i])) continue;
+          out[i] = fn(i);
+          cache_->put(key, out[i]);
+        } else {
+          out[i] = fn(i);
+        }
+      }
+    };
+    grid.replay = [&, cached](std::size_t i) {
+      return cached && cache_->try_get(key_fn(i), &out[i]);
+    };
+    grid.reencode = [&](std::size_t i) {
+      return cache::PointCodec::encode(out[i]);
+    };
+    grid.install = [&](std::size_t i, const std::string& payload) {
+      return cache::PointCodec::decode(payload, &out[i]);
+    };
+    grid.accept = [&, cached](std::size_t i, const std::string& payload) {
+      if (!cache::PointCodec::decode(payload, &out[i])) return false;
+      if (cached) cache_->put(key_fn(i), out[i]);
+      return true;
+    };
+    dispatcher_->run(grid);
+    return out;
   }
 
   int jobs_;
   cache::PointCache* cache_ = nullptr;
-  core::ThreadPool* pool_ = nullptr;
+  farm::LocalDispatcher local_;
+  farm::Dispatcher* dispatcher_;
 };
 
 /// JSON string escaping (quotes, backslashes, control characters).

@@ -1,0 +1,99 @@
+# Asserts the sweep-farm byte-identity contract (DESIGN.md §13) end to
+# end for one bench binary, all on localhost spawn mode:
+#   1. base — plain single-host run (--jobs 2), the reference bytes,
+#   2. farm — a sweep-server with 2 spawned workers; stdout and JSON
+#      must equal the base run byte for byte,
+#   3. kill — same farm, but the first worker is crashed mid-sweep via
+#      the BSPLOGP_FARM_WORKER_DIE_AFTER hook; the server must re-queue
+#      the dead worker's tail (the stderr stats must admit the death)
+#      and the merged output must STILL be byte-identical,
+#   4. cold/warm — a farm run with the sweep cache cold then warm; the
+#      warm run replays every point (hits == cold misses) and matches
+#      the base bytes modulo the self-describing "cache" block.
+#
+# Run as a ctest script:
+#   cmake -DBENCH=<path-to-binary> -DWORKDIR=<scratch-dir> \
+#         -P cmake/farm_e2e.cmake
+#
+# Only pure model-time benches qualify (the same restriction as
+# jobs_determinism.cmake); bench/CMakeLists.txt registers the eligible
+# binaries.
+
+if(NOT DEFINED BENCH OR NOT DEFINED WORKDIR)
+  message(FATAL_ERROR "usage: cmake -DBENCH=<bin> -DWORKDIR=<dir> -P farm_e2e.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+set(cache_dir "${WORKDIR}/cache")
+
+# One leg: run ${BENCH} --smoke --jobs 2 <extra bench flags>, optionally
+# under one NAME=VALUE env assignment, capturing stdout/stderr/JSON into
+# <leg>-suffixed parent-scope variables.
+function(run_leg leg env)
+  set(prefix)
+  if(NOT env STREQUAL "")
+    set(prefix ${CMAKE_COMMAND} -E env "${env}")
+  endif()
+  execute_process(
+    COMMAND ${prefix} "${BENCH}" --smoke --jobs 2 ${ARGN}
+      --json "${WORKDIR}/doc_${leg}.json"
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE status)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "${BENCH} (${leg}) exited ${status}:\n${err}")
+  endif()
+  file(READ "${WORKDIR}/doc_${leg}.json" doc)
+  set(stdout_${leg} "${out}" PARENT_SCOPE)
+  set(stderr_${leg} "${err}" PARENT_SCOPE)
+  set(doc_${leg} "${doc}" PARENT_SCOPE)
+endfunction()
+
+function(expect_identical leg)
+  if(NOT stdout_base STREQUAL stdout_${leg})
+    message(FATAL_ERROR "stdout differs between base and ${leg} runs for ${BENCH}")
+  endif()
+  if(NOT doc_base STREQUAL doc_${leg})
+    message(FATAL_ERROR "JSON document differs between base and ${leg} runs for ${BENCH}")
+  endif()
+endfunction()
+
+run_leg(base "")
+run_leg(farm "" --farm 2,timeout=30)
+expect_identical(farm)
+
+# Crash every spawned worker after its first RESULT (the unprefixed hook
+# form — the smoke grid is small enough that pinning one worker index
+# races against the other worker finishing the sweep alone). Each death
+# re-queues the tail; respawns and finally the local-fallback path mop
+# up, with no trace on stdout.
+run_leg(kill "BSPLOGP_FARM_WORKER_DIE_AFTER=1" --farm 2,timeout=30,grace=2)
+expect_identical(kill)
+if(NOT stderr_kill MATCHES "([0-9]+) deaths" OR CMAKE_MATCH_1 EQUAL 0)
+  message(FATAL_ERROR "kill leg never killed a worker (stderr stats):\n${stderr_kill}")
+endif()
+
+# Farm + sweep cache: cold commits every point, warm replays every one,
+# and both still match the base bytes (modulo the cache counter block).
+run_leg(cold "" --farm 2,timeout=30 --cache on --cache-dir "${cache_dir}")
+run_leg(warm "" --farm 2,timeout=30 --cache on --cache-dir "${cache_dir}")
+if(NOT stdout_base STREQUAL stdout_cold OR NOT stdout_base STREQUAL stdout_warm)
+  message(FATAL_ERROR "stdout differs between base and cached farm runs for ${BENCH}")
+endif()
+if(NOT stderr_cold MATCHES "cache\\[on\\]: 0 hits, ([0-9]+) misses")
+  message(FATAL_ERROR "cold farm run did not miss cleanly:\n${stderr_cold}")
+endif()
+set(cold_misses "${CMAKE_MATCH_1}")
+if(NOT stderr_warm MATCHES "cache\\[on\\]: ${cold_misses} hits, 0 misses")
+  message(FATAL_ERROR "warm farm run did not replay all ${cold_misses} points:\n${stderr_warm}")
+endif()
+foreach(leg base cold warm)
+  string(REGEX REPLACE "\"cache\": {[^}]*}" "\"cache\": X"
+    doc_${leg} "${doc_${leg}}")
+endforeach()
+if(NOT doc_base STREQUAL doc_cold OR NOT doc_base STREQUAL doc_warm)
+  message(FATAL_ERROR "JSON document differs (beyond the cache block) between base and cached farm runs for ${BENCH}")
+endif()
+
+message(STATUS "farm e2e OK: ${BENCH}")

@@ -19,29 +19,6 @@ bool parse_mode(const std::string& s, Mode* out) {
   return true;
 }
 
-std::string Encoder::escaped(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
 PointCache::PointCache(Mode mode, std::string dir, std::string bench,
                        std::string workload_spec, std::string build)
     : mode_(mode),

@@ -1,18 +1,9 @@
 // Policy half of the content-addressed sweep cache (DESIGN.md §10): mode
-// handling (--cache on|off|readonly), hit/miss/stale accounting, and the
-// result codec that turns a bench's PointResult into the entry payload
-// and back, byte-exactly.
-//
-// A result type opts in by exposing
-//
-//   template <class Ar> void io(Ar& ar) { ar(a); ar(b); ... }
-//
-// listing every member in a fixed order; nested structs with io() compose.
-// Arithmetic result types (Time, double, ...) need nothing. The codec
-// round-trips exactly: int64 as decimal, double as %.17g (re-parsed by
-// strtod to the identical bits), bool as true/false, strings escaped —
-// which is what makes a replayed sweep's stdout/JSON byte-identical to
-// the computed one (the byte-identity ctest enforces this end to end).
+// handling (--cache on|off|readonly) and hit/miss/stale accounting. The
+// byte-exact result codec that turns a bench's PointResult into the
+// entry payload and back lives in point_codec.h (cache::PointCodec) —
+// public because the sweep farm (src/farm, DESIGN.md §13) reuses it
+// verbatim as its wire format.
 //
 // Decode failures (a hand-edited or schema-drifted payload) demote the
 // hit to a miss and fall back to live compute; they can only happen to
@@ -21,15 +12,11 @@
 #pragma once
 
 #include <atomic>
-#include <cinttypes>
 #include <cstdint>
-#include <cstdio>
-#include <cstdlib>
 #include <string>
-#include <type_traits>
-#include <vector>
 
 #include "src/cache/build_id.h"
+#include "src/cache/point_codec.h"
 #include "src/cache/store.h"
 
 namespace bsplogp::cache {
@@ -54,112 +41,6 @@ struct Stats {
   std::int64_t misses = 0;
   std::int64_t stale_evictions = 0;
 };
-
-// ---- Result codec -----------------------------------------------------------
-
-/// Accumulates fields into the JSON payload array.
-class Encoder {
- public:
-  template <typename T>
-  void operator()(const T& v) {
-    if constexpr (std::is_same_v<T, bool>) {
-      append(v ? "true" : "false");
-    } else if constexpr (std::is_integral_v<T>) {
-      char buf[32];
-      std::snprintf(buf, sizeof buf, "%" PRId64,
-                    static_cast<std::int64_t>(v));
-      append(buf);
-    } else if constexpr (std::is_floating_point_v<T>) {
-      char buf[64];
-      std::snprintf(buf, sizeof buf, "%.17g", static_cast<double>(v));
-      append(buf);
-    } else if constexpr (std::is_same_v<T, std::string>) {
-      append("\"" + escaped(v) + "\"");
-    } else {
-      const_cast<T&>(v).io(*this);  // io() only reads under an Encoder
-    }
-  }
-
-  [[nodiscard]] std::string str() const { return "[" + body_ + "]"; }
-
- private:
-  static std::string escaped(const std::string& s);
-  void append(const std::string& tok) {
-    if (!body_.empty()) body_ += ", ";
-    body_ += tok;
-  }
-  std::string body_;
-};
-
-/// Replays a payload array into the same field sequence. Any arity or
-/// type mismatch poisons the decode (ok() goes false); partial writes
-/// are discarded by the caller.
-class Decoder {
- public:
-  explicit Decoder(const core::JsonValue& payload) : payload_(payload) {}
-
-  template <typename T>
-  void operator()(T& v) {
-    if constexpr (std::is_same_v<T, bool>) {
-      const core::JsonValue* j = next(core::JsonValue::Type::Bool);
-      if (j != nullptr) v = j->boolean;
-    } else if constexpr (std::is_integral_v<T>) {
-      const core::JsonValue* j = next(core::JsonValue::Type::Number);
-      if (j != nullptr) {
-        char* end = nullptr;
-        const long long parsed = std::strtoll(j->raw.c_str(), &end, 10);
-        if (end == nullptr || *end != '\0') {
-          ok_ = false;  // fractional or malformed where an integer belongs
-        } else {
-          v = static_cast<T>(parsed);
-          if (static_cast<long long>(v) != parsed) ok_ = false;  // narrowed
-        }
-      }
-    } else if constexpr (std::is_floating_point_v<T>) {
-      const core::JsonValue* j = next(core::JsonValue::Type::Number);
-      if (j != nullptr) v = static_cast<T>(std::strtod(j->raw.c_str(), nullptr));
-    } else if constexpr (std::is_same_v<T, std::string>) {
-      const core::JsonValue* j = next(core::JsonValue::Type::String);
-      if (j != nullptr) v = j->str;
-    } else {
-      v.io(*this);
-    }
-  }
-
-  /// True iff every field matched and the payload was fully consumed.
-  [[nodiscard]] bool ok() const { return ok_ && next_ == payload_.array.size(); }
-
- private:
-  const core::JsonValue* next(core::JsonValue::Type want) {
-    if (!ok_ || next_ >= payload_.array.size() ||
-        payload_.array[next_].type != want) {
-      ok_ = false;
-      return nullptr;
-    }
-    return &payload_.array[next_++];
-  }
-
-  const core::JsonValue& payload_;
-  std::size_t next_ = 0;
-  bool ok_ = true;
-};
-
-template <typename R>
-[[nodiscard]] std::string encode_result(const R& r) {
-  Encoder enc;
-  enc(r);
-  return enc.str();
-}
-
-template <typename R>
-[[nodiscard]] bool decode_result(const core::JsonValue& payload, R* out) {
-  R tmp{};
-  Decoder dec(payload);
-  dec(tmp);
-  if (!dec.ok()) return false;
-  *out = tmp;
-  return true;
-}
 
 // ---- PointCache -------------------------------------------------------------
 

@@ -7,7 +7,8 @@
 // 2^53 in principle).
 //
 // Scope: well-formed documents produced by this codebase. \uXXXX escapes
-// are preserved opaquely ('?'), which the cache never emits.
+// decode to UTF-8 (the codec emits \u00XX for control bytes in strings,
+// and round-tripping them must be bit-exact).
 #pragma once
 
 #include <cctype>
@@ -96,11 +97,30 @@ class JsonParser {
           case 'r': out += '\r'; break;
           case 'b': out += '\b'; break;
           case 'f': out += '\f'; break;
-          case 'u':
+          case 'u': {
             if (pos_ + 4 >= s_.size()) return false;
-            pos_ += 4;  // keep the escape opaque
-            out += '?';
+            unsigned v = 0;
+            for (int i = 1; i <= 4; ++i) {
+              const char h = s_[pos_ + i];
+              v <<= 4;
+              if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') v |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') v |= static_cast<unsigned>(h - 'A' + 10);
+              else return false;
+            }
+            pos_ += 4;
+            if (v < 0x80) {
+              out += static_cast<char>(v);
+            } else if (v < 0x800) {
+              out += static_cast<char>(0xC0 | (v >> 6));
+              out += static_cast<char>(0x80 | (v & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (v >> 12));
+              out += static_cast<char>(0x80 | ((v >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (v & 0x3F));
+            }
             break;
+          }
           default: return false;
         }
         pos_ += 1;

@@ -1,0 +1,83 @@
+// The unified sweep-dispatch interface (DESIGN.md §13). PR 8 collapsed
+// bench::SweepRunner's map/map_cached split into one map() that compiles
+// its grid down to this type-erased GridView; every backend — the local
+// thread pool, the farm coordinator, the farm worker — consumes the same
+// view, which is how all 11 harness benches gained `--farm` without a
+// line of per-bench code.
+//
+// The contract every backend must honour (and the byte-identity ctests
+// enforce): after run(grid) returns, every result slot i in [0, n) holds
+// the value fn(i) would have produced locally, bit for bit. Backends may
+// compute slots in any order, on any thread or host, or replay them from
+// the cache or the wire — emission order is the caller's, so bench
+// stdout/JSON is byte-identical across every backend.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "src/core/parallel.h"
+
+namespace bsplogp::farm {
+
+/// Type-erased view of one sweep grid, built by SweepRunner::map over its
+/// typed result vector. All callbacks write result slots owned by the
+/// caller and are only valid during run().
+struct GridView {
+  std::size_t n = 0;
+
+  /// Computes every point in [begin, end) directly into its slot,
+  /// consulting the point cache per point when enabled. The fast path:
+  /// no per-point type erasure, so the local backend adds zero overhead
+  /// over the pre-farm SweepRunner.
+  std::function<void(std::size_t, std::size_t)> compute_range;
+
+  /// Attempts a cache replay of point i into its slot; false on a miss
+  /// (or when no cache is enabled). The coordinator replays hits itself
+  /// and dispatches only misses to workers.
+  std::function<bool(std::size_t)> replay;
+
+  /// Encodes slot i's current value as a cache::PointCodec payload (the
+  /// wire format). Only meaningful after the slot was filled.
+  std::function<std::string(std::size_t)> reencode;
+
+  /// Decodes a codec payload into slot i; false if malformed. Never
+  /// touches the cache — the worker-side fill from the end-of-sweep
+  /// broadcast.
+  std::function<bool(std::size_t, const std::string&)> install;
+
+  /// install() plus a cache publish when the cache is writable — the
+  /// coordinator-side merge of a worker's RESULT.
+  std::function<bool(std::size_t, const std::string&)> accept;
+};
+
+class Dispatcher {
+ public:
+  virtual ~Dispatcher() = default;
+  /// Fills every result slot of `grid` (see the contract above).
+  virtual void run(const GridView& grid) = 0;
+};
+
+/// Single-host backend: the pre-farm SweepRunner dispatch, verbatim —
+/// chunked ranges on a persistent pool when one is supplied, a transient
+/// pool (or the calling thread, jobs <= 1) otherwise.
+class LocalDispatcher : public Dispatcher {
+ public:
+  explicit LocalDispatcher(int jobs, core::ThreadPool* pool = nullptr)
+      : jobs_(jobs), pool_(pool) {}
+
+  void run(const GridView& grid) override {
+    if (pool_ != nullptr && jobs_ > 1) {
+      pool_->for_ranges(grid.n, grid.compute_range);
+    } else {
+      core::parallel_for_ranges(grid.n, jobs_, grid.compute_range);
+    }
+  }
+
+ private:
+  int jobs_;
+  core::ThreadPool* pool_;
+};
+
+}  // namespace bsplogp::farm

@@ -1,0 +1,423 @@
+#include "src/farm/server.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "src/core/parallel.h"
+
+namespace bsplogp::farm {
+
+namespace {
+
+int to_ms(std::chrono::steady_clock::duration d) {
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(d).count();
+  return ms < 0 ? 0 : static_cast<int>(std::min<long long>(ms, 60'000));
+}
+
+}  // namespace
+
+FarmServerDispatcher::FarmServerDispatcher(ServerOptions opt)
+    : opt_(std::move(opt)), respawn_budget_(opt_.spec.respawns) {}
+
+FarmServerDispatcher::~FarmServerDispatcher() {
+  for (auto& w : workers_) {
+    if (w->sock.valid()) {
+      (void)write_frame(w->sock.fd(), make_shutdown());
+      w->sock.close();
+    }
+  }
+  listener_.close();
+  // Spawned children normally exit on their own (their main() finishes in
+  // lockstep with ours); SHUTDOWN/EOF covers early-exit paths. Reap with
+  // a bounded wait, then escalate.
+  for (const pid_t pid : zombies_) {
+    bool reaped = false;
+    for (int i = 0; i < 200 && !reaped; ++i) {
+      if (::waitpid(pid, nullptr, WNOHANG) != 0)
+        reaped = true;  // exited, or already gone (ECHILD)
+      else
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    if (!reaped) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+    }
+  }
+}
+
+void FarmServerDispatcher::say(const std::string& line) {
+  if (opt_.diag) opt_.diag(line);
+}
+
+void FarmServerDispatcher::ensure_listening() {
+  if (started_) return;
+  started_ = true;
+  listener_ =
+      tcp_listen(opt_.spec.listen_host, opt_.spec.listen_port, &port_);
+  if (!listener_.valid())
+    throw std::runtime_error("farm: cannot listen on " +
+                             (opt_.spec.listen_host.empty()
+                                  ? std::string("*")
+                                  : opt_.spec.listen_host) +
+                             ":" + std::to_string(opt_.spec.listen_port));
+  say("farm: serving on port " + std::to_string(port_));
+  for (int i = 0; i < opt_.spec.spawn_workers; ++i) spawn_worker(next_slot_++);
+}
+
+void FarmServerDispatcher::spawn_worker(int slot) {
+  // argv = worker template + our --connect endpoint. Built before fork so
+  // the child only execs.
+  std::vector<std::string> argv = opt_.worker_argv;
+  argv.push_back("--connect");
+  argv.push_back("127.0.0.1:" + std::to_string(port_));
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (std::string& a : argv) cargv.push_back(a.data());
+  cargv.push_back(nullptr);
+  const std::string slot_str = std::to_string(slot);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    say("farm: fork failed");
+    return;
+  }
+  if (pid == 0) {
+    // Child: its stdout would duplicate ours byte for byte — silence it.
+    // stderr stays shared so worker diagnostics remain visible.
+    const int null_fd = ::open("/dev/null", O_WRONLY);
+    if (null_fd >= 0) {
+      ::dup2(null_fd, STDOUT_FILENO);
+      ::close(null_fd);
+    }
+    ::setenv("BSPLOGP_FARM_WORKER_INDEX", slot_str.c_str(), 1);
+    ::execv("/proc/self/exe", cargv.data());
+    ::execvp(cargv[0], cargv.data());
+    ::_exit(127);
+  }
+  zombies_.push_back(pid);
+  ++spawned_alive_;
+  grace_deadline_ = std::max(grace_deadline_,
+                             Clock::now() + std::chrono::duration_cast<
+                                                Clock::duration>(
+                                                std::chrono::duration<double>(
+                                                    opt_.spec.grace_s)));
+}
+
+void FarmServerDispatcher::requeue(Worker& w) {
+  // Push the not-yet-RESULTed indices back as contiguous runs, at the
+  // front so a healthy worker picks them up next.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> runs;
+  for (const std::uint64_t i : w.remaining) {
+    if (!runs.empty() && runs.back().second == i)
+      ++runs.back().second;
+    else
+      runs.emplace_back(i, i + 1);
+  }
+  for (auto it = runs.rbegin(); it != runs.rend(); ++it)
+    pending_.push_front(*it);
+  w.remaining.clear();
+}
+
+void FarmServerDispatcher::drop_worker(std::size_t wi, const char* why) {
+  Worker& w = *workers_[wi];
+  say(std::string("farm: worker dropped (") + why + "), " +
+      std::to_string(w.remaining.size()) + " points re-queued");
+  requeue(w);
+  w.sock.close();
+  if (opt_.spec.spawn_workers > 0 && spawned_alive_ > 0) --spawned_alive_;
+  ++stats_.deaths;
+  workers_.erase(workers_.begin() + static_cast<std::ptrdiff_t>(wi));
+}
+
+bool FarmServerDispatcher::assign(Worker& w) {
+  if (pending_.empty()) return false;
+  int live = 0;
+  for (const auto& o : workers_)
+    if (o->handshook) ++live;
+  const std::size_t chunk = core::sweep_chunk(
+      static_cast<std::size_t>(miss_total_), std::max(1, live), 0);
+  auto& run = pending_.front();
+  const std::uint64_t take =
+      std::min<std::uint64_t>(run.second - run.first, chunk);
+  const std::uint64_t b = run.first;
+  const std::uint64_t e = b + take;
+  if (!write_frame(w.sock.fd(), make_range(b, e))) return false;
+  run.first = e;
+  if (run.first == run.second) pending_.pop_front();
+  w.begin = b;
+  w.end = e;
+  w.remaining.clear();
+  for (std::uint64_t i = b; i < e; ++i) w.remaining.push_back(i);
+  w.deadline = Clock::now() +
+               std::chrono::duration_cast<Clock::duration>(
+                   std::chrono::duration<double>(opt_.spec.timeout_s));
+  ++stats_.ranges;
+  return true;
+}
+
+void FarmServerDispatcher::sync_worker(Worker& w) {
+  // A joining worker's main() is at its first map(): fast-forward it
+  // through every completed sweep, then open the current one.
+  for (std::size_t k = 0; k < history_.size(); ++k) {
+    const SweepRecord& rec = history_[k];
+    if (!write_frame(w.sock.fd(), make_sweep(k + 1, rec.n))) return;
+    for (const Frame& f : rec.results)
+      if (!write_frame(w.sock.fd(), f)) return;
+    if (!write_frame(w.sock.fd(), make_sweep_done(k + 1))) return;
+  }
+  if (seq_ > history_.size() && remaining_ > 0) {
+    if (!write_frame(w.sock.fd(), make_sweep(seq_, done_.size()))) return;
+    w.in_sweep = true;
+  }
+}
+
+bool FarmServerDispatcher::handle_frame(std::size_t wi, const Frame& f,
+                                        const GridView& grid) {
+  Worker& w = *workers_[wi];
+  if (!w.handshook) {
+    if (f.type != Type::kHello) return false;
+    WireReader r(f.payload);
+    const std::uint32_t proto = r.u32();
+    const std::string build = r.str();
+    const std::string bench = r.str();
+    std::string why;
+    if (!r.ok() || !r.done())
+      why = "malformed hello";
+    else if (proto != kProtocolVersion)
+      why = "protocol " + std::to_string(proto) + " != " +
+            std::to_string(kProtocolVersion);
+    else if (build != opt_.build_id)
+      why = "build id mismatch";
+    else if (bench != opt_.bench)
+      why = "bench '" + bench + "' != '" + opt_.bench + "'";
+    if (!why.empty()) {
+      (void)write_frame(w.sock.fd(), make_reject(why));
+      ++stats_.rejected;
+      say("farm: worker rejected: " + why);
+      return false;
+    }
+    if (!write_frame(w.sock.fd(), make_welcome())) return false;
+    w.handshook = true;
+    ++stats_.joined;
+    sync_worker(w);
+    grace_deadline_ =
+        std::max(grace_deadline_,
+                 Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                    std::chrono::duration<double>(
+                                        opt_.spec.grace_s)));
+    return w.sock.valid();
+  }
+  if (f.type != Type::kResult) return false;
+  WireReader r(f.payload);
+  const std::uint64_t index = r.u64();
+  const std::string payload = r.rest();
+  if (!r.ok() || index >= done_.size()) return false;
+  if (done_[index] != 0) return true;  // stale duplicate; already merged
+  if (!grid.accept(static_cast<std::size_t>(index), payload)) {
+    say("farm: undecodable result for point " + std::to_string(index));
+    return false;
+  }
+  done_[index] = 1;
+  --remaining_;
+  ++stats_.farmed;
+  const auto it = std::find(w.remaining.begin(), w.remaining.end(), index);
+  if (it != w.remaining.end()) w.remaining.erase(it);
+  // Progress-based deadline: a slow-but-alive worker is never re-queued.
+  w.deadline = Clock::now() +
+               std::chrono::duration_cast<Clock::duration>(
+                   std::chrono::duration<double>(opt_.spec.timeout_s));
+  grace_deadline_ =
+      std::max(grace_deadline_,
+               Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                  std::chrono::duration<double>(
+                                      opt_.spec.grace_s)));
+  return true;
+}
+
+void FarmServerDispatcher::fallback_remaining(const GridView& grid) {
+  for (const auto& [b, e] : pending_) {
+    grid.compute_range(static_cast<std::size_t>(b),
+                       static_cast<std::size_t>(e));
+    for (std::uint64_t i = b; i < e; ++i) done_[i] = 1;
+    remaining_ -= e - b;
+    stats_.fallback += static_cast<std::int64_t>(e - b);
+  }
+  pending_.clear();
+  // Paranoia: anything still outstanding (a bookkeeping hole) is computed
+  // point by point so run() terminates no matter what.
+  for (std::size_t i = 0; i < done_.size() && remaining_ > 0; ++i) {
+    if (done_[i] != 0) continue;
+    grid.compute_range(i, i + 1);
+    done_[i] = 1;
+    --remaining_;
+    ++stats_.fallback;
+  }
+}
+
+void FarmServerDispatcher::run(const GridView& grid) {
+  ensure_listening();
+  ++seq_;
+  ++stats_.sweeps;
+  stats_.points += static_cast<std::int64_t>(grid.n);
+  done_.assign(grid.n, 0);
+  pending_.clear();
+  remaining_ = grid.n;
+
+  // Replay cache hits locally; only the misses ever touch the wire.
+  for (std::size_t i = 0; i < grid.n; ++i) {
+    if (grid.replay && grid.replay(i)) {
+      done_[i] = 1;
+      --remaining_;
+      ++stats_.replayed;
+    } else if (!pending_.empty() && pending_.back().second == i) {
+      ++pending_.back().second;
+    } else {
+      pending_.emplace_back(i, i + 1);
+    }
+  }
+  miss_total_ = remaining_;
+
+  // Open the sweep on every synced worker (joiners are synced on accept).
+  for (std::size_t wi = 0; wi < workers_.size();) {
+    Worker& w = *workers_[wi];
+    if (w.handshook && remaining_ > 0) {
+      if (!write_frame(w.sock.fd(), make_sweep(seq_, grid.n))) {
+        drop_worker(wi, "write failed");
+        continue;
+      }
+      w.in_sweep = true;
+    }
+    ++wi;
+  }
+
+  grace_deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                       std::chrono::duration<double>(
+                                           opt_.spec.grace_s));
+
+  while (remaining_ > 0) {
+    // Reap exited children opportunistically (their EOF is what actually
+    // drives recovery; this just keeps the zombie list short).
+    for (std::size_t i = 0; i < zombies_.size();) {
+      if (::waitpid(zombies_[i], nullptr, WNOHANG) != 0)
+        zombies_.erase(zombies_.begin() + static_cast<std::ptrdiff_t>(i));
+      else
+        ++i;
+    }
+
+    // Replace dead spawn-mode workers, with exponential backoff under the
+    // respawn budget.
+    if (opt_.spec.spawn_workers > 0 && spawned_alive_ < opt_.spec.spawn_workers &&
+        respawn_budget_ > 0 && Clock::now() >= next_spawn_) {
+      --respawn_budget_;
+      ++stats_.respawns;
+      say("farm: respawning worker (budget " +
+          std::to_string(respawn_budget_) + " left)");
+      spawn_worker(next_slot_++);
+      next_spawn_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                       std::chrono::duration<double>(
+                                           backoff_s_));
+      backoff_s_ *= 2.0;
+    }
+
+    // Hand ranges to idle in-sweep workers.
+    for (std::size_t wi = 0; wi < workers_.size();) {
+      Worker& w = *workers_[wi];
+      if (w.handshook && w.in_sweep && w.idle() && !pending_.empty()) {
+        if (!assign(w)) {
+          drop_worker(wi, "write failed");
+          continue;
+        }
+      }
+      ++wi;
+    }
+
+    // Out of workers and out of patience: compute the remainder here so
+    // the sweep always completes.
+    bool have_worker = false;
+    for (const auto& w : workers_)
+      if (w->handshook) have_worker = true;
+    if (!have_worker && Clock::now() >= grace_deadline_) {
+      say("farm: no workers; computing " + std::to_string(remaining_) +
+          " remaining points locally");
+      fallback_remaining(grid);
+      break;
+    }
+
+    std::vector<int> fds;
+    fds.push_back(listener_.fd());
+    for (const auto& w : workers_) fds.push_back(w->sock.fd());
+    const std::vector<int> ready = poll_readable(fds, 100);
+
+    for (const int fd : ready) {
+      if (fd == listener_.fd()) {
+        for (;;) {
+          Socket s = tcp_accept(listener_);
+          if (!s.valid()) break;
+          auto w = std::make_unique<Worker>();
+          w->sock = std::move(s);
+          workers_.push_back(std::move(w));
+        }
+        continue;
+      }
+      std::size_t wi = workers_.size();
+      for (std::size_t i = 0; i < workers_.size(); ++i)
+        if (workers_[i]->sock.fd() == fd) wi = i;
+      if (wi == workers_.size()) continue;  // dropped earlier this round
+      Frame f;
+      if (!read_frame(fd, &f) || !handle_frame(wi, f, grid))
+        drop_worker(wi, "connection lost");
+    }
+
+    // Silent workers: re-queue their range and cut them loose. Their
+    // socket closes, so a wedged spawn-mode child exits on its next send.
+    const auto now = Clock::now();
+    for (std::size_t wi = 0; wi < workers_.size();) {
+      Worker& w = *workers_[wi];
+      if (!w.idle() && now >= w.deadline) {
+        ++stats_.timeouts;
+        drop_worker(wi, "timeout");
+        continue;
+      }
+      ++wi;
+    }
+  }
+
+  // Sweep complete. Record it for future joiners, then broadcast every
+  // result so each worker's own main() returns from map() with a vector
+  // bit-identical to ours — that is what keeps workers in lockstep
+  // through multi-sweep benches.
+  SweepRecord rec;
+  rec.n = grid.n;
+  rec.results.reserve(grid.n);
+  for (std::size_t i = 0; i < grid.n; ++i)
+    rec.results.push_back(make_result(i, grid.reencode(i)));
+  for (std::size_t wi = 0; wi < workers_.size();) {
+    Worker& w = *workers_[wi];
+    if (!w.in_sweep) {
+      ++wi;
+      continue;
+    }
+    bool ok = true;
+    for (const Frame& f : rec.results)
+      if (!(ok = write_frame(w.sock.fd(), f))) break;
+    if (ok) ok = write_frame(w.sock.fd(), make_sweep_done(seq_));
+    if (!ok) {
+      drop_worker(wi, "broadcast failed");
+      continue;
+    }
+    w.in_sweep = false;
+    ++wi;
+  }
+  history_.push_back(std::move(rec));
+}
+
+}  // namespace bsplogp::farm

@@ -1,0 +1,137 @@
+// The sweep-server coordinator backend (DESIGN.md §13). Owns the grid:
+// replays cache hits itself, hands contiguous index ranges of the misses
+// to sweep-workers over the wire protocol, merges their RESULTs strictly
+// by grid index, and guarantees termination — a dead or silent worker's
+// outstanding range is re-queued, spawn-mode workers are respawned with
+// exponential backoff under a budget, and when no worker remains the
+// coordinator computes the remainder itself. After run() returns, the
+// result slots are byte-identical to a single-host run by construction:
+// every slot holds either a local computation or a PointCodec round-trip
+// of one (decode(encode(v)) is bit-exact).
+//
+// Workers execute the same bench binary and therefore the same sequence
+// of map() calls. To keep a worker's own main() in lockstep, the server
+// ends every sweep by broadcasting ALL n result payloads followed by
+// SWEEP_DONE — so the worker returns from its map() with the same fully
+// populated vector the server has. Completed sweeps are retained (frames
+// only) to fast-forward respawned or late-joining workers, which always
+// start at sweep 1.
+#pragma once
+
+#include <sys/types.h>
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/farm/dispatcher.h"
+#include "src/farm/socket.h"
+#include "src/farm/spec.h"
+#include "src/farm/wire.h"
+
+namespace bsplogp::farm {
+
+struct ServerOptions {
+  Spec spec;              // role kServer
+  std::string build_id;   // handshake fingerprint (cache::effective_build_id)
+  std::string bench;      // bench name; workers must present the same
+  /// Spawn mode: the argv to exec per worker (binary + flags, already
+  /// filtered of --json/--trace/--farm); the server appends --connect.
+  std::vector<std::string> worker_argv;
+  /// Serialized stderr diagnostics; never stdout (byte-identity).
+  std::function<void(const std::string&)> diag;
+};
+
+struct ServerStats {
+  std::int64_t sweeps = 0;
+  std::int64_t points = 0;      // total grid points across sweeps
+  std::int64_t replayed = 0;    // filled from the cache, never dispatched
+  std::int64_t farmed = 0;      // filled from a worker RESULT
+  std::int64_t fallback = 0;    // computed locally after workers ran out
+  std::int64_t ranges = 0;      // RANGE frames sent
+  std::int64_t joined = 0;      // handshakes accepted
+  std::int64_t rejected = 0;    // handshakes REJECTed
+  std::int64_t deaths = 0;      // worker EOF/write failure
+  std::int64_t timeouts = 0;    // assignments re-queued for silence
+  std::int64_t respawns = 0;    // replacement workers spawned
+};
+
+class FarmServerDispatcher : public Dispatcher {
+ public:
+  explicit FarmServerDispatcher(ServerOptions opt);
+  /// Sends SHUTDOWN to every live worker and reaps spawned children.
+  ~FarmServerDispatcher() override;
+
+  void run(const GridView& grid) override;
+
+  /// Binds the listener (and spawns workers in spawn mode) now instead of
+  /// at the first run(). Lets a caller learn port() before handing the
+  /// dispatcher to a sweep — the tests' fake workers need the ephemeral
+  /// port to dial.
+  void start() { ensure_listening(); }
+
+  [[nodiscard]] const ServerStats& stats() const { return stats_; }
+  /// The port actually bound (spawn mode binds ephemeral). 0 until the
+  /// first run() starts the listener.
+  [[nodiscard]] int port() const { return port_; }
+
+ private:
+  struct Worker {
+    Socket sock;
+    pid_t pid = -1;   // spawn-mode child, else -1
+    int slot = -1;    // spawn slot (worker index env), else -1
+    bool handshook = false;
+    bool in_sweep = false;  // received SWEEP(seq_) and owes/awaits results
+    // Current assignment: indices of [begin, end) not yet RESULTed.
+    std::uint64_t begin = 0, end = 0;
+    std::vector<std::uint64_t> remaining;
+    std::chrono::steady_clock::time_point deadline{};
+    [[nodiscard]] bool idle() const { return remaining.empty(); }
+  };
+
+  struct SweepRecord {
+    std::uint64_t n = 0;
+    std::vector<Frame> results;  // RESULT frame per index, in grid order
+  };
+
+  using Clock = std::chrono::steady_clock;
+
+  void ensure_listening();
+  void spawn_worker(int slot);
+  void drop_worker(std::size_t wi, const char* why);
+  void requeue(Worker& w);
+  bool handle_frame(std::size_t wi, const Frame& f, const GridView& grid);
+  void sync_worker(Worker& w);      // history replay + current SWEEP
+  bool assign(Worker& w);           // pop a chunk, send RANGE
+  void fallback_remaining(const GridView& grid);
+  void say(const std::string& line);
+
+  ServerOptions opt_;
+  Socket listener_;
+  int port_ = 0;
+  bool started_ = false;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<pid_t> zombies_;  // spawned children awaiting waitpid
+
+  // Current sweep.
+  std::uint64_t seq_ = 0;
+  std::uint64_t remaining_ = 0;
+  std::vector<char> done_;
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> pending_;  // [b, e)
+
+  std::vector<SweepRecord> history_;
+  int respawn_budget_ = 0;
+  int spawned_alive_ = 0;  // spawn-mode children believed running
+  int next_slot_ = 0;      // fresh worker index per (re)spawn
+  std::uint64_t miss_total_ = 0;  // misses at sweep start (chunk sizing)
+  double backoff_s_ = 0.1;
+  Clock::time_point next_spawn_{};
+  Clock::time_point grace_deadline_{};
+  ServerStats stats_;
+};
+
+}  // namespace bsplogp::farm

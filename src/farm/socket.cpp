@@ -1,0 +1,130 @@
+#include "src/farm/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace bsplogp::farm {
+
+namespace {
+
+// Every farm fd is close-on-exec: spawned workers must not inherit the
+// listener or a sibling worker's connection — an inherited copy would
+// keep a dead worker's socket open and hide its EOF from the server.
+void set_cloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
+
+}  // namespace
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool parse_host_port(const std::string& spec, std::string* host, int* port) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size())
+    return false;
+  char* end = nullptr;
+  const long p = std::strtol(spec.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || p < 1 || p > 65535) return false;
+  *host = spec.substr(0, colon);
+  *port = static_cast<int>(p);
+  return true;
+}
+
+Socket tcp_connect(const std::string& host, int port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), service.c_str(), &hints, &res) != 0)
+    return Socket{};
+  Socket sock;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      const int one = 1;
+      // Sweep frames are small and latency-bound; never Nagle-delay them.
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      set_cloexec(fd);
+      sock = Socket(fd);
+      break;
+    }
+    ::close(fd);
+  }
+  ::freeaddrinfo(res);
+  return sock;
+}
+
+Socket tcp_listen(const std::string& host, int port, int* bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Socket{};
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (host.empty()) {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Socket{};
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 64) != 0) {
+    ::close(fd);
+    return Socket{};
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0)
+      *bound_port = ntohs(bound.sin_port);
+  }
+  // Non-blocking listener: accept() is only tried after poll() reports it
+  // readable, and a connection that vanished in between must not block
+  // the whole coordinator loop.
+  ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+  set_cloexec(fd);
+  return Socket(fd);
+}
+
+Socket tcp_accept(const Socket& listener) {
+  const int fd = ::accept(listener.fd(), nullptr, nullptr);
+  if (fd < 0) return Socket{};
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  set_cloexec(fd);
+  return Socket(fd);
+}
+
+std::vector<int> poll_readable(const std::vector<int>& fds, int timeout_ms) {
+  std::vector<pollfd> pfds;
+  pfds.reserve(fds.size());
+  for (const int fd : fds) pfds.push_back(pollfd{fd, POLLIN, 0});
+  const int rc =
+      ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), timeout_ms);
+  std::vector<int> ready;
+  if (rc <= 0) return ready;
+  for (const pollfd& p : pfds)
+    // HUP/ERR count as readable: the next read_frame() surfaces the death
+    // so the server can re-queue instead of spinning on poll().
+    if ((p.revents & (POLLIN | POLLHUP | POLLERR)) != 0)
+      ready.push_back(p.fd);
+  return ready;
+}
+
+}  // namespace bsplogp::farm

@@ -1,0 +1,65 @@
+// Thin RAII layer over the POSIX TCP sockets the sweep farm uses
+// (DESIGN.md §13). Policy-free: connect/listen/accept/poll and nothing
+// else — protocol framing lives in wire.h, recovery in server.cpp.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bsplogp::farm {
+
+/// Owns one file descriptor; -1 means empty.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.release()) {}
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Parses "host:port" (host may be a name or dotted quad). False on a
+/// missing colon or a port outside [1, 65535].
+[[nodiscard]] bool parse_host_port(const std::string& spec, std::string* host,
+                                   int* port);
+
+/// Blocking TCP connect; invalid Socket on failure.
+[[nodiscard]] Socket tcp_connect(const std::string& host, int port);
+
+/// Listening socket bound to `host` (empty = all interfaces). `port` 0
+/// picks an ephemeral port; `bound_port` receives the actual one.
+[[nodiscard]] Socket tcp_listen(const std::string& host, int port,
+                                int* bound_port);
+
+/// Non-blocking accept (the listener must be poll()ed readable first);
+/// invalid Socket if no connection is pending.
+[[nodiscard]] Socket tcp_accept(const Socket& listener);
+
+/// poll(2) for readability over `fds`, up to `timeout_ms` (< 0 = wait
+/// forever). Returns the readable fds (empty on timeout).
+[[nodiscard]] std::vector<int> poll_readable(const std::vector<int>& fds,
+                                             int timeout_ms);
+
+}  // namespace bsplogp::farm

@@ -1,0 +1,141 @@
+#include "src/farm/spec.h"
+
+#include <cstdlib>
+
+#include "src/farm/socket.h"
+
+namespace bsplogp::farm {
+
+namespace {
+
+bool parse_int(const std::string& s, long lo, long hi, long* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || v < lo || v > hi) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_seconds(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == nullptr || *end != '\0' || !(v > 0.0) || v > 86400.0)
+    return false;
+  *out = v;
+  return true;
+}
+
+/// Applies one "key=value" option shared by both --farm forms. Returns
+/// false (with *error set) on an unknown key or a bad value; `spawn`
+/// gates the spawn-only `respawns` knob.
+bool apply_option(const std::string& opt, bool spawn, Spec* out,
+                  std::string* error) {
+  const std::size_t eq = opt.find('=');
+  const std::string key = opt.substr(0, eq);
+  const std::string val = eq == std::string::npos ? "" : opt.substr(eq + 1);
+  if (key == "timeout") {
+    if (!parse_seconds(val, &out->timeout_s)) {
+      *error = "bad timeout '" + val + "' (want seconds > 0)";
+      return false;
+    }
+    return true;
+  }
+  if (key == "grace") {
+    if (!parse_seconds(val, &out->grace_s)) {
+      *error = "bad grace '" + val + "' (want seconds > 0)";
+      return false;
+    }
+    return true;
+  }
+  if (spawn && key == "respawns") {
+    long v = 0;
+    if (!parse_int(val, 0, 1024, &v)) {
+      *error = "bad respawns '" + val + "' (want 0..1024)";
+      return false;
+    }
+    out->respawns = static_cast<int>(v);
+    return true;
+  }
+  if (!spawn && key == "workers") {
+    long v = 0;
+    if (!parse_int(val, 1, 1024, &v)) {
+      *error = "bad workers '" + val + "' (want 1..1024)";
+      return false;
+    }
+    out->expect_workers = static_cast<int>(v);
+    return true;
+  }
+  *error = "unknown option '" + key + "'";
+  return false;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    parts.push_back(s.substr(start, pos - start));
+    if (pos == std::string::npos) break;
+    start = pos + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+const char* farm_spec_forms() {
+  return "N[,timeout=S][,respawns=R][,grace=S] or "
+         "listen:PORT[,workers=N][,timeout=S][,grace=S]";
+}
+
+bool parse_farm_spec(const std::string& s, Spec* out, std::string* error) {
+  Spec spec;
+  spec.role = Spec::Role::kServer;
+  const std::vector<std::string> parts = split(s, ',');
+  const std::string& head = parts[0];
+  bool spawn = false;
+  if (head.rfind("listen:", 0) == 0) {
+    long port = 0;
+    if (!parse_int(head.substr(7), 1, 65535, &port)) {
+      *error = "bad listen port in --farm '" + s + "' (want " +
+               farm_spec_forms() + ")";
+      return false;
+    }
+    spec.listen_port = static_cast<int>(port);
+  } else {
+    long n = 0;
+    if (!parse_int(head, 1, 1024, &n)) {
+      *error = "bad --farm '" + s + "' (want " + farm_spec_forms() + ")";
+      return false;
+    }
+    spawn = true;
+    spec.spawn_workers = static_cast<int>(n);
+    spec.listen_host = "127.0.0.1";
+  }
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    std::string detail;
+    if (!apply_option(parts[i], spawn, &spec, &detail)) {
+      *error =
+          "bad --farm '" + s + "': " + detail + " (want " +
+          farm_spec_forms() + ")";
+      return false;
+    }
+  }
+  *out = spec;
+  return true;
+}
+
+bool parse_connect_spec(const std::string& s, Spec* out, std::string* error) {
+  Spec spec;
+  spec.role = Spec::Role::kWorker;
+  if (!parse_host_port(s, &spec.connect_host, &spec.connect_port)) {
+    *error = "bad --connect '" + s + "' (want HOST:PORT, port 1..65535)";
+    return false;
+  }
+  *out = spec;
+  return true;
+}
+
+}  // namespace bsplogp::farm

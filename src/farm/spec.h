@@ -1,0 +1,61 @@
+// Parse of the harness-facing farm flags (DESIGN.md §13):
+//
+//   --farm N[,timeout=S][,respawns=R][,grace=S]
+//       spawn-per-worker localhost mode: the bench becomes the
+//       sweep-server, listens on an ephemeral 127.0.0.1 port, and spawns
+//       N copies of itself as sweep-workers (`--connect` is added, --json
+//       and --trace are stripped).
+//
+//   --farm listen:PORT[,workers=N][,timeout=S][,grace=S]
+//       multi-host mode: the bench becomes the sweep-server on PORT (all
+//       interfaces) and waits up to the grace period for N workers; start
+//       the workers yourself with `bench_foo --connect host:PORT` (same
+//       build, same flags).
+//
+//   --connect HOST:PORT
+//       sweep-worker mode: the bench runs its normal main, but every
+//       harness sweep serves index ranges assigned by the server instead
+//       of computing the whole grid.
+//
+// Knobs: timeout = seconds without progress before an assigned range is
+// re-queued (default 30); respawns = spawn-mode worker respawn budget
+// (default 4); grace = seconds to wait for a first/replacement worker
+// before the coordinator computes the remainder itself (default 10).
+#pragma once
+
+#include <string>
+
+namespace bsplogp::farm {
+
+struct Spec {
+  enum class Role { kNone, kServer, kWorker };
+
+  Role role = Role::kNone;
+
+  // Server (either mode).
+  int spawn_workers = 0;     // > 0: spawn-per-worker localhost mode
+  std::string listen_host;   // "127.0.0.1" when spawning, "" = all ifaces
+  int listen_port = 0;       // 0 = ephemeral
+  int expect_workers = 0;    // listen mode: workers to wait for up front
+  double timeout_s = 30.0;   // per-assignment progress deadline
+  double grace_s = 10.0;     // workerless wait before local fallback
+  int respawns = 4;          // spawn-mode respawn budget
+
+  // Worker.
+  std::string connect_host;
+  int connect_port = 0;
+};
+
+/// One line enumerating every valid --farm form, for usage/error text.
+[[nodiscard]] const char* farm_spec_forms();
+
+/// Parses a --farm value. On failure returns false and fills *error with
+/// a complaint that enumerates the valid forms.
+[[nodiscard]] bool parse_farm_spec(const std::string& s, Spec* out,
+                                   std::string* error);
+
+/// Parses a --connect value (HOST:PORT). Same error contract.
+[[nodiscard]] bool parse_connect_spec(const std::string& s, Spec* out,
+                                      std::string* error);
+
+}  // namespace bsplogp::farm

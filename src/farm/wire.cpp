@@ -1,0 +1,174 @@
+#include "src/farm/wire.h"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace bsplogp::farm {
+
+void put_u32(std::string* s, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) s->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void put_u64(std::string* s, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) s->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void put_str(std::string* s, const std::string& v) {
+  put_u32(s, static_cast<std::uint32_t>(v.size()));
+  s->append(v);
+}
+
+bool WireReader::take(std::size_t n) {
+  if (!ok_ || s_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+std::uint32_t WireReader::u32() {
+  if (!take(4)) return 0;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(s_[pos_ + i]))
+         << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t WireReader::u64() {
+  if (!take(8)) return 0;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(s_[pos_ + i]))
+         << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+std::string WireReader::str() {
+  const std::uint32_t n = u32();
+  if (!take(n)) return {};
+  std::string v = s_.substr(pos_, n);
+  pos_ += n;
+  return v;
+}
+
+std::string WireReader::rest() {
+  if (!ok_) return {};
+  std::string v = s_.substr(pos_);
+  pos_ = s_.size();
+  return v;
+}
+
+Frame make_hello(const std::string& build_id, const std::string& bench) {
+  Frame f{Type::kHello, {}};
+  put_u32(&f.payload, kProtocolVersion);
+  put_str(&f.payload, build_id);
+  put_str(&f.payload, bench);
+  return f;
+}
+
+Frame make_welcome() { return Frame{Type::kWelcome, {}}; }
+
+Frame make_reject(const std::string& reason) {
+  Frame f{Type::kReject, {}};
+  put_str(&f.payload, reason);
+  return f;
+}
+
+Frame make_sweep(std::uint64_t seq, std::uint64_t n) {
+  Frame f{Type::kSweep, {}};
+  put_u64(&f.payload, seq);
+  put_u64(&f.payload, n);
+  return f;
+}
+
+Frame make_range(std::uint64_t begin, std::uint64_t end) {
+  Frame f{Type::kRange, {}};
+  put_u64(&f.payload, begin);
+  put_u64(&f.payload, end);
+  return f;
+}
+
+Frame make_result(std::uint64_t index, const std::string& payload) {
+  Frame f{Type::kResult, {}};
+  put_u64(&f.payload, index);
+  f.payload.append(payload);
+  return f;
+}
+
+Frame make_sweep_done(std::uint64_t seq) {
+  Frame f{Type::kSweepDone, {}};
+  put_u64(&f.payload, seq);
+  return f;
+}
+
+Frame make_shutdown() { return Frame{Type::kShutdown, {}}; }
+
+namespace {
+
+bool write_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, never as a
+    // process-killing SIGPIPE from inside a sweep.
+    const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (w == 0) return false;
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool read_all(int fd, char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t r = ::recv(fd, data, n, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;  // EOF mid-frame (or before one): dead peer
+    data += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool write_frame(int fd, const Frame& f) {
+  std::string buf;
+  buf.reserve(5 + f.payload.size());
+  put_u32(&buf, static_cast<std::uint32_t>(f.payload.size() + 1));
+  buf.push_back(static_cast<char>(f.type));
+  buf.append(f.payload);
+  return write_all(fd, buf.data(), buf.size());
+}
+
+bool read_frame(int fd, Frame* out) {
+  char head[4];
+  if (!read_all(fd, head, 4)) return false;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i)
+    len |= static_cast<std::uint32_t>(static_cast<unsigned char>(head[i]))
+           << (8 * i);
+  if (len < 1 || len > kMaxFrameBytes) return false;
+  std::string body(len, '\0');
+  if (!read_all(fd, body.data(), len)) return false;
+  const auto type = static_cast<std::uint8_t>(body[0]);
+  if (type < static_cast<std::uint8_t>(Type::kHello) ||
+      type > static_cast<std::uint8_t>(Type::kShutdown))
+    return false;
+  out->type = static_cast<Type>(type);
+  out->payload = body.substr(1);
+  return true;
+}
+
+}  // namespace bsplogp::farm

@@ -1,0 +1,118 @@
+// Length-prefixed wire protocol of the distributed sweep farm
+// (DESIGN.md §13). Every message on the socket is one frame:
+//
+//   u32  payload length (little-endian, includes the type byte)
+//   u8   message type (Type below)
+//   ...  payload (fixed-width u32/u64 little-endian scalars,
+//        length-prefixed strings, or raw trailing bytes)
+//
+// The conversation:
+//
+//   worker -> server   HELLO    proto version, build id, bench name
+//   server -> worker   WELCOME  (accepted) | REJECT reason (then close)
+//   server -> worker   SWEEP    sweep seq, grid size n
+//   server -> worker   RANGE    [begin, end) of the current sweep
+//   worker -> server   RESULT   grid index + codec payload bytes
+//   server -> worker   RESULT   grid index + codec payload bytes
+//                               (the end-of-sweep broadcast: every point,
+//                               so worker processes hold the full result
+//                               vector and stay in lockstep with the
+//                               server through multi-sweep benches)
+//   server -> worker   SWEEP_DONE  sweep seq — worker returns from map()
+//   server -> worker   SHUTDOWN    bench over, exit 0
+//
+// The payload bytes inside RESULT are exactly cache::PointCodec's
+// encoding — the same bytes the sweep cache stores on disk — so the
+// byte-identity contract (farm output == --jobs 1 output) rests on one
+// codec, proven once.
+//
+// Framing is strict: an oversized length prefix, a truncated frame, or
+// an unknown type poisons the connection (read_frame returns false) and
+// the peer is treated as dead. Nothing here retries; recovery policy
+// (re-queue, respawn, backoff) lives in server.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bsplogp::farm {
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Frames larger than this are a malformed/hostile peer, not a sweep.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+enum class Type : std::uint8_t {
+  kHello = 1,
+  kWelcome = 2,
+  kReject = 3,
+  kSweep = 4,
+  kRange = 5,
+  kResult = 6,
+  kSweepDone = 7,
+  kShutdown = 8,
+};
+
+struct Frame {
+  Type type = Type::kHello;
+  std::string payload;
+};
+
+// ---- Payload packing --------------------------------------------------------
+
+void put_u32(std::string* s, std::uint32_t v);
+void put_u64(std::string* s, std::uint64_t v);
+/// Length-prefixed (u32) string.
+void put_str(std::string* s, const std::string& v);
+
+/// Sequential payload reader; any overrun latches ok() to false and
+/// subsequent reads return zero values.
+class WireReader {
+ public:
+  explicit WireReader(const std::string& payload) : s_(payload) {}
+  // The reader references, not copies, its payload — a temporary would
+  // dangle before the first read.
+  explicit WireReader(std::string&&) = delete;
+
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::string str();
+  /// Everything not yet consumed (RESULT's trailing codec bytes).
+  [[nodiscard]] std::string rest();
+
+  /// True iff every read so far stayed in bounds.
+  [[nodiscard]] bool ok() const { return ok_; }
+  /// True iff ok() and the payload was fully consumed.
+  [[nodiscard]] bool done() const { return ok_ && pos_ == s_.size(); }
+
+ private:
+  [[nodiscard]] bool take(std::size_t n);
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// ---- Message builders -------------------------------------------------------
+
+[[nodiscard]] Frame make_hello(const std::string& build_id,
+                               const std::string& bench);
+[[nodiscard]] Frame make_welcome();
+[[nodiscard]] Frame make_reject(const std::string& reason);
+[[nodiscard]] Frame make_sweep(std::uint64_t seq, std::uint64_t n);
+[[nodiscard]] Frame make_range(std::uint64_t begin, std::uint64_t end);
+[[nodiscard]] Frame make_result(std::uint64_t index,
+                                const std::string& payload);
+[[nodiscard]] Frame make_sweep_done(std::uint64_t seq);
+[[nodiscard]] Frame make_shutdown();
+
+// ---- Socket framing ---------------------------------------------------------
+
+/// Blocking full-frame write; false on a dead/poisoned peer (EPIPE,
+/// reset). Never raises SIGPIPE.
+[[nodiscard]] bool write_frame(int fd, const Frame& f);
+
+/// Blocking full-frame read; false on EOF, error, or a malformed frame
+/// (oversized length, truncation, unknown type).
+[[nodiscard]] bool read_frame(int fd, Frame* out);
+
+}  // namespace bsplogp::farm

@@ -1,0 +1,161 @@
+#include "src/farm/worker.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+namespace bsplogp::farm {
+
+namespace {
+
+// Parses the die-after crash hook (see worker.h). -1 = disabled.
+std::int64_t parse_die_after() {
+  const char* spec = std::getenv("BSPLOGP_FARM_WORKER_DIE_AFTER");
+  if (spec == nullptr || *spec == '\0') return -1;
+  std::string s(spec);
+  const std::size_t colon = s.find(':');
+  if (colon != std::string::npos) {
+    const char* mine = std::getenv("BSPLOGP_FARM_WORKER_INDEX");
+    if (mine == nullptr || s.substr(0, colon) != mine) return -1;
+    s = s.substr(colon + 1);
+  }
+  char* end = nullptr;
+  const long long k = std::strtoll(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || k < 1) return -1;
+  return k;
+}
+
+}  // namespace
+
+FarmWorkerDispatcher::FarmWorkerDispatcher(WorkerOptions opt)
+    : opt_(std::move(opt)), die_after_(parse_die_after()) {}
+
+FarmWorkerDispatcher::FarmWorkerDispatcher(WorkerOptions opt,
+                                           int connected_fd)
+    : opt_(std::move(opt)), sock_(connected_fd),
+      die_after_(parse_die_after()) {}
+
+void FarmWorkerDispatcher::say(const std::string& line) {
+  if (opt_.diag) opt_.diag(line);
+}
+
+void FarmWorkerDispatcher::fatal(const std::string& why) {
+  say("farm worker: " + why);
+  std::exit(3);
+}
+
+void FarmWorkerDispatcher::ensure_ready() {
+  if (ready_) return;
+  if (!sock_.valid()) {
+    // The spawn race: the server listens before forking us, but a
+    // multi-host worker may beat its server to the port. A short dial
+    // loop covers both without a sleepy first connect.
+    for (int attempt = 0; attempt < 20 && !sock_.valid(); ++attempt) {
+      if (attempt > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      sock_ = tcp_connect(opt_.host, opt_.port);
+    }
+    if (!sock_.valid())
+      fatal("cannot connect to " + opt_.host + ":" +
+            std::to_string(opt_.port));
+  }
+  if (!write_frame(sock_.fd(), make_hello(opt_.build_id, opt_.bench)))
+    fatal("handshake write failed");
+  Frame f;
+  if (!read_frame(sock_.fd(), &f)) fatal("server closed during handshake");
+  if (f.type == Type::kReject) {
+    WireReader r(f.payload);
+    fatal("rejected by server: " + r.str());
+  }
+  // A respawned worker can dial in just as the bench finishes; the
+  // server's farewell SHUTDOWN is then the handshake reply. Not an error.
+  if (f.type == Type::kShutdown) std::exit(0);
+  if (f.type != Type::kWelcome) fatal("unexpected handshake reply");
+  ready_ = true;
+  say("farm worker: joined " + opt_.host + ":" + std::to_string(opt_.port));
+}
+
+void FarmWorkerDispatcher::serve_range(const GridView& grid,
+                                       std::uint64_t begin,
+                                       std::uint64_t end) {
+  const auto b = static_cast<std::size_t>(begin);
+  const auto e = static_cast<std::size_t>(end);
+  // Compute the whole range first (split across local jobs — the same
+  // chunking a local sweep uses, shifted by the range offset), then
+  // stream the results in index order.
+  const std::size_t len = e - b;
+  const auto compute = [&](std::size_t lo, std::size_t hi) {
+    grid.compute_range(b + lo, b + hi);
+  };
+  if (opt_.pool != nullptr && opt_.jobs > 1)
+    opt_.pool->for_ranges(len, compute);
+  else
+    core::parallel_for_ranges(len, opt_.jobs, compute);
+  for (std::size_t i = b; i < e; ++i) {
+    if (!write_frame(sock_.fd(), make_result(i, grid.reencode(i))))
+      fatal("server connection lost");
+    if (die_after_ > 0 && ++results_sent_ >= die_after_) ::_exit(9);
+  }
+}
+
+void FarmWorkerDispatcher::run(const GridView& grid) {
+  ensure_ready();
+  ++seq_;
+  Frame f;
+  if (!read_frame(sock_.fd(), &f)) fatal("server connection lost");
+  if (f.type == Type::kShutdown) {
+    say("farm worker: server shut down");
+    std::exit(0);
+  }
+  {
+    WireReader r(f.payload);
+    const std::uint64_t seq = r.u64();
+    const std::uint64_t n = r.u64();
+    if (f.type != Type::kSweep || !r.ok() || !r.done())
+      fatal("expected SWEEP");
+    // A desynced stream can only fill the grid with wrong points; die
+    // loudly and let the server re-queue.
+    if (seq != seq_ || n != grid.n)
+      fatal("sweep desync: got sweep " + std::to_string(seq) + "/" +
+            std::to_string(n) + " points, expected " + std::to_string(seq_) +
+            "/" + std::to_string(grid.n));
+  }
+  for (;;) {
+    if (!read_frame(sock_.fd(), &f)) fatal("server connection lost");
+    switch (f.type) {
+      case Type::kRange: {
+        WireReader r(f.payload);
+        const std::uint64_t b = r.u64();
+        const std::uint64_t e = r.u64();
+        if (!r.ok() || !r.done() || b >= e || e > grid.n)
+          fatal("bad RANGE");
+        serve_range(grid, b, e);
+        break;
+      }
+      case Type::kResult: {
+        WireReader r(f.payload);
+        const std::uint64_t index = r.u64();
+        const std::string payload = r.rest();
+        if (!r.ok() || index >= grid.n ||
+            !grid.install(static_cast<std::size_t>(index), payload))
+          fatal("bad broadcast result");
+        break;
+      }
+      case Type::kSweepDone: {
+        WireReader r(f.payload);
+        if (r.u64() != seq_ || !r.ok()) fatal("bad SWEEP_DONE");
+        return;
+      }
+      case Type::kShutdown:
+        say("farm worker: server shut down");
+        std::exit(0);
+      default:
+        fatal("unexpected frame mid-sweep");
+    }
+  }
+}
+
+}  // namespace bsplogp::farm

@@ -1,0 +1,66 @@
+// The sweep-worker backend (DESIGN.md §13). The worker is the same bench
+// binary running the same main(); every SweepRunner::map() call lands
+// here instead of computing the whole grid. The worker serves RANGE
+// assignments (computing points with the very closures a local run would
+// use, split across its own --jobs), streams one RESULT per point back in
+// index order, installs the server's end-of-sweep broadcast into its own
+// result vector, and returns from run() on SWEEP_DONE — leaving its
+// main() bit-identical in state to the server's.
+//
+// Protocol violations and a lost server are fatal (exit 3): a worker
+// whose stream desynced can only produce wrong points, and the server
+// re-queues its range either way.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/core/parallel.h"
+#include "src/farm/dispatcher.h"
+#include "src/farm/socket.h"
+#include "src/farm/wire.h"
+
+namespace bsplogp::farm {
+
+struct WorkerOptions {
+  std::string host;
+  int port = 0;
+  std::string build_id;
+  std::string bench;
+  int jobs = 1;                      // split each range across local jobs
+  core::ThreadPool* pool = nullptr;  // optional persistent pool for that
+  std::function<void(const std::string&)> diag;
+};
+
+class FarmWorkerDispatcher : public Dispatcher {
+ public:
+  explicit FarmWorkerDispatcher(WorkerOptions opt);
+  /// Test seam: adopt an already-connected fd (e.g. one socketpair end)
+  /// instead of dialing host:port. Handshake still runs on first use.
+  FarmWorkerDispatcher(WorkerOptions opt, int connected_fd);
+
+  /// Serves exactly one sweep: handshake (first call), SWEEP, RANGEs,
+  /// broadcast, SWEEP_DONE.
+  void run(const GridView& grid) override;
+
+ private:
+  void ensure_ready();
+  void serve_range(const GridView& grid, std::uint64_t begin,
+                   std::uint64_t end);
+  [[noreturn]] void fatal(const std::string& why);
+  void say(const std::string& line);
+
+  WorkerOptions opt_;
+  Socket sock_;
+  bool ready_ = false;
+  std::uint64_t seq_ = 0;
+  // Crash-injection hook for the failure-mode tests: if
+  // BSPLOGP_FARM_WORKER_DIE_AFTER is "K" (or "W:K" and our
+  // BSPLOGP_FARM_WORKER_INDEX is W), _exit(9) right after sending the
+  // K-th RESULT — mid-range, from the server's point of view.
+  std::int64_t die_after_ = -1;
+  std::int64_t results_sent_ = 0;
+};
+
+}  // namespace bsplogp::farm

@@ -182,6 +182,22 @@ TEST(SweepRunner, MapCommitsResultsByIndex) {
   for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
 }
 
+/// Point result for sweep_document (namespace scope: every map() result
+/// type must carry the io() member template the codec needs — the sweep
+/// could be farmed — and local classes cannot declare member templates).
+struct SweepDocResult {
+  Time finish = 0;
+  std::int64_t messages = 0;
+  std::int64_t stalls = 0;
+
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(finish);
+    ar(messages);
+    ar(stalls);
+  }
+};
+
 /// Builds the full JSON document of a model-time sweep (the grid every real
 /// bench follows: per-point machine + rng_for_index stream, results
 /// committed in grid order) with the given SweepRunner.
@@ -196,11 +212,7 @@ std::string sweep_document(const SweepRunner& runner) {
   };
   const std::vector<Point> grid{{4, 3}, {5, 6}, {6, 2}, {8, 5},
                                 {9, 4}, {12, 3}, {16, 2}};
-  struct Result {
-    Time finish = 0;
-    std::int64_t messages = 0;
-    std::int64_t stalls = 0;
-  };
+  using Result = SweepDocResult;
   const auto results = runner.map<Result>(grid.size(), [&](std::size_t i) {
     core::Rng rng = core::rng_for_index(2026, i);
     const std::uint64_t seed = rng();
@@ -241,6 +253,44 @@ TEST(ReporterDeathTest, BadCacheFlagsDieWithExitCode2) {
   }
 }
 
+TEST(ReporterDeathTest, BadFarmFlagsDieEnumeratingTheValidForms) {
+  {
+    // A bad --farm value must name every accepted form, not just complain.
+    Argv args({"--farm", "zero"});
+    EXPECT_EXIT(Reporter(args.argc(), args.argv(), "unit"),
+                ::testing::ExitedWithCode(2),
+                "want N\\[,timeout=S\\]\\[,respawns=R\\]\\[,grace=S\\] or "
+                "listen:PORT");
+  }
+  {
+    Argv args({"--farm", "2,respawns=lots"});
+    EXPECT_EXIT(Reporter(args.argc(), args.argv(), "unit"),
+                ::testing::ExitedWithCode(2), "bad respawns 'lots'");
+  }
+  {
+    Argv args({"--farm", "listen:99999"});
+    EXPECT_EXIT(Reporter(args.argc(), args.argv(), "unit"),
+                ::testing::ExitedWithCode(2), "bad listen port");
+  }
+  {
+    Argv args({"--farm"});
+    EXPECT_EXIT(Reporter(args.argc(), args.argv(), "unit"),
+                ::testing::ExitedWithCode(2), "--farm needs a spec");
+  }
+  {
+    Argv args({"--connect", "no-port-here"});
+    EXPECT_EXIT(Reporter(args.argc(), args.argv(), "unit"),
+                ::testing::ExitedWithCode(2),
+                "want HOST:PORT, port 1..65535");
+  }
+  {
+    // One process cannot be both ends of the farm.
+    Argv args({"--farm", "2", "--connect", "localhost:9"});
+    EXPECT_EXIT(Reporter(args.argc(), args.argv(), "unit"),
+                ::testing::ExitedWithCode(2), "mutually exclusive");
+  }
+}
+
 TEST(Reporter, JsonCarriesTheCacheBlock) {
   Argv args({"--smoke"});
   Reporter rep(args.argc(), args.argv(), "unit");
@@ -268,7 +318,7 @@ TEST(Reporter, TraceForcesCacheOff) {
   EXPECT_EQ(rep.cache()->mode(), cache::Mode::kOff);
 }
 
-/// Point result for the map_cached replay test (namespace scope: local
+/// Point result for the cached-map replay test (namespace scope: local
 /// classes cannot carry the io() member template the codec needs).
 struct CachedSweepResult {
   Time finish = 0;
@@ -284,7 +334,7 @@ struct CachedSweepResult {
   }
 };
 
-TEST(SweepRunner, MapCachedReplaysTheColdRunByteExactly) {
+TEST(SweepRunner, CachedMapReplaysTheColdRunByteExactly) {
   const std::string dir =
       ::testing::TempDir() + "/bsplogp_harness_map_cached";
   std::filesystem::remove_all(dir);
@@ -302,8 +352,8 @@ TEST(SweepRunner, MapCachedReplaysTheColdRunByteExactly) {
   };
 
   const auto sweep = [&](cache::PointCache* pc) {
-    return SweepRunner(2, pc).map_cached<CachedSweepResult>(ps.size(), key_fn,
-                                                            compute);
+    return SweepRunner(2, pc).map<CachedSweepResult>(ps.size(), key_fn,
+                                                     compute);
   };
   cache::PointCache cold(cache::Mode::kOn, dir, "unit", "hotspot", "b1");
   cache::PointCache warm(cache::Mode::kOn, dir, "unit", "hotspot", "b1");

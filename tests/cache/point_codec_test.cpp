@@ -1,0 +1,165 @@
+// cache::PointCodec (src/cache/point_codec.h): the byte-exact result
+// codec shared by the sweep cache's disk entries and the farm's wire
+// payloads. Round-trip fuzz proves decode(encode(v)) == v bit for bit
+// over randomized values (including doubles with full mantissas);
+// rejection fuzz proves a mutated payload never yields a silent partial
+// decode — it either still parses to a full valid value or decode
+// returns false and leaves the output untouched.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "src/cache/point_codec.h"
+#include "src/core/rng.h"
+
+namespace bsplogp::cache {
+namespace {
+
+struct Inner {
+  std::int64_t count = 0;
+  double ratio = 0;
+
+  friend bool operator==(const Inner&, const Inner&) = default;
+
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(count);
+    ar(ratio);
+  }
+};
+
+struct Outer {
+  std::int64_t t = 0;
+  double x = 0;
+  bool flag = false;
+  std::string label;
+  Inner inner;
+
+  friend bool operator==(const Outer&, const Outer&) = default;
+
+  template <class Ar>
+  void io(Ar& ar) {
+    ar(t);
+    ar(x);
+    ar(flag);
+    ar(label);
+    ar(inner);
+  }
+};
+
+double random_double(core::Rng& rng) {
+  // Full-mantissa values across magnitudes: the %.17g contract must
+  // survive exponents, not just friendly decimals.
+  const double mantissa =
+      static_cast<double>(rng()) / static_cast<double>(UINT64_MAX);
+  const int exp = static_cast<int>(rng() % 600) - 300;
+  return std::ldexp(mantissa * 2 - 1, exp);
+}
+
+std::string random_label(core::Rng& rng) {
+  static const char alphabet[] =
+      "abcXYZ 0123456789\"\\\n\t\r\x01\x1f{}[],:";
+  std::string s;
+  const std::size_t len = rng() % 12;
+  for (std::size_t i = 0; i < len; ++i)
+    s.push_back(alphabet[rng() % (sizeof alphabet - 1)]);
+  return s;
+}
+
+TEST(PointCodec, RoundTripFuzzIsBitExact) {
+  core::Rng rng(0xC0DEC);
+  for (int iter = 0; iter < 500; ++iter) {
+    Outer v;
+    v.t = static_cast<std::int64_t>(rng());
+    v.x = random_double(rng);
+    v.flag = (rng() & 1) != 0;
+    v.label = random_label(rng);
+    v.inner.count = static_cast<std::int64_t>(rng() % 1000) - 500;
+    v.inner.ratio = random_double(rng);
+
+    const std::string payload = PointCodec::encode(v);
+    Outer back;
+    ASSERT_TRUE(PointCodec::decode(payload, &back)) << payload;
+    EXPECT_EQ(back, v) << payload;
+    // And the re-encode is byte-identical — the property the farm's
+    // end-of-sweep broadcast and the warm-cache replay both lean on.
+    EXPECT_EQ(PointCodec::encode(back), payload);
+  }
+}
+
+TEST(PointCodec, RoundTripsExtremeScalars) {
+  for (const double d :
+       {0.0, -0.0, 0.1, 1e308, -1e-308, 4e-324,
+        std::numeric_limits<double>::max(),
+        std::numeric_limits<double>::epsilon()}) {
+    double back = 99;
+    ASSERT_TRUE(PointCodec::decode(PointCodec::encode(d), &back));
+    EXPECT_EQ(std::signbit(back), std::signbit(d));
+    EXPECT_EQ(back, d);
+  }
+  for (const std::int64_t i :
+       {std::int64_t{0}, std::numeric_limits<std::int64_t>::max(),
+        std::numeric_limits<std::int64_t>::min()}) {
+    std::int64_t back = 7;
+    ASSERT_TRUE(PointCodec::decode(PointCodec::encode(i), &back));
+    EXPECT_EQ(back, i);
+  }
+}
+
+TEST(PointCodec, RejectsMalformedShapes) {
+  Outer out;
+  out.t = 42;
+  const Outer untouched = out;
+  // Not JSON at all; not an array; wrong arity (short and long); type
+  // mismatches; integer where the schema narrows.
+  for (const char* bad :
+       {"", "garbage", "{\"a\": 1}", "3", "[]", "[1, 2]",
+        "[1, 2.5, true, \"x\", [1, 0.5], 9]",
+        "[\"one\", 2.5, true, \"x\", [1, 0.5]]",
+        "[1, 2.5, 7, \"x\", [1, 0.5]]",
+        "[1, 2.5, true, \"x\", [0.25, 0.5]]",
+        "[1, 2.5, true, \"x\", 3]"}) {
+    EXPECT_FALSE(PointCodec::decode(std::string(bad), &out)) << bad;
+    EXPECT_EQ(out, untouched) << "partial decode leaked from: " << bad;
+  }
+}
+
+TEST(PointCodec, MutationFuzzNeverYieldsAPartialDecode) {
+  core::Rng rng(0xBADC0DE);
+  Outer v;
+  v.t = 1234567890123;
+  v.x = 0.1;
+  v.flag = true;
+  v.label = "hot\"spot";
+  v.inner = Inner{-9, 2.5};
+  const std::string payload = PointCodec::encode(v);
+  int rejected = 0;
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string mut = payload;
+    // 1-3 random byte edits: overwrite, delete, or insert.
+    const int edits = 1 + static_cast<int>(rng() % 3);
+    for (int e = 0; e < edits && !mut.empty(); ++e) {
+      const std::size_t pos = rng() % mut.size();
+      switch (rng() % 3) {
+        case 0: mut[pos] = static_cast<char>(rng() % 96 + 32); break;
+        case 1: mut.erase(pos, 1); break;
+        default: mut.insert(pos, 1, static_cast<char>(rng() % 96 + 32));
+      }
+    }
+    Outer got = v;
+    if (!PointCodec::decode(mut, &got)) {
+      EXPECT_EQ(got, v) << "rejected decode touched the output: " << mut;
+      ++rejected;
+    }
+    // Accepted mutants are fine (e.g. a digit edit is just another valid
+    // value) — the contract is no partial/corrupt decode, not detection
+    // of every edit.
+  }
+  EXPECT_GT(rejected, 0);  // the fuzz actually exercised the reject path
+}
+
+}  // namespace
+}  // namespace bsplogp::cache

@@ -1,0 +1,318 @@
+// The sweep-server coordinator's failure matrix (src/farm/server.h),
+// driven by fake in-process workers over real TCP:
+//   - happy path: workers serve ranges, results merge by grid index
+//   - handshake: a mismatched build id is REJECTed and never assigned
+//   - worker killed mid-range: the unfinished tail is re-queued
+//   - silent worker: the progress timeout re-queues its range
+//   - no workers at all: the coordinator computes everything itself
+//   - multi-sweep late joiner: history replay fast-forwards it
+// Every test asserts the merged result vector equals the locally
+// computed one — value-identical merge is what the byte-identity e2e
+// check (cmake/farm_e2e.cmake) rests on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/farm/server.h"
+#include "src/farm/socket.h"
+#include "src/farm/wire.h"
+
+namespace bsplogp::farm {
+namespace {
+
+long long value_at(std::size_t i) {
+  return 1000 + static_cast<long long>(i) * static_cast<long long>(i);
+}
+
+/// A test grid over long long slots; payloads are plain decimal strings
+/// (the server treats payloads as opaque bytes).
+struct TestGrid {
+  explicit TestGrid(std::size_t n) : out(n, -1) {}
+
+  [[nodiscard]] GridView view() {
+    GridView g;
+    g.n = out.size();
+    g.compute_range = [this](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        out[i] = value_at(i);
+        ++computed_locally;
+      }
+    };
+    g.replay = [](std::size_t) { return false; };
+    g.reencode = [this](std::size_t i) { return std::to_string(out[i]); };
+    g.install = [this](std::size_t i, const std::string& p) {
+      out[i] = std::strtoll(p.c_str(), nullptr, 10);
+      return true;
+    };
+    g.accept = g.install;
+    return g;
+  }
+
+  void expect_complete() const {
+    for (std::size_t i = 0; i < out.size(); ++i)
+      EXPECT_EQ(out[i], value_at(i)) << "slot " << i;
+  }
+
+  std::vector<long long> out;
+  int computed_locally = 0;
+};
+
+ServerOptions options(double timeout_s, double grace_s) {
+  ServerOptions opt;
+  opt.spec.role = Spec::Role::kServer;
+  opt.spec.listen_host = "127.0.0.1";
+  opt.spec.listen_port = 0;  // ephemeral
+  opt.spec.timeout_s = timeout_s;
+  opt.spec.grace_s = grace_s;
+  opt.build_id = "test-build";
+  opt.bench = "unit";
+  return opt;
+}
+
+/// Dials the server and completes the handshake; returns the socket
+/// (invalid on REJECT, with the reason in *reject_reason).
+Socket join(int port, const std::string& build,
+            std::string* reject_reason = nullptr) {
+  Socket s = tcp_connect("127.0.0.1", port);
+  EXPECT_TRUE(s.valid());
+  EXPECT_TRUE(write_frame(s.fd(), make_hello(build, "unit")));
+  Frame f;
+  EXPECT_TRUE(read_frame(s.fd(), &f));
+  if (f.type == Type::kReject) {
+    if (reject_reason != nullptr) {
+      WireReader r(f.payload);
+      *reject_reason = r.str();
+    }
+    return Socket{};
+  }
+  EXPECT_EQ(f.type, Type::kWelcome);
+  return s;
+}
+
+/// A scripted worker: serves every RANGE of the current sweep, dying
+/// after `die_after_results` total sends (< 0 = never), until SWEEP_DONE.
+/// Returns the indices received via the end-of-sweep broadcast.
+std::vector<long long> serve_one_sweep(Socket& s, int die_after_results) {
+  std::vector<long long> broadcast;
+  Frame f;
+  if (!read_frame(s.fd(), &f)) return broadcast;
+  EXPECT_EQ(f.type, Type::kSweep);
+  int sent = 0;
+  for (;;) {
+    if (!read_frame(s.fd(), &f)) return broadcast;
+    if (f.type == Type::kRange) {
+      WireReader r(f.payload);
+      const std::uint64_t b = r.u64();
+      const std::uint64_t e = r.u64();
+      for (std::uint64_t i = b; i < e; ++i) {
+        if (die_after_results >= 0 && sent >= die_after_results) {
+          s.close();  // abrupt death mid-range
+          return broadcast;
+        }
+        EXPECT_TRUE(write_frame(
+            s.fd(), make_result(i, std::to_string(value_at(i)))));
+        ++sent;
+      }
+    } else if (f.type == Type::kResult) {
+      WireReader r(f.payload);
+      r.u64();
+      broadcast.push_back(std::strtoll(r.rest().c_str(), nullptr, 10));
+    } else if (f.type == Type::kSweepDone) {
+      return broadcast;
+    } else {
+      ADD_FAILURE() << "unexpected frame type "
+                    << static_cast<int>(f.type);
+      return broadcast;
+    }
+  }
+}
+
+TEST(FarmServer, SingleWorkerServesTheWholeGridAndMergesInOrder) {
+  FarmServerDispatcher server(options(5.0, 5.0));
+  server.start();
+  ASSERT_GT(server.port(), 0);
+
+  std::vector<long long> broadcast;
+  std::thread worker([&] {
+    Socket s = join(server.port(), "test-build");
+    ASSERT_TRUE(s.valid());
+    broadcast = serve_one_sweep(s, -1);
+  });
+
+  TestGrid grid(17);
+  server.run(grid.view());
+  worker.join();
+
+  grid.expect_complete();
+  EXPECT_EQ(grid.computed_locally, 0);  // everything farmed
+  EXPECT_EQ(server.stats().joined, 1);
+  EXPECT_EQ(server.stats().farmed, 17);
+  EXPECT_EQ(server.stats().fallback, 0);
+  // The broadcast carried every slot, in grid order.
+  ASSERT_EQ(broadcast.size(), 17u);
+  for (std::size_t i = 0; i < broadcast.size(); ++i)
+    EXPECT_EQ(broadcast[i], value_at(i));
+}
+
+TEST(FarmServer, TwoWorkersShareTheGrid) {
+  FarmServerDispatcher server(options(5.0, 5.0));
+  server.start();
+
+  auto work = [&] {
+    Socket s = join(server.port(), "test-build");
+    ASSERT_TRUE(s.valid());
+    (void)serve_one_sweep(s, -1);
+  };
+  std::thread w1(work), w2(work);
+
+  TestGrid grid(64);
+  server.run(grid.view());
+  w1.join();
+  w2.join();
+
+  grid.expect_complete();
+  EXPECT_EQ(grid.computed_locally, 0);
+  EXPECT_EQ(server.stats().joined, 2);
+  EXPECT_EQ(server.stats().farmed, 64);
+  EXPECT_GE(server.stats().ranges, 2);
+}
+
+TEST(FarmServer, MismatchedBuildIdIsRejectedAtHandshake) {
+  // Short grace: after the poisoned worker is turned away the server
+  // gives up waiting and computes the sweep itself.
+  FarmServerDispatcher server(options(5.0, 0.3));
+  server.start();
+
+  std::string reason;
+  std::thread worker([&] {
+    Socket s = join(server.port(), "stale-build", &reason);
+    EXPECT_FALSE(s.valid());
+  });
+
+  TestGrid grid(9);
+  server.run(grid.view());
+  worker.join();
+
+  grid.expect_complete();
+  EXPECT_EQ(server.stats().rejected, 1);
+  EXPECT_EQ(server.stats().joined, 0);
+  EXPECT_EQ(server.stats().farmed, 0);
+  EXPECT_EQ(server.stats().fallback, 9);
+  EXPECT_NE(reason.find("build id mismatch"), std::string::npos) << reason;
+}
+
+TEST(FarmServer, WorkerKilledMidRangeHasItsTailRequeued) {
+  FarmServerDispatcher server(options(5.0, 0.3));
+  server.start();
+
+  std::thread worker([&] {
+    Socket s = join(server.port(), "test-build");
+    ASSERT_TRUE(s.valid());
+    (void)serve_one_sweep(s, 2);  // 2 results, then abrupt close
+  });
+
+  TestGrid grid(12);
+  server.run(grid.view());
+  worker.join();
+
+  // The dead worker's unfinished tail was re-queued and (no replacement
+  // worker ever came) computed by the coordinator — the merged vector is
+  // still exactly the local one.
+  grid.expect_complete();
+  EXPECT_EQ(server.stats().farmed, 2);
+  EXPECT_EQ(server.stats().fallback, 10);
+  EXPECT_EQ(grid.computed_locally, 10);
+  EXPECT_EQ(server.stats().deaths, 1);
+}
+
+TEST(FarmServer, SilentWorkerTimesOutAndItsRangeIsRequeued) {
+  // Progress timeout 0.3s, grace 0.6s: the wedged worker is cut loose at
+  // ~0.3s and the remainder falls back locally.
+  FarmServerDispatcher server(options(0.3, 0.6));
+  server.start();
+
+  std::thread worker([&] {
+    Socket s = join(server.port(), "test-build");
+    ASSERT_TRUE(s.valid());
+    Frame f;
+    ASSERT_TRUE(read_frame(s.fd(), &f));  // SWEEP
+    EXPECT_EQ(f.type, Type::kSweep);
+    ASSERT_TRUE(read_frame(s.fd(), &f));  // RANGE...
+    EXPECT_EQ(f.type, Type::kRange);
+    // ...and then silence. Wait for the server to hang up on us.
+    while (read_frame(s.fd(), &f)) {
+    }
+  });
+
+  TestGrid grid(8);
+  server.run(grid.view());
+  worker.join();
+
+  grid.expect_complete();
+  EXPECT_EQ(server.stats().timeouts, 1);
+  EXPECT_EQ(server.stats().farmed, 0);
+  EXPECT_EQ(server.stats().fallback, 8);
+}
+
+TEST(FarmServer, NoWorkersMeansLocalFallbackAfterGrace) {
+  FarmServerDispatcher server(options(1.0, 0.05));
+  TestGrid grid(5);
+  server.run(grid.view());
+  grid.expect_complete();
+  EXPECT_EQ(grid.computed_locally, 5);
+  EXPECT_EQ(server.stats().fallback, 5);
+  EXPECT_EQ(server.stats().farmed, 0);
+}
+
+TEST(FarmServer, LateJoinerIsFastForwardedThroughCompletedSweeps) {
+  FarmServerDispatcher server(options(5.0, 0.2));
+  server.start();
+
+  // Sweep 1 completes with no workers at all (local fallback)...
+  TestGrid sweep1(6);
+  server.run(sweep1.view());
+  sweep1.expect_complete();
+
+  // ...then a worker joins before sweep 2. Its own main() would be at
+  // *its* sweep 1, so the server must replay sweep 1's frames first.
+  std::vector<long long> replayed;
+  std::vector<long long> broadcast2;
+  std::atomic<bool> hello_sent{false};
+  std::thread worker([&] {
+    Socket s = tcp_connect("127.0.0.1", server.port());
+    EXPECT_TRUE(s.valid());
+    EXPECT_TRUE(write_frame(s.fd(), make_hello("test-build", "unit")));
+    hello_sent = true;
+    Frame f;
+    EXPECT_TRUE(read_frame(s.fd(), &f));  // blocks until sweep 2 accepts
+    EXPECT_EQ(f.type, Type::kWelcome);
+    replayed = serve_one_sweep(s, -1);    // sweep 1: broadcast only
+    broadcast2 = serve_one_sweep(s, -1);  // sweep 2: serves ranges
+  });
+
+  // Only start sweep 2 once the join is in flight: its HELLO is then
+  // already buffered, so the accept beats the (short) grace deadline.
+  while (!hello_sent)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  TestGrid sweep2(10);
+  server.run(sweep2.view());
+  worker.join();
+
+  sweep2.expect_complete();
+  // The replayed sweep-1 history matches what the server computed.
+  ASSERT_EQ(replayed.size(), 6u);
+  for (std::size_t i = 0; i < replayed.size(); ++i)
+    EXPECT_EQ(replayed[i], value_at(i));
+  ASSERT_EQ(broadcast2.size(), 10u);
+  // Sweep 2 was actually farmed to the late joiner.
+  EXPECT_EQ(server.stats().farmed, 10);
+  EXPECT_EQ(sweep2.computed_locally, 0);
+}
+
+}  // namespace
+}  // namespace bsplogp::farm

@@ -1,0 +1,81 @@
+// --farm / --connect spec parsing (src/farm/spec.h): accepted forms land
+// in the right Spec fields; every rejection's complaint enumerates the
+// valid forms (the harness forwards these verbatim to the exit-2 path).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/farm/spec.h"
+
+namespace bsplogp::farm {
+namespace {
+
+TEST(FarmSpec, SpawnFormParsesCountAndDefaults) {
+  Spec s;
+  std::string err;
+  ASSERT_TRUE(parse_farm_spec("3", &s, &err)) << err;
+  EXPECT_EQ(s.role, Spec::Role::kServer);
+  EXPECT_EQ(s.spawn_workers, 3);
+  EXPECT_EQ(s.listen_host, "127.0.0.1");
+  EXPECT_EQ(s.listen_port, 0);  // ephemeral
+  EXPECT_DOUBLE_EQ(s.timeout_s, 30.0);
+  EXPECT_DOUBLE_EQ(s.grace_s, 10.0);
+  EXPECT_EQ(s.respawns, 4);
+}
+
+TEST(FarmSpec, SpawnFormAcceptsEveryKnob) {
+  Spec s;
+  std::string err;
+  ASSERT_TRUE(parse_farm_spec("2,timeout=5,respawns=1,grace=0.5", &s, &err))
+      << err;
+  EXPECT_EQ(s.spawn_workers, 2);
+  EXPECT_DOUBLE_EQ(s.timeout_s, 5.0);
+  EXPECT_EQ(s.respawns, 1);
+  EXPECT_DOUBLE_EQ(s.grace_s, 0.5);
+}
+
+TEST(FarmSpec, ListenFormParsesPortAndWorkers) {
+  Spec s;
+  std::string err;
+  ASSERT_TRUE(parse_farm_spec("listen:7000,workers=4,timeout=60", &s, &err))
+      << err;
+  EXPECT_EQ(s.role, Spec::Role::kServer);
+  EXPECT_EQ(s.spawn_workers, 0);
+  EXPECT_EQ(s.listen_host, "");  // all interfaces
+  EXPECT_EQ(s.listen_port, 7000);
+  EXPECT_EQ(s.expect_workers, 4);
+  EXPECT_DOUBLE_EQ(s.timeout_s, 60.0);
+}
+
+TEST(FarmSpec, RejectionsEnumerateTheValidForms) {
+  Spec s;
+  std::string err;
+  for (const char* bad :
+       {"", "zero", "0", "-1", "1025", "2,unknown=1", "2,timeout=-3",
+        "2,workers=2",          // workers is listen-only
+        "listen:0", "listen:respawns=1",
+        "listen:7000,respawns=1"}) {  // respawns is spawn-only
+    EXPECT_FALSE(parse_farm_spec(bad, &s, &err)) << bad;
+    EXPECT_NE(err.find(farm_spec_forms()), std::string::npos)
+        << "complaint for '" << bad << "' does not enumerate the forms: "
+        << err;
+  }
+}
+
+TEST(ConnectSpec, ParsesHostPortAndRejectsTheRest) {
+  Spec s;
+  std::string err;
+  ASSERT_TRUE(parse_connect_spec("farmhost:7000", &s, &err)) << err;
+  EXPECT_EQ(s.role, Spec::Role::kWorker);
+  EXPECT_EQ(s.connect_host, "farmhost");
+  EXPECT_EQ(s.connect_port, 7000);
+
+  for (const char* bad : {"", "nohost", ":7000", "host:", "host:0",
+                          "host:65536", "host:port"}) {
+    EXPECT_FALSE(parse_connect_spec(bad, &s, &err)) << bad;
+    EXPECT_NE(err.find("HOST:PORT"), std::string::npos) << err;
+  }
+}
+
+}  // namespace
+}  // namespace bsplogp::farm

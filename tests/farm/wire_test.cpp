@@ -1,0 +1,187 @@
+// Farm wire protocol (src/farm/wire.h): every frame builder round-trips
+// through write_frame/read_frame over a real socketpair, WireReader
+// rejects short reads, and read_frame rejects the poisoned framings —
+// zero length, oversize length, unknown type, EOF mid-frame.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "src/farm/wire.h"
+
+namespace bsplogp::farm {
+namespace {
+
+/// A connected local socket pair; [0] and [1] are the two ends.
+class Pair {
+ public:
+  Pair() { EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0); }
+  ~Pair() {
+    if (fds_[0] >= 0) ::close(fds_[0]);
+    if (fds_[1] >= 0) ::close(fds_[1]);
+  }
+  [[nodiscard]] int a() const { return fds_[0]; }
+  [[nodiscard]] int b() const { return fds_[1]; }
+  void close_b() {
+    ::close(fds_[1]);
+    fds_[1] = -1;
+  }
+
+ private:
+  int fds_[2] = {-1, -1};
+};
+
+TEST(Wire, HelloRoundTripsThroughARealSocket) {
+  Pair p;
+  ASSERT_TRUE(write_frame(p.a(), make_hello("build-abc", "thm1")));
+  Frame f;
+  ASSERT_TRUE(read_frame(p.b(), &f));
+  EXPECT_EQ(f.type, Type::kHello);
+  WireReader r(f.payload);
+  EXPECT_EQ(r.u32(), kProtocolVersion);
+  EXPECT_EQ(r.str(), "build-abc");
+  EXPECT_EQ(r.str(), "thm1");
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Wire, EveryFrameTypeRoundTrips) {
+  Pair p;
+  ASSERT_TRUE(write_frame(p.a(), make_welcome()));
+  ASSERT_TRUE(write_frame(p.a(), make_reject("build id mismatch")));
+  ASSERT_TRUE(write_frame(p.a(), make_sweep(3, 240)));
+  ASSERT_TRUE(write_frame(p.a(), make_range(16, 32)));
+  ASSERT_TRUE(write_frame(p.a(), make_result(17, "[1, 2.5, true]")));
+  ASSERT_TRUE(write_frame(p.a(), make_sweep_done(3)));
+  ASSERT_TRUE(write_frame(p.a(), make_shutdown()));
+
+  Frame f;
+  ASSERT_TRUE(read_frame(p.b(), &f));
+  EXPECT_EQ(f.type, Type::kWelcome);
+  EXPECT_TRUE(f.payload.empty());
+
+  ASSERT_TRUE(read_frame(p.b(), &f));
+  EXPECT_EQ(f.type, Type::kReject);
+  EXPECT_EQ(WireReader(f.payload).str(), "build id mismatch");
+
+  ASSERT_TRUE(read_frame(p.b(), &f));
+  EXPECT_EQ(f.type, Type::kSweep);
+  {
+    WireReader r(f.payload);
+    EXPECT_EQ(r.u64(), 3u);
+    EXPECT_EQ(r.u64(), 240u);
+    EXPECT_TRUE(r.done());
+  }
+
+  ASSERT_TRUE(read_frame(p.b(), &f));
+  EXPECT_EQ(f.type, Type::kRange);
+  {
+    WireReader r(f.payload);
+    EXPECT_EQ(r.u64(), 16u);
+    EXPECT_EQ(r.u64(), 32u);
+  }
+
+  ASSERT_TRUE(read_frame(p.b(), &f));
+  EXPECT_EQ(f.type, Type::kResult);
+  {
+    WireReader r(f.payload);
+    EXPECT_EQ(r.u64(), 17u);
+    EXPECT_EQ(r.rest(), "[1, 2.5, true]");
+  }
+
+  ASSERT_TRUE(read_frame(p.b(), &f));
+  EXPECT_EQ(f.type, Type::kSweepDone);
+  EXPECT_EQ(WireReader(f.payload).u64(), 3u);
+
+  ASSERT_TRUE(read_frame(p.b(), &f));
+  EXPECT_EQ(f.type, Type::kShutdown);
+}
+
+TEST(Wire, ReaderPoisonsOnShortReadsAndStaysPoisoned) {
+  const std::string two_bytes("\x01\x02", 2);
+  WireReader r(two_bytes);
+  EXPECT_EQ(r.u32(), 0u);  // needs 4 bytes, has 2
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u64(), 0u);  // poisoned forever
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.rest(), "");
+}
+
+TEST(Wire, ReaderRejectsStringLengthPastTheEnd) {
+  // Declared string length 100 with 1 byte of body.
+  std::string s;
+  put_u32(&s, 100);
+  s.push_back('x');
+  WireReader r(s);
+  EXPECT_EQ(r.str(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+void write_raw(int fd, const std::string& bytes) {
+  ASSERT_EQ(::send(fd, bytes.data(), bytes.size(), 0),
+            static_cast<ssize_t>(bytes.size()));
+}
+
+TEST(Wire, RejectsZeroLengthFrame) {
+  Pair p;
+  std::string raw;
+  put_u32(&raw, 0);  // a frame must at least carry its type byte
+  write_raw(p.a(), raw);
+  Frame f;
+  EXPECT_FALSE(read_frame(p.b(), &f));
+}
+
+TEST(Wire, RejectsOversizeFrameWithoutReadingTheBody) {
+  Pair p;
+  std::string raw;
+  put_u32(&raw, kMaxFrameBytes + 1);
+  write_raw(p.a(), raw);
+  Frame f;
+  // Rejected on the header alone — no 64 MiB allocation, no body wait.
+  EXPECT_FALSE(read_frame(p.b(), &f));
+}
+
+TEST(Wire, RejectsUnknownFrameType) {
+  Pair p;
+  std::string raw;
+  put_u32(&raw, 1);
+  raw.push_back(static_cast<char>(0x7f));
+  write_raw(p.a(), raw);
+  Frame f;
+  EXPECT_FALSE(read_frame(p.b(), &f));
+}
+
+TEST(Wire, EofMidFrameFailsTheRead) {
+  Pair p;
+  std::string raw;
+  put_u32(&raw, 10);  // promises 10 bytes...
+  raw.push_back(static_cast<char>(Type::kResult));
+  write_raw(p.a(), raw);  // ...delivers 1
+  ::shutdown(p.a(), SHUT_WR);
+  Frame f;
+  EXPECT_FALSE(read_frame(p.b(), &f));
+}
+
+TEST(Wire, EofBeforeAnyFrameFailsTheRead) {
+  Pair p;
+  ::shutdown(p.a(), SHUT_WR);
+  Frame f;
+  EXPECT_FALSE(read_frame(p.b(), &f));
+}
+
+TEST(Wire, WriteToAClosedPeerFailsInsteadOfRaisingSigpipe) {
+  Pair p;
+  p.close_b();
+  // First write may land in the kernel buffer; keep writing until the
+  // RST surfaces. The contract: failure comes back as `false`, never as
+  // a fatal SIGPIPE.
+  bool failed = false;
+  for (int i = 0; i < 64 && !failed; ++i)
+    failed = !write_frame(p.a(), make_result(1, std::string(1024, 'x')));
+  EXPECT_TRUE(failed);
+}
+
+}  // namespace
+}  // namespace bsplogp::farm
