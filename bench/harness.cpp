@@ -301,6 +301,22 @@ void Reporter::use_workloads(std::vector<std::string> names) {
   workloads_ = std::move(names);
 }
 
+workload::Spec Reporter::checked_spec(const std::string& family,
+                                      workload::Spec spec) {
+  const workload::Entry* e = workload::find(family);
+  if (e == nullptr) {
+    std::cerr << "harness: checked_spec(\"" << family
+              << "\"): not in workload::registry()\n";
+    std::exit(2);
+  }
+  std::string error;
+  if (!workload::validate(*e, spec, &error)) {
+    std::cerr << "harness: " << error << "\n";
+    std::exit(2);
+  }
+  return spec;
+}
+
 Series& Reporter::series(std::string id, std::vector<std::string> columns) {
   series_.emplace_back(std::move(id), std::move(columns));
   return series_.back();
@@ -352,6 +368,9 @@ int Reporter::finish() {
     for (const std::string& n : workloads_) {
       const workload::Entry* e = workload::find(n);
       std::cout << "  " << n << "  -- " << e->description << "\n";
+      const std::string domains = workload::describe_domains(*e);
+      if (!domains.empty())
+        std::cout << "      domain: " << domains << "\n";
     }
     std::cout << "series:\n";
     for (const Series& s : series_) std::cout << "  " << s.id() << "\n";

@@ -62,6 +62,7 @@
 #include "src/farm/dispatcher.h"
 #include "src/farm/spec.h"
 #include "src/trace/chrome_sink.h"
+#include "src/workload/workload.h"
 
 namespace bsplogp::farm {
 class FarmServerDispatcher;
@@ -141,8 +142,17 @@ class Reporter {
   /// Declares which registered workload families this bench sweeps.
   /// Each name is validated against workload::registry() — a typo or a
   /// renamed family dies loudly here instead of silently drifting from
-  /// the registry. Shown by --list.
+  /// the registry. Shown by --list (with each family's accepted Spec
+  /// parameter domains).
   void use_workloads(std::vector<std::string> names);
+
+  /// Validates `spec` against the named family's declared parameter
+  /// domains; on violation prints the domain-naming complaint (the same
+  /// farm-spec error style the flag parser uses) and exits 2. Benches
+  /// call this on every grid Spec before instantiating it, so an
+  /// out-of-domain sweep dies loudly instead of aborting mid-run.
+  static workload::Spec checked_spec(const std::string& family,
+                                     workload::Spec spec);
 
   /// The sweep-result cache for this run (never null; mode kOff when
   /// `--cache on|readonly` was not given, or when `--trace` is active —

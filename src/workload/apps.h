@@ -1,0 +1,72 @@
+// Application-shaped workload families built on src/part.
+//
+// The synthetic registry families exercise the models' cost terms in
+// isolation; these three reproduce the communication shapes of programs
+// people actually run, so the crossover studies (bench_app_crossover) say
+// something about applications, not just traffic patterns:
+//
+//   * stencil-2d — iterative 2-D diffusion on a Block-partitioned
+//     nx x ny mesh over a rows x cols processor grid: nearest-neighbour
+//     halo h-relations plus a global residual reduction every iteration
+//     (the CMFD-style mesh-exchange shape).
+//   * sample-sort — one-shot BSP sample sort of nx keys, block-cyclic
+//     dealt: local sort, regular sampling, splitter broadcast, bucket
+//     all-to-all, final local sort ("BSP Sorting: An Experimental Study").
+//   * bsf-iterative — master-worker iterative numerical kernel over nx
+//     cyclically dealt elements: broadcast x_t, partial reductions back to
+//     the master, next iterate (Sokolinsky's BSF model shape).
+//
+// Each family is defined exactly once as a pair of pure factories — a LogP
+// coroutine program vector and a BSP ProcProgram vector — that compute the
+// SAME per-processor result words from the same Spec, so one family runs
+// on all five executors (logp::Machine, bsp::Machine, both src/xsim
+// cross-sims, and the src/native thread backend) and differential tests
+// can pin the results against each other and against the serial oracles
+// below. BSP-side messages use only (dst, payload, tag): Theorem 2's
+// sort-and-route (xsim::BspOnLogp) does not carry aux/channel headers.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/bsp/program.h"
+#include "src/logp/proc.h"
+#include "src/part/partition.h"
+#include "src/workload/workload.h"
+
+namespace bsplogp::workload {
+
+/// The processor grid a 2-D partitioned family resolves from (p,
+/// grid_rows): rows x (p / rows), near-square when grid_rows == 0.
+[[nodiscard]] part::Grid app_grid(const Spec& s);
+
+/// stencil-2d: `rounds` Jacobi-style iterations on the nx x ny mesh.
+/// result (if set) is resized to p; processor i stores a hash of its final
+/// local cells plus the global residual history, so any two executors that
+/// agree on result agree on every cell and every reduction.
+[[nodiscard]] std::vector<logp::ProgramFn> stencil2d_logp(const Spec& s);
+[[nodiscard]] std::vector<std::unique_ptr<bsp::ProcProgram>> stencil2d_bsp(
+    const Spec& s);
+
+/// sample-sort: sorts nx keys dealt block-cyclically (block 4) across p.
+/// result (if set) holds per processor a hash of (final bucket size,
+/// sorted bucket contents).
+[[nodiscard]] std::vector<logp::ProgramFn> samplesort_logp(const Spec& s);
+[[nodiscard]] std::vector<std::unique_ptr<bsp::ProcProgram>> samplesort_bsp(
+    const Spec& s);
+
+/// bsf-iterative: `rounds` broadcast/reduce iterations over nx cyclically
+/// dealt elements. result (if set) holds per processor a hash of (final
+/// iterate x_T, the processor's last partial sum).
+[[nodiscard]] std::vector<logp::ProgramFn> bsf_logp(const Spec& s);
+[[nodiscard]] std::vector<std::unique_ptr<bsp::ProcProgram>> bsf_bsp(
+    const Spec& s);
+
+/// Serial oracles: the per-processor result vector each family must
+/// produce, computed with no message passing at all. The app differential
+/// tests pin every executor against these.
+[[nodiscard]] std::vector<Word> stencil2d_expected(const Spec& s);
+[[nodiscard]] std::vector<Word> samplesort_expected(const Spec& s);
+[[nodiscard]] std::vector<Word> bsf_expected(const Spec& s);
+
+}  // namespace bsplogp::workload

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <utility>
 
+#include <string>
+
 #include "src/algo/bsp_algorithms.h"
 #include "src/algo/logp_broadcast_opt.h"
 #include "src/algo/logp_collectives.h"
 #include "src/algo/mailbox.h"
 #include "src/core/contracts.h"
 #include "src/logp/params.h"
+#include "src/workload/apps.h"
 
 namespace bsplogp::workload {
 
@@ -309,6 +312,18 @@ std::vector<std::unique_ptr<bsp::ProcProgram>> holding(
   return out;
 }
 
+/// Shared cross-field check for the grid-partitioned families: grid_rows
+/// must evenly tile p (0 delegates to the near-square factorization).
+bool grid_divides_p(const Spec& s, const char* family, std::string* error) {
+  if (s.grid_rows == 0 || (s.grid_rows <= s.p && s.p % s.grid_rows == 0))
+    return true;
+  if (error != nullptr)
+    *error = "bad grid_rows '" + std::to_string(s.grid_rows) + "' for " +
+             family + " (want a divisor of p=" + std::to_string(s.p) +
+             ", or 0 = auto)";
+  return false;
+}
+
 std::vector<Entry> build_registry() {
   std::vector<Entry> reg;
   reg.push_back(Entry{
@@ -396,6 +411,48 @@ std::vector<Entry> build_registry() {
         auto progs = algo::bsp_odd_even_sort(s.p, state->blocks, state->out);
         return holding(state, std::move(progs));
       }});
+  reg.push_back(Entry{
+      "stencil-2d",
+      "iterative 2-D diffusion on a Block-partitioned nx x ny mesh: "
+      "nearest-neighbour halo exchange + global residual reduction per "
+      "iteration (knobs: p, nx, ny, rounds, grid_rows, seed)",
+      [](const Spec& s) { return stencil2d_logp(s); },
+      [](const Spec& s) { return stencil2d_bsp(s); },
+      {{"p", 1, 512, ""},
+       {"nx", 1, 4096, "mesh rows"},
+       {"ny", 1, 4096, "mesh columns"},
+       {"rounds", 1, 64, "iterations"},
+       {"grid_rows", 0, 512, "0 = auto near-square"}},
+      [](const Spec& s, std::string* error) {
+        return grid_divides_p(s, "stencil-2d", error);
+      }});
+  reg.push_back(Entry{
+      "sample-sort",
+      "one-shot BSP sample sort of nx keys dealt block-cyclically: local "
+      "sort, regular sampling, splitter broadcast, bucket all-to-all, "
+      "final sort (knobs: p, nx, seed)",
+      [](const Spec& s) { return samplesort_logp(s); },
+      [](const Spec& s) { return samplesort_bsp(s); },
+      {{"p", 1, 512, ""}, {"nx", 4, 1048576, "total keys; >= 4*p"}},
+      [](const Spec& s, std::string* error) {
+        if (s.nx >= 4 * static_cast<std::int64_t>(s.p)) return true;
+        if (error != nullptr)
+          *error = "bad nx '" + std::to_string(s.nx) +
+                   "' for sample-sort (want >= 4*p = " +
+                   std::to_string(4 * static_cast<std::int64_t>(s.p)) + ")";
+        return false;
+      }});
+  reg.push_back(Entry{
+      "bsf-iterative",
+      "master-worker BSF iterative kernel over nx cyclically dealt "
+      "elements: broadcast the iterate, partial reductions back to the "
+      "master (knobs: p, nx, rounds, seed)",
+      [](const Spec& s) { return bsf_logp(s); },
+      [](const Spec& s) { return bsf_bsp(s); },
+      {{"p", 1, 512, ""},
+       {"nx", 1, 1048576, "elements"},
+       {"rounds", 1, 64, "iterations"}},
+      nullptr});
   return reg;
 }
 
@@ -410,6 +467,48 @@ const Entry* find(std::string_view name) {
   for (const Entry& e : registry())
     if (e.name == name) return &e;
   return nullptr;
+}
+
+std::int64_t spec_field(const Spec& s, std::string_view name) {
+  if (name == "p") return s.p;
+  if (name == "k") return s.k;
+  if (name == "rounds") return s.rounds;
+  if (name == "max_jump") return s.max_jump;
+  if (name == "staged") return s.staged ? 1 : 0;
+  if (name == "seed") return static_cast<std::int64_t>(s.seed);
+  if (name == "nx") return s.nx;
+  if (name == "ny") return s.ny;
+  if (name == "grid_rows") return s.grid_rows;
+  BSPLOGP_EXPECTS(false && "unknown Spec field in a ParamDomain");
+  return 0;
+}
+
+std::string describe_domains(const Entry& e) {
+  std::string out;
+  for (const ParamDomain& d : e.domains) {
+    if (!out.empty()) out += "; ";
+    out += d.name + " in " + std::to_string(d.lo) + ".." +
+           std::to_string(d.hi);
+    if (!d.note.empty()) out += " (" + d.note + ")";
+  }
+  return out;
+}
+
+bool validate(const Entry& e, const Spec& s, std::string* error) {
+  for (const ParamDomain& d : e.domains) {
+    const std::int64_t v = spec_field(s, d.name);
+    if (v < d.lo || v > d.hi) {
+      if (error != nullptr) {
+        *error = "bad " + d.name + " '" + std::to_string(v) + "' for " +
+                 e.name + " (want " + std::to_string(d.lo) + ".." +
+                 std::to_string(d.hi) +
+                 (d.note.empty() ? "" : ", " + d.note) + ")";
+      }
+      return false;
+    }
+  }
+  if (e.constraint) return e.constraint(s, error);
+  return true;
 }
 
 }  // namespace bsplogp::workload

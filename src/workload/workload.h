@@ -174,12 +174,31 @@ struct Spec {
   bool staged = false;
   /// Seed for the stochastic families.
   std::uint64_t seed = 1;
-  /// Optional end-to-end result capture for the LogP families that
-  /// support one (all-to-all, cb-rounds, cb-arity, cb-greedy-pair,
-  /// ring-shift, hotspot, random-traffic): resized by the factory; must
+  /// Global problem size along the first axis: stencil-2d grid rows,
+  /// sample-sort total keys, bsf-iterative elements.
+  std::int64_t nx = 64;
+  /// Global problem size along the second axis (stencil-2d grid columns).
+  std::int64_t ny = 32;
+  /// Processor-grid rows for the 2-D partitioned families; must divide p.
+  /// 0 picks the most nearly square factorization of p.
+  ProcId grid_rows = 0;
+  /// Optional end-to-end result capture for the families that support one
+  /// (all-to-all, cb-rounds, cb-arity, cb-greedy-pair, ring-shift,
+  /// hotspot, random-traffic, and — on both the LogP and BSP side —
+  /// stencil-2d, sample-sort, bsf-iterative): resized by the factory; must
   /// outlive the programs. The differential suite instantiates the same
   /// Spec twice with two captures and compares them across executors.
   std::vector<Word>* result = nullptr;
+};
+
+/// One accepted parameter range of a family: Spec field `name` must lie in
+/// [lo, hi]. Printed by `--list` and enforced by validate(); `note`
+/// documents sentinel values ("0 = auto") or units.
+struct ParamDomain {
+  std::string name;
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  std::string note;
 };
 
 struct Entry {
@@ -191,7 +210,30 @@ struct Entry {
   std::function<std::vector<logp::ProgramFn>(const Spec&)> logp;
   std::function<std::vector<std::unique_ptr<bsp::ProcProgram>>(const Spec&)>
       bsp;
+  /// Accepted Spec parameter domains. Empty means "unconstrained": the
+  /// family reads whatever knobs its description names and tolerates any
+  /// value the Spec defaults make sensible.
+  std::vector<ParamDomain> domains;
+  /// Optional cross-field check (e.g. grid_rows must divide p). Returns
+  /// false and fills *error in the farm-spec style on violation.
+  std::function<bool(const Spec&, std::string*)> constraint;
 };
+
+/// Reads the Spec field `name` ("p", "k", "rounds", "max_jump", "staged",
+/// "seed", "nx", "ny", "grid_rows") as an integer, for domain checks and
+/// domain-aware printing.
+[[nodiscard]] std::int64_t spec_field(const Spec& s, std::string_view name);
+
+/// One line per domain, e.g. "p in 1..512; nx in 4..1048576 (total keys)".
+/// Empty string when the entry declares no domains.
+[[nodiscard]] std::string describe_domains(const Entry& e);
+
+/// True iff `s` lies inside every declared domain of `e` and satisfies its
+/// constraint. On violation fills *error (if non-null) in the farm spec
+/// style, naming the offending value and the accepted domain, e.g.
+/// "bad nx '8' for sample-sort (want 4..1048576)".
+[[nodiscard]] bool validate(const Entry& e, const Spec& s,
+                            std::string* error = nullptr);
 
 /// All registered families, in stable display order.
 [[nodiscard]] const std::vector<Entry>& registry();

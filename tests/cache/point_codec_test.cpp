@@ -9,10 +9,12 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <limits>
 #include <string>
 
 #include "src/cache/point_codec.h"
+#include "src/core/json.h"
 #include "src/core/rng.h"
 
 namespace bsplogp::cache {
@@ -159,6 +161,43 @@ TEST(PointCodec, MutationFuzzNeverYieldsAPartialDecode) {
     // of every edit.
   }
   EXPECT_GT(rejected, 0);  // the fuzz actually exercised the reject path
+}
+
+TEST(PointCodec, UnicodeEscapesRoundTripGridShapedKeys) {
+  // Grid-shaped point keys (the bench_app_crossover style: family, grid
+  // dims, and sizes packed into one string) with every control byte
+  // embedded: the encoder must spell them \u00XX and the decoder must
+  // restore the exact bytes. Multi-byte UTF-8 passes through raw.
+  for (int ctrl = 0; ctrl < 0x20; ++ctrl) {
+    Outer v;
+    v.label = "f=stencil-2d;grid=2x3;nx=12;ny=8";
+    v.label.push_back(static_cast<char>(ctrl));
+    v.label += "\xc3\xa9\xe2\x82\xac";  // é and the euro sign, as UTF-8
+    const std::string payload = PointCodec::encode(v);
+    if (ctrl != '\n' && ctrl != '\t' && ctrl != '\r') {
+      char esc[8];
+      std::snprintf(esc, sizeof esc, "\\u%04x", ctrl);
+      EXPECT_NE(payload.find(esc), std::string::npos) << payload;
+    }
+    Outer back;
+    ASSERT_TRUE(PointCodec::decode(payload, &back)) << payload;
+    EXPECT_EQ(back.label, v.label) << "ctrl byte " << ctrl;
+    EXPECT_EQ(PointCodec::encode(back), payload);
+  }
+}
+
+TEST(PointCodec, CoreParserDecodesUnicodeEscapesToUtf8) {
+  // \uXXXX above 0x7F decodes to multi-byte UTF-8: one-, two-, and
+  // three-byte sequences from the same escape syntax.
+  core::JsonValue doc;
+  ASSERT_TRUE(
+      core::JsonParser("[\"g=2x3;\\u0041\\u00e9\\u20ac\"]").parse(doc));
+  ASSERT_EQ(doc.array.size(), 1u);
+  EXPECT_EQ(doc.array[0].str, "g=2x3;A\xc3\xa9\xe2\x82\xac");
+  // Truncated and non-hex escapes are malformed, not silently accepted.
+  core::JsonValue bad;
+  EXPECT_FALSE(core::JsonParser(R"(["\u12"])").parse(bad));
+  EXPECT_FALSE(core::JsonParser(R"(["\u12zz"])").parse(bad));
 }
 
 }  // namespace

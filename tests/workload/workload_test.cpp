@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "src/bsp/machine.h"
 #include "src/core/rng.h"
 #include "src/logp/machine.h"
+#include "src/workload/apps.h"
 #include "src/workload/workload.h"
 
 namespace bsplogp::workload {
@@ -166,6 +168,80 @@ TEST(Workload, RingShiftCompletesWithOneMessagePerProcPerRound) {
   EXPECT_TRUE(st.completed());
   EXPECT_TRUE(st.stall_free());  // balanced 1-relations never stall
   EXPECT_EQ(st.messages, static_cast<Time>(p) * rounds);
+}
+
+TEST(WorkloadDomains, DescribeDomainsNamesEveryKnob) {
+  const Entry* stencil = find("stencil-2d");
+  ASSERT_NE(stencil, nullptr);
+  const std::string d = describe_domains(*stencil);
+  EXPECT_NE(d.find("p in 1..512"), std::string::npos) << d;
+  EXPECT_NE(d.find("nx in 1..4096 (mesh rows)"), std::string::npos) << d;
+  EXPECT_NE(d.find("grid_rows in 0..512 (0 = auto near-square)"),
+            std::string::npos)
+      << d;
+  // Families without knob domains describe to the empty string.
+  const Entry* a2a = find("all-to-all");
+  ASSERT_NE(a2a, nullptr);
+  EXPECT_EQ(describe_domains(*a2a), "");
+}
+
+TEST(WorkloadDomains, ValidateAcceptsTheDefaultSpecEverywhere) {
+  Spec spec;
+  spec.p = 6;
+  spec.k = 2;
+  spec.rounds = 2;
+  for (const Entry& e : registry()) {
+    std::string error;
+    EXPECT_TRUE(validate(e, spec, &error)) << e.name << ": " << error;
+  }
+}
+
+TEST(WorkloadDomains, ValidateNamesTheFieldTheValueAndTheDomain) {
+  const Entry* stencil = find("stencil-2d");
+  ASSERT_NE(stencil, nullptr);
+  Spec spec;
+  spec.p = 6;
+  spec.rounds = 99;
+  std::string error;
+  EXPECT_FALSE(validate(*stencil, spec, &error));
+  EXPECT_EQ(error, "bad rounds '99' for stencil-2d (want 1..64, iterations)");
+}
+
+TEST(WorkloadDomains, CrossFieldConstraintsReportTheirRule) {
+  const Entry* stencil = find("stencil-2d");
+  ASSERT_NE(stencil, nullptr);
+  Spec spec;
+  spec.p = 6;
+  spec.grid_rows = 5;  // does not divide 6
+  std::string error;
+  EXPECT_FALSE(validate(*stencil, spec, &error));
+  EXPECT_EQ(error,
+            "bad grid_rows '5' for stencil-2d (want a divisor of p=6, "
+            "or 0 = auto)");
+
+  const Entry* sort = find("sample-sort");
+  ASSERT_NE(sort, nullptr);
+  Spec small;
+  small.p = 4;
+  small.nx = 8;  // needs >= 4*p = 16
+  error.clear();
+  EXPECT_FALSE(validate(*sort, small, &error));
+  EXPECT_EQ(error, "bad nx '8' for sample-sort (want >= 4*p = 16)");
+}
+
+TEST(WorkloadDomains, AppFactoriesRefuseOutOfDomainSpecs) {
+  Spec spec;
+  spec.p = 6;
+  spec.grid_rows = 5;
+  EXPECT_THROW((void)stencil2d_bsp(spec), std::invalid_argument);
+  Spec small;
+  small.p = 4;
+  small.nx = 8;
+  EXPECT_THROW((void)samplesort_logp(small), std::invalid_argument);
+  Spec rounds;
+  rounds.p = 4;
+  rounds.rounds = 1000;
+  EXPECT_THROW((void)bsf_bsp(rounds), std::invalid_argument);
 }
 
 }  // namespace
