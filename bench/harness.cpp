@@ -29,12 +29,18 @@ std::string real_to_json(double v) {
                                  const std::string& complaint) {
   std::cerr << "bench_" << name << ": " << complaint << "\n"
             << "usage: bench_" << name
-            << " [--smoke] [--jobs N] [--json <path>] [--trace <path>]"
+            << " [--smoke] [--jobs N] [--repeat N] [--json <path>]"
+               " [--trace <path>]"
                " [--cache on|off|readonly] [--cache-dir <dir>] [--list]"
                " [--deep] [--farm SPEC] [--connect HOST:PORT]\n"
             << "  --smoke        tiny CI sweep (ctest -L bench_smoke)\n"
             << "  --jobs N       run sweep grid points on N threads"
                " (N in 1..4096); output is identical for every N\n"
+            << "  --repeat N     run every measurement N times (N in"
+               " 1..1000): sweep points re-verify\n"
+               "                 byte-identical results, wall-clock loops"
+               " report the median;\n"
+               "                 output is identical for every N\n"
             << "  --json <path>  also write the machine-readable document\n"
             << "  --trace <path> Chrome trace-event JSON of the traced runs"
                " (forces --cache off)\n"
@@ -188,6 +194,15 @@ Reporter::Reporter(int argc, char** argv, std::string bench_name)
         usage_and_exit(name_, std::string("bad --jobs value '") + argv[i] +
                                   "' (want an integer 1..4096)");
       jobs_ = static_cast<int>(v);
+    } else if (arg == "--repeat") {
+      if (i + 1 >= argc)
+        usage_and_exit(name_, "--repeat needs a count (an integer 1..1000)");
+      char* end = nullptr;
+      const long v = std::strtol(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || v < 1 || v > 1000)
+        usage_and_exit(name_, std::string("bad --repeat value '") + argv[i] +
+                                  "' (want an integer 1..1000)");
+      repeat_ = static_cast<int>(v);
     } else if (arg == "--cache") {
       if (i + 1 >= argc) usage_and_exit(name_, "--cache needs a mode");
       if (!cache::parse_mode(argv[++i], &cache_mode_))
@@ -217,6 +232,12 @@ Reporter::Reporter(int argc, char** argv, std::string bench_name)
     if (jobs_ > 1) {
       worker_argv_.push_back("--jobs");
       worker_argv_.push_back(std::to_string(jobs_));
+    }
+    if (repeat_ > 1) {
+      // Workers compute the farmed points, so they carry the repeat
+      // re-verification too.
+      worker_argv_.push_back("--repeat");
+      worker_argv_.push_back(std::to_string(repeat_));
     }
     // --cache is deliberately NOT forwarded: the server alone owns the
     // cache (it replays hits before farming and commits every accepted
@@ -345,6 +366,7 @@ void Reporter::write_json(std::ostream& os) const {
   const cache::Stats cs = cache()->stats();
   os << "{\"bench\": \"" << json_escape(name_) << "\", \"smoke\": "
      << (smoke_ ? "true" : "false") << ", \"jobs\": " << jobs_
+     << ", \"repeat\": " << repeat_
      << ", \"cache\": {\"mode\": \"" << cache::to_string(cache_mode_)
      << "\", \"hits\": " << cs.hits << ", \"misses\": " << cs.misses
      << ", \"stale_evictions\": " << cs.stale_evictions

@@ -11,6 +11,10 @@
 //                              # (open in Perfetto / chrome://tracing)
 //   bench_foo --jobs N         # run sweep grid points on N threads; output
 //                              # is byte-identical for every N
+//   bench_foo --repeat N       # run every measurement N times: sweep grid
+//                              # points re-verify byte-identical results,
+//                              # wall-clock loops report the median; output
+//                              # is byte-identical for every N
 //   bench_foo --cache on       # content-addressed sweep cache: unchanged
 //                              # grid points replay from disk (DESIGN.md
 //                              # §10); `readonly` reads but never writes,
@@ -49,6 +53,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <deque>
 #include <functional>
 #include <iosfwd>
@@ -129,6 +134,15 @@ class Reporter {
   /// SweepRunner; a bench whose output must be byte-identical across job
   /// counts must never branch on this value.
   [[nodiscard]] int jobs() const { return jobs_; }
+
+  /// Repetitions per measurement (--repeat N, default 1). Two consumers:
+  /// SweepRunner re-computes every live grid point N times and aborts
+  /// unless the PointCodec encodings are byte-identical (model results
+  /// must be a pure function of the grid point — repeats prove it, and
+  /// therefore never change output); wall-clock benches run each timing
+  /// loop N times and report the median, so BENCH_*.json trajectory
+  /// numbers stop jittering on loaded runners.
+  [[nodiscard]] int repeat() const { return repeat_; }
 
   /// --list mode: the bench declares its workloads and series, runs
   /// nothing, and finish() prints the enumeration instead of results.
@@ -217,6 +231,7 @@ class Reporter {
   bool list_ = false;
   bool deep_ = false;
   int jobs_ = 1;
+  int repeat_ = 1;
   cache::Mode cache_mode_ = cache::Mode::kOff;
   std::string cache_dir_ = ".bsplogp-cache";
   farm::Spec farm_;  // role kNone unless --farm / --connect was given
@@ -252,19 +267,20 @@ class Reporter {
 class SweepRunner {
  public:
   explicit SweepRunner(const Reporter& rep)
-      : jobs_(rep.jobs()), cache_(rep.cache()), local_(rep.jobs(), rep.pool()),
-        dispatcher_(rep.dispatcher()) {}
+      : jobs_(rep.jobs()), repeat_(rep.repeat()), cache_(rep.cache()),
+        local_(rep.jobs(), rep.pool()), dispatcher_(rep.dispatcher()) {}
   /// Backend-free form (tests, bench_engine's timed micro-sweeps): a
   /// plain local dispatch over `jobs`, no farm. Allocation-free — the
   /// LocalDispatcher is a value member, so constructing a SweepRunner in
   /// a timing loop costs what it did before the farm existed.
   explicit SweepRunner(int jobs, cache::PointCache* cache = nullptr,
-                       core::ThreadPool* pool = nullptr)
-      : jobs_(jobs), cache_(cache), local_(jobs, pool),
+                       core::ThreadPool* pool = nullptr, int repeat = 1)
+      : jobs_(jobs), repeat_(repeat), cache_(cache), local_(jobs, pool),
         dispatcher_(&local_) {}
 
   SweepRunner(const SweepRunner& other)
-      : jobs_(other.jobs_), cache_(other.cache_), local_(other.local_),
+      : jobs_(other.jobs_), repeat_(other.repeat_), cache_(other.cache_),
+        local_(other.local_),
         dispatcher_(other.dispatcher_ == &other.local_ ? &local_
                                                        : other.dispatcher_) {}
   SweepRunner& operator=(const SweepRunner&) = delete;
@@ -297,6 +313,26 @@ class SweepRunner {
   [[nodiscard]] std::vector<R> run_grid(std::size_t n, bool cached,
                                         const K& key_fn, const F& fn) const {
     std::vector<R> out(n);
+    // Live compute, under --repeat N re-evaluated N times with the
+    // PointCodec encodings demanded byte-identical: a sweep point must be
+    // a pure function of its grid index, so repeats can only confirm the
+    // result, never change it — which is what keeps output byte-identical
+    // at every --repeat value. A divergence is a determinism bug
+    // (wall-clock leaking into a model result, a stray global rng) and
+    // dies loudly instead of poisoning the trajectory.
+    const auto compute_checked = [&](std::size_t i) {
+      R first = fn(i);
+      for (int r = 1; r < repeat_; ++r) {
+        const R again = fn(i);
+        if (cache::PointCodec::encode(again) !=
+            cache::PointCodec::encode(first)) {
+          Reporter::diag("sweep: grid point " + std::to_string(i) +
+                         " is nondeterministic across --repeat runs");
+          std::abort();
+        }
+      }
+      return first;
+    };
     farm::GridView grid;
     grid.n = n;
     // Range compute: one std::function call per chunk; the per-point
@@ -308,10 +344,10 @@ class SweepRunner {
         if (cached) {
           const cache::PointKey key = key_fn(i);
           if (cache_->try_get(key, &out[i])) continue;
-          out[i] = fn(i);
+          out[i] = compute_checked(i);
           cache_->put(key, out[i]);
         } else {
-          out[i] = fn(i);
+          out[i] = compute_checked(i);
         }
       }
     };
@@ -334,6 +370,7 @@ class SweepRunner {
   }
 
   int jobs_;
+  int repeat_ = 1;
   cache::PointCache* cache_ = nullptr;
   farm::LocalDispatcher local_;
   farm::Dispatcher* dispatcher_;

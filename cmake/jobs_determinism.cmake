@@ -81,4 +81,34 @@ foreach(chunk 1 7 1000000000)
   endif()
 endforeach()
 
-message(STATUS "jobs determinism OK (jobs 1/4, chunks 1/7/10^9): ${BENCH}")
+# --repeat leg: every live grid point is computed twice and the sweep
+# aborts unless both evaluations encode byte-identically, so this leg both
+# exercises the re-verification path and proves repeats never change a
+# byte of output. Compared against the --jobs 1 baseline; the JSON's
+# self-describing "repeat" field is neutralized like "jobs".
+execute_process(
+  COMMAND "${BENCH}" --smoke --jobs 4 --repeat 2
+    --json "${WORKDIR}/doc_repeat2.json"
+    --trace "${WORKDIR}/trace_repeat2.json"
+  OUTPUT_VARIABLE stdout_repeat
+  ERROR_VARIABLE stderr_repeat
+  RESULT_VARIABLE status_repeat)
+if(NOT status_repeat EQUAL 0)
+  message(FATAL_ERROR "${BENCH} --repeat 2 exited ${status_repeat}:\n${stderr_repeat}")
+endif()
+if(NOT stdout_1 STREQUAL stdout_repeat)
+  message(FATAL_ERROR "stdout differs between --repeat 1 and --repeat 2 for ${BENCH}")
+endif()
+file(READ "${WORKDIR}/trace_repeat2.json" trace_repeat)
+if(NOT trace_1 STREQUAL trace_repeat)
+  message(FATAL_ERROR "Chrome trace differs under --repeat 2 for ${BENCH}")
+endif()
+file(READ "${WORKDIR}/doc_repeat2.json" doc_repeat)
+string(REGEX REPLACE "\"jobs\": [0-9]+" "\"jobs\": N" doc_repeat "${doc_repeat}")
+string(REGEX REPLACE "\"repeat\": [0-9]+" "\"repeat\": N" doc_repeat "${doc_repeat}")
+string(REGEX REPLACE "\"repeat\": [0-9]+" "\"repeat\": N" doc_1r "${doc_1}")
+if(NOT doc_1r STREQUAL doc_repeat)
+  message(FATAL_ERROR "JSON document differs (beyond jobs/repeat fields) between --repeat 1 and --repeat 2 for ${BENCH}")
+endif()
+
+message(STATUS "jobs determinism OK (jobs 1/4, chunks 1/7/10^9, repeat 2): ${BENCH}")

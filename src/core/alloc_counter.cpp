@@ -1,0 +1,28 @@
+#include "src/core/alloc_counter.h"
+
+namespace bsplogp::core {
+
+namespace detail {
+
+AllocCounters* alloc_counters() noexcept {
+  // Function-local so the hooks (which run before main, possibly before
+  // any namespace-scope dynamic initializer) always see a constructed
+  // object. Atomics zero-initialize; constinit-equivalent.
+  static AllocCounters counters{};
+  return &counters;
+}
+
+}  // namespace detail
+
+bool AllocCounter::installed() noexcept {
+  return detail::alloc_counters()->installed.load(std::memory_order_relaxed);
+}
+
+AllocCounter::Snapshot AllocCounter::now() noexcept {
+  detail::AllocCounters* c = detail::alloc_counters();
+  return Snapshot{c->allocs.load(std::memory_order_relaxed),
+                  c->frees.load(std::memory_order_relaxed),
+                  c->bytes.load(std::memory_order_relaxed)};
+}
+
+}  // namespace bsplogp::core

@@ -1,0 +1,62 @@
+// Global-allocation counting for perf tests and the bench harness.
+//
+// The engine's perf contract is stronger than "fast": the steady-state hot
+// loop performs ZERO heap allocations per event (frame arena, ring
+// buffers, SoA calendar queue — DESIGN.md §15). Wall-clock benches can't
+// pin that — an allocation regression hides inside runner jitter — so the
+// contract is enforced by counting.
+//
+// Counting is opt-in per binary: linking the `bsplogp_alloc_hooks` object
+// library (src/core/alloc_hooks.cpp) replaces the global operator
+// new/delete with counting forwarders to malloc/free. Binaries that don't
+// link it run the stock allocator and every AllocCounter query returns
+// zeros with installed() == false — callers (bench_engine_throughput's
+// allocs_per_event metrics, tests/logp/machine_alloc_test.cpp) must gate
+// on installed().
+//
+// Counters are process-wide relaxed atomics: cheap enough to leave on in
+// the linked binaries, precise enough for delta measurements around a
+// single-threaded region. Use Snapshot/since() for deltas.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace bsplogp::core {
+
+class AllocCounter {
+ public:
+  struct Snapshot {
+    std::int64_t allocs = 0;
+    std::int64_t frees = 0;
+    std::int64_t bytes = 0;
+  };
+
+  /// True iff the counting operator new/delete replacements are linked
+  /// into this binary (bsplogp_alloc_hooks).
+  [[nodiscard]] static bool installed() noexcept;
+
+  /// Totals since process start (zeros when !installed()).
+  [[nodiscard]] static Snapshot now() noexcept;
+
+  /// Delta of the current totals against an earlier snapshot.
+  [[nodiscard]] static Snapshot since(const Snapshot& start) noexcept {
+    const Snapshot cur = now();
+    return Snapshot{cur.allocs - start.allocs, cur.frees - start.frees,
+                    cur.bytes - start.bytes};
+  }
+};
+
+namespace detail {
+// Backing counters, bumped by the alloc_hooks.cpp operators. Defined in
+// alloc_counter.cpp so they exist (as zeros) even without the hooks.
+struct AllocCounters {
+  std::atomic<std::int64_t> allocs;
+  std::atomic<std::int64_t> frees;
+  std::atomic<std::int64_t> bytes;
+  std::atomic<bool> installed;
+};
+AllocCounters* alloc_counters() noexcept;
+}  // namespace detail
+
+}  // namespace bsplogp::core

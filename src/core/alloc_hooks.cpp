@@ -1,0 +1,120 @@
+// Counting replacements for the global operator new/delete family.
+//
+// Compiled into the `bsplogp_alloc_hooks` OBJECT library — an object
+// library, not a static archive, because the linker only prefers these
+// replacements over libstdc++'s operators when the object file is force-
+// included in the link. Binaries that link it get every global allocation
+// counted via core::AllocCounter; binaries that don't are untouched.
+//
+// The replacements forward to std::malloc / std::aligned_alloc / std::free
+// and bump process-wide relaxed atomics. No allocation happens inside the
+// hooks themselves (the counter storage is a function-local struct of
+// atomics), so they are safe from static initializers onward.
+#include <cstdlib>
+#include <new>
+
+#include "src/core/alloc_counter.h"
+
+namespace {
+
+using bsplogp::core::detail::alloc_counters;
+
+// Runs during static initialization of any binary linking this object,
+// flipping AllocCounter::installed() to true.
+const bool g_mark_installed = [] {
+  alloc_counters()->installed.store(true, std::memory_order_relaxed);
+  return true;
+}();
+
+void* counted_alloc(std::size_t size) noexcept {
+  auto* c = alloc_counters();
+  c->allocs.fetch_add(1, std::memory_order_relaxed);
+  c->bytes.fetch_add(static_cast<std::int64_t>(size),
+                     std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* counted_alloc_aligned(std::size_t size, std::size_t align) noexcept {
+  auto* c = alloc_counters();
+  c->allocs.fetch_add(1, std::memory_order_relaxed);
+  c->bytes.fetch_add(static_cast<std::int64_t>(size),
+                     std::memory_order_relaxed);
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  return std::aligned_alloc(align, rounded == 0 ? align : rounded);
+}
+
+void counted_free(void* p) noexcept {
+  if (p == nullptr) return;
+  alloc_counters()->frees.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+}  // namespace
+
+// ---- throwing allocation ---------------------------------------------------
+
+void* operator new(std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = counted_alloc_aligned(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = counted_alloc_aligned(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+// ---- nothrow allocation ----------------------------------------------------
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+
+// ---- deallocation ----------------------------------------------------------
+
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}

@@ -1,0 +1,157 @@
+// Size-bucketed free-list arena for coroutine frames.
+//
+// Every logp::Task<T> coroutine frame is allocated through here (the
+// promise's class-level operator new/delete in src/logp/task.h). The arena
+// exists because frames are the last per-event heap traffic in the engine's
+// steady state: re-running a program on a reused logp::Machine, or awaiting
+// a collective sub-task inside one, creates and destroys frames of the same
+// handful of sizes over and over. Routing them through a per-machine
+// free-list turns that churn into a pointer pop/push.
+//
+// Mechanics:
+//   * An allocation is headed by 16 bytes recording the owning arena and
+//     the block's rounded size, so deallocation needs no thread-local or
+//     context — it reads the header and returns the block to its owner
+//     (or to the global heap when the frame was created with no arena
+//     active). The header keeps the payload max_align-aligned.
+//   * Sizes round up to 64-byte classes; freed blocks park on a per-class
+//     LIFO so the next same-class frame reuses the hottest block.
+//   * FrameArena::Scope installs an arena as the thread's current one for
+//     a dynamic extent; Task's operator new consults exactly that.
+//     logp::Machine::run_impl scopes its member arena around the event
+//     loop, and native::run_logp scopes one per processor thread.
+//
+// Lifetime rule (DESIGN.md §15): a frame allocated under an arena must be
+// destroyed before that arena — for engine frames, before the Machine that
+// ran the program is destroyed — and on the thread that runs that machine.
+// The engine guarantees this for everything it owns (root tasks live in
+// EngineProcs; sub-task frames die inside their parent's frame); a program
+// that smuggles a Task out through a capture takes the rule on itself.
+// The arena is deliberately NOT thread-safe: one machine, one thread.
+//
+// All backing memory comes from ::operator new/delete (never raw malloc),
+// so the core::AllocCounter harness observes arena growth like any other
+// allocation — which is what lets tests pin "zero allocations per run
+// after warmup" without a blind spot.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+#include "src/core/contracts.h"
+
+namespace bsplogp::core {
+
+class FrameArena {
+ public:
+  FrameArena() = default;
+  FrameArena(const FrameArena&) = delete;
+  FrameArena& operator=(const FrameArena&) = delete;
+
+  ~FrameArena() {
+    // Only parked (freed) blocks are owned here; live frames must already
+    // be gone (see the lifetime rule above).
+    for (std::vector<void*>& bucket : free_)
+      for (void* raw : bucket) ::operator delete(raw);
+  }
+
+  /// Allocates a frame of at least `size` bytes, reusing a parked block of
+  /// the same size class when one exists.
+  void* allocate(std::size_t size) {
+    const std::size_t total = rounded(size);
+    const std::size_t cls = total / kGranularity;
+    if (cls < free_.size() && !free_[cls].empty()) {
+      void* raw = free_[cls].back();
+      free_[cls].pop_back();
+      reused_ += 1;
+      return payload_of(raw);
+    }
+    fresh_ += 1;
+    return stamp(::operator new(total), this, total);
+  }
+
+  /// Returns a frame to its owning arena's free list — or to the global
+  /// heap if it was allocated with no arena active. Static: the owner is
+  /// read from the block header, never from thread state.
+  static void deallocate(void* payload) noexcept {
+    Header* h = header_of(payload);
+    if (h->owner == nullptr) {
+      ::operator delete(static_cast<void*>(h));
+      return;
+    }
+    h->owner->park(static_cast<void*>(h), h->bytes);
+  }
+
+  /// Allocation entry point for coroutine promises: the thread's current
+  /// arena if one is scoped, else a headed global-heap block.
+  static void* allocate_frame(std::size_t size) {
+    FrameArena* a = current();
+    if (a != nullptr) return a->allocate(size);
+    const std::size_t total = rounded(size);
+    return stamp(::operator new(total), nullptr, total);
+  }
+
+  [[nodiscard]] static FrameArena* current() noexcept { return tl_current; }
+
+  /// Installs an arena as the thread's current one for a dynamic extent
+  /// (nestable: restores the previous arena on exit).
+  class Scope {
+   public:
+    explicit Scope(FrameArena* a) noexcept : prev_(tl_current) {
+      tl_current = a;
+    }
+    ~Scope() { tl_current = prev_; }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    FrameArena* prev_;
+  };
+
+  /// Blocks taken from ::operator new (growth) vs. recycled off a free
+  /// list. After warmup a steady-state engine loop adds only reuses.
+  [[nodiscard]] std::int64_t fresh_blocks() const { return fresh_; }
+  [[nodiscard]] std::int64_t reused_blocks() const { return reused_; }
+
+ private:
+  struct alignas(alignof(std::max_align_t)) Header {
+    FrameArena* owner;
+    std::size_t bytes;  // rounded total, header included
+  };
+  static_assert(sizeof(Header) % alignof(std::max_align_t) == 0,
+                "header must preserve payload alignment");
+
+  static constexpr std::size_t kGranularity = 64;
+
+  static std::size_t rounded(std::size_t size) {
+    return (size + sizeof(Header) + kGranularity - 1) & ~(kGranularity - 1);
+  }
+  static Header* header_of(void* payload) noexcept {
+    return static_cast<Header*>(payload) - 1;
+  }
+  static void* payload_of(void* raw) noexcept {
+    return static_cast<void*>(static_cast<Header*>(raw) + 1);
+  }
+  static void* stamp(void* raw, FrameArena* owner, std::size_t total) {
+    auto* h = static_cast<Header*>(raw);
+    h->owner = owner;
+    h->bytes = total;
+    return payload_of(raw);
+  }
+
+  void park(void* raw, std::size_t total) {
+    const std::size_t cls = total / kGranularity;
+    if (cls >= free_.size()) free_.resize(cls + 1);
+    free_[cls].push_back(raw);
+  }
+
+  static inline thread_local FrameArena* tl_current = nullptr;
+
+  std::vector<std::vector<void*>> free_;  // [size class] -> parked blocks
+  std::int64_t fresh_ = 0;
+  std::int64_t reused_ = 0;
+};
+
+}  // namespace bsplogp::core

@@ -1,0 +1,180 @@
+// A small-buffer-optimized owning callable: std::function's shape without
+// its guaranteed heap round-trip for engine-sized captures.
+//
+// logp::ProgramFn and the workload factories bind per-processor lambdas
+// whose captures are a few pointers (result arrays, parameters, a proc
+// count). libstdc++'s std::function only inlines captures up to 16 bytes,
+// so binding p programs costs p heap allocations — measurable at
+// p = 65536 and counted by the AllocCounter harness. SmallFn inlines
+// captures up to kInlineBytes (48 by default: two cache lines total with
+// the two dispatch pointers), falling back to the heap only for larger
+// state.
+//
+// Dispatch is two raw function pointers (invoke + manage) rather than a
+// virtual table: calling through a SmallFn is one indirect call with no
+// vtable load. Like std::function, operator() is const-qualified but
+// invokes the stored callable as non-const (mutable lambdas work), and the
+// stored callable must be copy-constructible.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "src/core/contracts.h"
+
+namespace bsplogp::core {
+
+template <typename Signature, std::size_t InlineBytes = 48>
+class SmallFn;
+
+template <typename R, typename... Args, std::size_t InlineBytes>
+class SmallFn<R(Args...), InlineBytes> {
+ public:
+  static constexpr std::size_t kInlineBytes = InlineBytes;
+
+  SmallFn() noexcept = default;
+  SmallFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, SmallFn> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    construct<D>(std::forward<F>(f));
+  }
+
+  SmallFn(const SmallFn& other) { copy_from(other); }
+  SmallFn(SmallFn&& other) noexcept { move_from(other); }
+
+  SmallFn& operator=(const SmallFn& other) {
+    if (this != &other) {
+      reset();
+      copy_from(other);
+    }
+    return *this;
+  }
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  SmallFn& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  ~SmallFn() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return invoke_ != nullptr;
+  }
+  friend bool operator==(const SmallFn& f, std::nullptr_t) noexcept {
+    return f.invoke_ == nullptr;
+  }
+  friend bool operator!=(const SmallFn& f, std::nullptr_t) noexcept {
+    return f.invoke_ != nullptr;
+  }
+
+  R operator()(Args... args) const {
+    BSPLOGP_EXPECTS(invoke_ != nullptr);
+    return invoke_(this, std::forward<Args>(args)...);
+  }
+
+ private:
+  enum class Op { Destroy, Copy, Move };
+
+  using Invoke = R (*)(const SmallFn*, Args&&...);
+  // Destroy: (self, nullptr). Copy: (destination, source).
+  // Move: (destination, source) — source is left empty (its invoke_ and
+  // manage_ are cleared by the op).
+  using Manage = void (*)(Op, SmallFn*, SmallFn*);
+
+  template <typename D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= kInlineBytes &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  D* target() const noexcept {
+    if constexpr (fits_inline<D>()) {
+      return std::launder(
+          reinterpret_cast<D*>(const_cast<unsigned char*>(buffer_)));
+    } else {
+      D* p;
+      std::memcpy(&p, buffer_, sizeof(p));
+      return p;
+    }
+  }
+
+  template <typename D, typename F>
+  void construct(F&& f) {
+    static_assert(std::is_copy_constructible_v<D>,
+                  "SmallFn requires a copy-constructible callable");
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(buffer_)) D(std::forward<F>(f));
+    } else {
+      D* p = new D(std::forward<F>(f));
+      std::memcpy(buffer_, &p, sizeof(p));
+    }
+    invoke_ = [](const SmallFn* self, Args&&... args) -> R {
+      return (*self->target<D>())(std::forward<Args>(args)...);
+    };
+    manage_ = [](Op op, SmallFn* dst, SmallFn* src) {
+      switch (op) {
+        case Op::Destroy:
+          if constexpr (fits_inline<D>()) {
+            dst->target<D>()->~D();
+          } else {
+            delete dst->target<D>();
+          }
+          break;
+        case Op::Copy:
+          dst->construct<D>(*src->target<D>());
+          break;
+        case Op::Move:
+          if constexpr (fits_inline<D>()) {
+            dst->construct<D>(std::move(*src->target<D>()));
+            src->target<D>()->~D();
+          } else {
+            // Steal the heap pointer; no per-object work.
+            std::memcpy(dst->buffer_, src->buffer_, sizeof(D*));
+            dst->invoke_ = src->invoke_;
+            dst->manage_ = src->manage_;
+          }
+          src->invoke_ = nullptr;
+          src->manage_ = nullptr;
+          break;
+      }
+    };
+  }
+
+  void reset() noexcept {
+    if (invoke_ != nullptr) {
+      manage_(Op::Destroy, this, nullptr);
+      invoke_ = nullptr;
+      manage_ = nullptr;
+    }
+  }
+
+  void copy_from(const SmallFn& other) {
+    if (other.invoke_ != nullptr)
+      other.manage_(Op::Copy, this, const_cast<SmallFn*>(&other));
+  }
+
+  void move_from(SmallFn& other) noexcept {
+    if (other.invoke_ != nullptr) other.manage_(Op::Move, this, &other);
+  }
+
+  alignas(std::max_align_t) unsigned char buffer_[kInlineBytes] = {};
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+};
+
+}  // namespace bsplogp::core

@@ -2,29 +2,40 @@
 //
 // The engine pops events in (time, phase, seq) order: time steps ascend,
 // the three phases within a step run Delivery -> Processor -> Accept, and
-// ties inside a phase break FIFO by a global sequence number. Handlers may
-// push new events at the *current* step (even into an earlier phase of it,
-// e.g. a processor resumed during the Accept phase immediately issuing a
+// ties inside a phase break FIFO by push order. Handlers may push new
+// events at the *current* step (even into an earlier phase of it, e.g. a
+// processor resumed during the Accept phase immediately issuing a
 // same-step RecvCheck), but never into the past.
 //
-// Two implementations share that contract:
+// Storage is SoA: the queues order 12-byte records (proc, payload slot,
+// kind) — time is implicit in the wheel position, phase in the lane — and
+// the one event kind that carries data (Delivery) indexes a Message in a
+// free-listed payload pool owned by EventQueue. Wheel scans and lane
+// drains touch only the hot ordering words; a 40-byte Message is written
+// once at push and read once at delivery, never copied through the queue.
+//
+// Two implementations share the ordering contract:
 //  * BucketQueue — a calendar/timing-wheel queue: per-step buckets holding
-//    three append-only phase lanes (appends arrive in seq order by
-//    construction, so a lane IS its sorted order), a 64-bit occupancy
-//    bitmap for O(1) advance to the next non-empty step, and a sorted
-//    overflow map for events beyond the wheel horizon. Push and pop are
-//    O(1) amortized; no comparator runs in the hot loop.
-//  * HeapQueue — the original std::priority_queue formulation, kept as the
-//    reference scheduler: the determinism guard in
-//    tests/logp/scheduler_equivalence_test.cpp checks bit-identical
-//    RunStats against it, and bench_engine_throughput measures the bucket
-//    queue's speedup over it.
+//    three append-only phase lanes (appends arrive in push order, so a
+//    lane IS its sorted order), a 64-bit occupancy bitmap for O(1) advance
+//    to the next non-empty step, and a single sorted flat overflow buffer
+//    (binary-search insert, batch migration — no node allocations) for
+//    events beyond the wheel horizon. Push and pop are O(1) amortized; no
+//    comparator runs in the hot loop.
+//  * HeapQueue — the original priority-queue formulation (on an explicit
+//    vector so clear() keeps capacity), kept as the reference scheduler:
+//    the determinism guard in tests/logp/scheduler_equivalence_test.cpp
+//    checks bit-identical RunStats against it, and bench_engine_throughput
+//    measures the bucket queue's speedup over it.
+//
+// Both queues assign their own internal FIFO counter at push, so the pop
+// order is a pure function of the push order — bit-identical across
+// SchedulerKind for the same event stream.
 #pragma once
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
-#include <map>
-#include <queue>
 #include <vector>
 
 #include "src/core/contracts.h"
@@ -35,9 +46,9 @@ namespace bsplogp::logp::detail {
 // Event phases within one time step: deliveries free capacity slots before
 // processor actions, and acceptance (the Stalling Rule) runs after all
 // submissions of the step are in.
-enum class Phase : int { Delivery = 0, Processor = 1, Accept = 2 };
+enum class Phase : std::uint8_t { Delivery = 0, Processor = 1, Accept = 2 };
 
-enum class EventKind {
+enum class EventKind : std::uint8_t {
   Start,
   Resume,
   Delivery,
@@ -47,57 +58,97 @@ enum class EventKind {
   Accept,
 };
 
+/// Payload-pool slot index; kNoPayload for the kinds that carry none.
+using PayloadSlot = std::int32_t;
+inline constexpr PayloadSlot kNoPayload = -1;
+
+/// What the engine loop consumes: when, what, who, and (for Delivery) the
+/// payload-pool slot of the message. Phase and FIFO order are scheduling
+/// concerns resolved inside the queues; the loop never reads them.
 struct Event {
   Time t;
-  Phase phase;
-  std::int64_t seq;  // FIFO tie-break for determinism
-  EventKind kind;
   ProcId proc;  // acting processor, or destination for Delivery/Accept
-  Message msg;  // payload for Delivery
+  PayloadSlot payload;
+  EventKind kind;
 };
 
-/// Reference scheduler: a binary heap ordered by (t, phase, seq).
+/// The hot ordering record stored in wheel lanes: 12 bytes. Time is the
+/// wheel position, phase is the lane.
+struct LaneRec {
+  ProcId proc;
+  PayloadSlot payload;
+  EventKind kind;
+};
+
+/// Reference scheduler: a binary heap ordered by (t, phase, seq), on an
+/// explicit vector so clear() keeps capacity across runs.
 class HeapQueue {
  public:
-  void clear() { heap_ = {}; }
-  void push(const Event& ev) { heap_.push(ev); }
+  void clear() {
+    heap_.clear();
+    next_seq_ = 0;
+  }
+
+  void push(Time t, Phase phase, EventKind kind, ProcId proc,
+            PayloadSlot payload) {
+    heap_.push_back(Entry{t, next_seq_++, proc, payload, kind, phase});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
   [[nodiscard]] bool empty() const { return heap_.empty(); }
+
   Event pop() {
-    const Event ev = heap_.top();
-    heap_.pop();
-    return ev;
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    const Entry e = heap_.back();
+    heap_.pop_back();
+    return Event{e.t, e.proc, e.payload, e.kind};
   }
 
  private:
+  struct Entry {
+    Time t;
+    std::int64_t seq;  // FIFO tie-break for determinism
+    ProcId proc;
+    PayloadSlot payload;
+    EventKind kind;
+    Phase phase;
+  };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const Entry& a, const Entry& b) const {
       if (a.t != b.t) return a.t > b.t;
       if (a.phase != b.phase) return a.phase > b.phase;
       return a.seq > b.seq;
     }
   };
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::vector<Entry> heap_;
+  std::int64_t next_seq_ = 0;
 };
 
 /// Calendar-queue scheduler: a timing wheel of per-step buckets with an
-/// occupancy bitmap, spilling events beyond the horizon into a sorted map.
+/// occupancy bitmap, spilling events beyond the horizon into a sorted flat
+/// buffer.
 class BucketQueue {
  public:
+  BucketQueue() { cur_slot_ = &wheel_[0]; }
+
   void clear() {
     for (Slot& s : wheel_) s.reset();
     for (std::uint64_t& w : occupied_) w = 0;
     overflow_.clear();
+    overflow_head_ = 0;
     cur_ = 0;
+    cur_slot_ = &wheel_[0];
     size_ = 0;
     wheel_count_ = 0;
   }
 
-  void push(const Event& ev) {
-    BSPLOGP_ASSERT(ev.t >= cur_);  // the engine never schedules the past
-    if (ev.t < cur_ + kWheelSize) {
-      push_wheel(ev);
+  void push(Time t, Phase phase, EventKind kind, ProcId proc,
+            PayloadSlot payload) {
+    BSPLOGP_ASSERT(t >= cur_);  // the engine never schedules the past
+    if (t < cur_ + kWheelSize) {
+      push_wheel(t, phase, LaneRec{proc, payload, kind});
     } else {
-      overflow_[ev.t].push_back(ev);
+      push_overflow(t, phase, LaneRec{proc, payload, kind});
     }
     size_ += 1;
   }
@@ -106,19 +157,23 @@ class BucketQueue {
 
   Event pop() {
     BSPLOGP_ASSERT(size_ > 0);
-    Slot* slot = &slot_at(cur_);
+    Slot* slot = cur_slot_;
     if (slot->remaining == 0) {
       advance();
-      slot = &slot_at(cur_);
+      slot = cur_slot_;
     }
-    // Lowest phase with unconsumed events; re-scanned from Delivery each
-    // pop because handlers may push into an earlier phase of this step.
-    for (int ph = 0; ph < 3; ++ph) {
+    // Lowest phase with unconsumed events. min_lane is a sound hint: every
+    // lane below it is exhausted, and a handler pushing into an earlier
+    // phase of this step lowers it again — so the scan usually starts at
+    // the hit instead of walking empty Delivery/Processor lanes for every
+    // Accept event.
+    for (std::uint32_t ph = slot->min_lane; ph < 3; ++ph) {
       auto& lane = slot->lanes[static_cast<std::size_t>(ph)];
       auto& taken = slot->taken[static_cast<std::size_t>(ph)];
       if (taken < lane.size()) {
-        const Event ev = lane[taken];
+        const LaneRec rec = lane[taken];
         taken += 1;
+        slot->min_lane = ph;
         slot->remaining -= 1;
         size_ -= 1;
         wheel_count_ -= 1;
@@ -126,7 +181,7 @@ class BucketQueue {
           slot->reset();
           clear_bit(cur_);
         }
-        return ev;
+        return Event{cur_, rec.proc, rec.payload, rec.kind};
       }
     }
     BSPLOGP_ASSERT(false && "corrupt bucket: remaining > 0 but lanes empty");
@@ -140,21 +195,31 @@ class BucketQueue {
   static constexpr std::size_t kWords = kWheelSize / 64;
 
   struct Slot {
-    std::vector<Event> lanes[3];  // one append-only lane per phase
-    std::size_t taken[3] = {0, 0, 0};
-    std::size_t remaining = 0;
+    std::vector<LaneRec> lanes[3];  // one append-only lane per phase
+    std::uint32_t taken[3] = {0, 0, 0};
+    std::uint32_t remaining = 0;
+    std::uint32_t min_lane = 3;  // no lane can have unconsumed events
     void reset() {
       for (auto& lane : lanes) lane.clear();  // keeps capacity for reuse
       taken[0] = taken[1] = taken[2] = 0;
       remaining = 0;
+      min_lane = 3;
     }
+  };
+
+  /// A beyond-horizon event parked in the flat overflow buffer: the full
+  /// ordering key (t, phase) plus the lane record, 24 bytes. FIFO order
+  /// within equal (t, phase) is the buffer's insertion order (stable
+  /// upper_bound insert).
+  struct OverflowRec {
+    Time t;
+    LaneRec rec;
+    Phase phase;
   };
 
   static std::size_t index_of(Time t) {
     return static_cast<std::size_t>(static_cast<std::uint64_t>(t) & kMask);
   }
-
-  Slot& slot_at(Time t) { return wheel_[index_of(t)]; }
 
   void set_bit(Time t) {
     const std::size_t i = index_of(t);
@@ -165,22 +230,58 @@ class BucketQueue {
     occupied_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
   }
 
-  void push_wheel(const Event& ev) {
-    Slot& slot = slot_at(ev.t);
-    if (slot.remaining == 0) set_bit(ev.t);
-    slot.lanes[static_cast<int>(ev.phase)].push_back(ev);
+  void push_wheel(Time t, Phase phase, LaneRec rec) {
+    Slot& slot = wheel_[index_of(t)];
+    if (slot.remaining == 0) set_bit(t);
+    slot.lanes[static_cast<std::size_t>(phase)].push_back(rec);
     slot.remaining += 1;
+    slot.min_lane = std::min(slot.min_lane,
+                             static_cast<std::uint32_t>(phase));
     wheel_count_ += 1;
+  }
+
+  /// Sorted insert by t alone: upper_bound places a new entry after every
+  /// existing entry of the same t, so insertion order — which is push
+  /// order, which is FIFO order — is preserved among equal times, and
+  /// migration can replay the range in buffer order. Overflow pushes are
+  /// rare (an event lands here only when scheduled > 1024 steps out, e.g.
+  /// huge compute blocks), so the O(n) vector insert is paid where the
+  /// old std::map paid a node allocation plus rebalancing.
+  void push_overflow(Time t, Phase phase, LaneRec rec) {
+    const auto it = std::upper_bound(
+        overflow_.begin() + static_cast<std::ptrdiff_t>(overflow_head_),
+        overflow_.end(), t,
+        [](Time lhs, const OverflowRec& r) { return lhs < r.t; });
+    overflow_.insert(it, OverflowRec{t, rec, phase});
+  }
+
+  [[nodiscard]] std::size_t overflow_size() const {
+    return overflow_.size() - overflow_head_;
   }
 
   /// Pulls overflow entries that now fall inside the wheel horizon. An
   /// overflow entry for time t is always migrated before any direct wheel
   /// push at t can happen (pushes at t require t < cur + W, and migration
-  /// runs on every cursor advance), so lane seq-order is preserved.
+  /// runs on every cursor advance), so lane FIFO order is preserved. The
+  /// consumed prefix advances by index; storage compacts (capacity kept)
+  /// once the live tail is smaller than the dead prefix.
   void migrate() {
-    while (!overflow_.empty() && overflow_.begin()->first < cur_ + kWheelSize) {
-      for (const Event& ev : overflow_.begin()->second) push_wheel(ev);
-      overflow_.erase(overflow_.begin());
+    const Time horizon = cur_ + kWheelSize;
+    std::size_t head = overflow_head_;
+    while (head < overflow_.size() && overflow_[head].t < horizon) {
+      const OverflowRec& o = overflow_[head];
+      push_wheel(o.t, o.phase, o.rec);
+      head += 1;
+    }
+    overflow_head_ = head;
+    if (overflow_head_ == overflow_.size()) {
+      overflow_.clear();
+      overflow_head_ = 0;
+    } else if (overflow_head_ > overflow_.size() - overflow_head_) {
+      overflow_.erase(overflow_.begin(),
+                      overflow_.begin() +
+                          static_cast<std::ptrdiff_t>(overflow_head_));
+      overflow_head_ = 0;
     }
   }
 
@@ -192,12 +293,22 @@ class BucketQueue {
     cur_ += 1;
     migrate();
     if (wheel_count_ == 0) {
-      BSPLOGP_ASSERT(!overflow_.empty());
-      cur_ = overflow_.begin()->first;
+      BSPLOGP_ASSERT(overflow_head_ < overflow_.size());
+      cur_ = overflow_[overflow_head_].t;  // jump to the overflow min time
       migrate();
     }
     BSPLOGP_ASSERT(wheel_count_ > 0);
     cur_ = scan_from(cur_);
+    // The scan can move the cursor — and with it the horizon — many steps
+    // at once. Migrate again at the final cursor so every overflow entry
+    // now inside [cur_, cur_ + W) enters its lane before any handler at
+    // cur_ can push to the same step directly; otherwise a direct push
+    // would order ahead of an earlier-pushed overflow entry, breaking
+    // FIFO and diverging from the reference heap. (Migrated entries all
+    // lie at t >= the pre-scan horizon > cur_, so the minimum found by
+    // the scan is unaffected.)
+    migrate();
+    cur_slot_ = &wheel_[index_of(cur_)];
   }
 
   /// Smallest t' in [t, t + W) whose slot is occupied.
@@ -220,37 +331,92 @@ class BucketQueue {
 
   std::vector<Slot> wheel_{static_cast<std::size_t>(kWheelSize)};
   std::uint64_t occupied_[kWords] = {};
-  std::map<Time, std::vector<Event>> overflow_;
+  // Flat sorted overflow: [overflow_head_, size) is live, ascending by t,
+  // FIFO within t. The prefix [0, overflow_head_) is already migrated.
+  std::vector<OverflowRec> overflow_;
+  std::size_t overflow_head_ = 0;
   Time cur_ = 0;
+  Slot* cur_slot_ = nullptr;  // == &wheel_[index_of(cur_)]; wheel_ is fixed
   std::size_t size_ = 0;
   std::size_t wheel_count_ = 0;
 };
 
-/// Scheduler selector: dispatches to the bucket queue (default) or the
-/// reference heap, per logp::Machine::Options.
+/// Scheduler selector plus the shared message-payload pool: dispatches to
+/// the bucket queue (default) or the reference heap, per
+/// logp::Machine::Options.
 class EventQueue {
  public:
   void reset(bool use_bucket) {
     bucket_mode_ = use_bucket;
     bucket_.clear();
     heap_.clear();
+    pool_.clear();      // keeps capacity
+    pool_free_.clear();  // keeps capacity
   }
-  void push(const Event& ev) {
+
+  /// Schedules a payload-free event.
+  void push(Time t, Phase phase, EventKind kind, ProcId proc) {
     if (bucket_mode_) {
-      bucket_.push(ev);
+      bucket_.push(t, phase, kind, proc, kNoPayload);
     } else {
-      heap_.push(ev);
+      heap_.push(t, phase, kind, proc, kNoPayload);
     }
   }
+
+  /// Schedules an event carrying a Message (Delivery): the message is
+  /// written once into a pooled slot; the queues order only the slot index.
+  void push_msg(Time t, Phase phase, EventKind kind, ProcId proc,
+                const Message& msg) {
+    const PayloadSlot slot = alloc_payload(msg);
+    if (bucket_mode_) {
+      bucket_.push(t, phase, kind, proc, slot);
+    } else {
+      heap_.push(t, phase, kind, proc, slot);
+    }
+  }
+
   [[nodiscard]] bool empty() const {
     return bucket_mode_ ? bucket_.empty() : heap_.empty();
   }
+
   Event pop() { return bucket_mode_ ? bucket_.pop() : heap_.pop(); }
 
+  /// The message parked in `slot`. The reference stays valid until the
+  /// next push_msg (the pool vector may grow) — consume before pushing.
+  [[nodiscard]] const Message& payload(PayloadSlot slot) const {
+    BSPLOGP_ASSERT(slot >= 0 &&
+                   static_cast<std::size_t>(slot) < pool_.size());
+    return pool_[static_cast<std::size_t>(slot)];
+  }
+
+  /// Recycles a consumed payload slot.
+  void release(PayloadSlot slot) {
+    BSPLOGP_ASSERT(slot >= 0 &&
+                   static_cast<std::size_t>(slot) < pool_.size());
+    pool_free_.push_back(slot);
+  }
+
  private:
+  PayloadSlot alloc_payload(const Message& msg) {
+    if (!pool_free_.empty()) {
+      const PayloadSlot slot = pool_free_.back();
+      pool_free_.pop_back();
+      pool_[static_cast<std::size_t>(slot)] = msg;
+      return slot;
+    }
+    const auto slot = static_cast<PayloadSlot>(pool_.size());
+    pool_.push_back(msg);
+    return slot;
+  }
+
   bool bucket_mode_ = true;
   BucketQueue bucket_;
   HeapQueue heap_;
+  // Message payload pool, shared by both queue implementations: in-flight
+  // Delivery payloads live here, indexed by PayloadSlot, recycled through
+  // a free list. Steady state allocates nothing.
+  std::vector<Message> pool_;
+  std::vector<PayloadSlot> pool_free_;
 };
 
 }  // namespace bsplogp::logp::detail

@@ -23,13 +23,17 @@ void EngineProc::issue_wait(Time target, std::coroutine_handle<> frame) {
 }
 
 void EngineProc::issue_send(Message m, std::coroutine_handle<> frame) {
-  BSPLOGP_EXPECTS(m.dst >= 0 && m.dst < machine_.nprocs());
+  BSPLOGP_EXPECTS(m.dst >= 0 && m.dst < machine_.nprocs_);
   // The model's messages go to *another* processor; local hand-offs are
   // local operations, not communication.
   BSPLOGP_EXPECTS(m.dst != id_);
   frame_ = frame;
   status_ = Status::SubmitWait;
-  const Time s = earliest_submit();
+  // earliest_submit(), with params() resolved statically — the virtual
+  // hop would cost on every send.
+  const Params& prm = machine_.params_;
+  Time s = clock_ + prm.o;
+  if (has_submitted_) s = std::max(s, last_submit_ + prm.G);
   if (trace::TraceSink* sink = machine_.options_.sink;
       sink != nullptr && s > clock_ + machine_.params_.o)
     sink->emit(trace::Event::gap_wait(id_, clock_, s,
@@ -42,7 +46,11 @@ void EngineProc::issue_send(Message m, std::coroutine_handle<> frame) {
 
 void EngineProc::issue_recv(std::coroutine_handle<> frame) {
   frame_ = frame;
-  recv_earliest_ = earliest_acquire();  // clock, pushed by the gap rule
+  // earliest_acquire() — the clock, pushed by the gap rule — with
+  // params() resolved statically.
+  Time a = clock_;
+  if (has_acquired_) a = std::max(a, last_acquire_ + machine_.params_.G);
+  recv_earliest_ = a;
   if (trace::TraceSink* sink = machine_.options_.sink;
       sink != nullptr && recv_earliest_ > clock_)
     sink->emit(trace::Event::gap_wait(id_, clock_, recv_earliest_,
@@ -55,7 +63,8 @@ void EngineProc::issue_recv(std::coroutine_handle<> frame) {
 // ---- Machine --------------------------------------------------------------
 
 Machine::Machine(ProcId nprocs, Params params, Options options)
-    : nprocs_(nprocs), params_(params), options_(std::move(options)) {
+    : nprocs_(nprocs), params_(params), capacity_(params.capacity()),
+      options_(std::move(options)) {
   BSPLOGP_EXPECTS(nprocs >= 1);
   params_.validate();
   BSPLOGP_EXPECTS(options_.max_time >= 1);
@@ -72,21 +81,16 @@ void Machine::destroy_procs() {
   live_procs_ = 0;
 }
 
-RunStats Machine::run(const ProgramFn& program) {
+const RunStats& Machine::run(const ProgramFn& program) {
   // One shared functor: every processor runs the same program object. The
-  // old path copied it nprocs_ times — 64Ki std::function clones per
-  // machine construction at p = 65536.
+  // old path copied it nprocs_ times — 64Ki functor clones per machine
+  // construction at p = 65536.
   return run_impl(std::span<const ProgramFn>(&program, 1), /*shared=*/true);
 }
 
-RunStats Machine::run(std::span<const ProgramFn> programs) {
+const RunStats& Machine::run(std::span<const ProgramFn> programs) {
   BSPLOGP_EXPECTS(std::cmp_equal(programs.size(), nprocs_));
   return run_impl(programs, /*shared=*/false);
-}
-
-void Machine::push(Time t, Phase phase, EventKind kind, ProcId proc,
-                   Message msg) {
-  events_.push(Event{t, phase, next_seq_++, kind, proc, msg});
 }
 
 Time Machine::choose_delivery_slot(DstState& dst, Time accept_time) {
@@ -94,7 +98,9 @@ Time Machine::choose_delivery_slot(DstState& dst, Time accept_time) {
   const Time hi = accept_time + params_.L;
   const bool ref = reference_scheduler();
   auto free_slot = [&](Time s) {
-    return ref ? dst.slots_ref.count(s) == 0 : !dst.slots.occupied(s);
+    return ref ? std::find(dst.slots_ref.begin(), dst.slots_ref.end(), s) ==
+                     dst.slots_ref.end()
+               : !dst.slots.occupied(s);
   };
   switch (options_.delivery) {
     case DeliverySchedule::Earliest: {
@@ -173,7 +179,7 @@ void Machine::handle_submit(EngineProc& p, Time t) {
   if (options_.sink != nullptr)
     options_.sink->emit(trace::Event::submit(p.id_, t, p.out_.dst));
   dsts_[static_cast<std::size_t>(p.out_.dst)].pending.push_back(
-      PendingSubmission{p.out_, t, next_seq_++});
+      PendingSubmission{p.out_, t});
   push(t, Phase::Accept, EventKind::Accept, p.out_.dst);
 }
 
@@ -182,52 +188,62 @@ void Machine::handle_accept(ProcId dst_id, Time t) {
   // Stalling Rule: accept min{k, s} of the k pending submissions, where
   // s is the number of free capacity slots. Which ones is unspecified by
   // the model; options_.accept_order decides.
-  while (!dst.pending.empty() && dst.in_transit < params_.capacity()) {
-    PendingSubmission ps;
+  while (!dst.pending.empty() && dst.in_transit < capacity_) {
+    // The accepted submission is consumed in place — its Message is copied
+    // exactly once, ring slot -> payload pool — and popped from the ring
+    // only after the pool write (push_msg never touches the ring).
+    std::size_t idx = 0;
     switch (options_.accept_order) {
       case AcceptOrder::Fifo:
-        ps = dst.pending.front();
-        dst.pending.pop_front();
         break;
       case AcceptOrder::Lifo:
-        ps = dst.pending.back();
-        dst.pending.pop_back();
+        idx = dst.pending.size() - 1;
         break;
-      case AcceptOrder::Random: {
-        const auto idx =
-            static_cast<std::size_t>(rng_.below(dst.pending.size()));
-        ps = dst.pending[idx];
-        dst.pending.erase(idx);
+      case AcceptOrder::Random:
+        idx = static_cast<std::size_t>(rng_.below(dst.pending.size()));
         break;
-      }
     }
+    const PendingSubmission& ps = dst.pending[idx];
+    const ProcId src = ps.msg.src;
+    const Time submit_time = ps.submit_time;
 
-    EngineProc& sender = proc(ps.msg.src);
+    EngineProc& sender = proc(src);
     BSPLOGP_ASSERT(sender.status_ == EngineProc::Status::Stalling);
-    if (t > ps.submit_time) {
-      const Time stalled = t - ps.submit_time;
+    if (t > submit_time) {
+      const Time stalled = t - submit_time;
       stats_.stall_events += 1;
       stats_.stall_time_total += stalled;
       stats_.stall_time_max = std::max(stats_.stall_time_max, stalled);
       sender.stall_time_ += stalled;
       if (options_.sink != nullptr)
         options_.sink->emit(
-            trace::Event::stall_end(ps.msg.src, t, dst_id, ps.submit_time));
+            trace::Event::stall_end(src, t, dst_id, submit_time));
     }
     if (options_.sink != nullptr)
-      options_.sink->emit(
-          trace::Event::accept(ps.msg.src, t, dst_id, ps.submit_time));
+      options_.sink->emit(trace::Event::accept(src, t, dst_id, submit_time));
 
     dst.in_transit += 1;
     stats_.max_in_transit = std::max(stats_.max_in_transit, dst.in_transit);
-    BSPLOGP_ASSERT(dst.in_transit <= params_.capacity());
+    BSPLOGP_ASSERT(dst.in_transit <= capacity_);
     const Time slot = choose_delivery_slot(dst, t);
     if (reference_scheduler()) {
-      dst.slots_ref.insert(slot);
+      dst.slots_ref.push_back(slot);
     } else {
       dst.slots.set(slot);
     }
-    push(slot, Phase::Delivery, EventKind::Delivery, dst_id, ps.msg);
+    events_.push_msg(slot, Phase::Delivery, EventKind::Delivery, dst_id,
+                     ps.msg);
+    switch (options_.accept_order) {
+      case AcceptOrder::Fifo:
+        dst.pending.pop_front();
+        break;
+      case AcceptOrder::Lifo:
+        dst.pending.pop_back();
+        break;
+      case AcceptOrder::Random:
+        dst.pending.erase(idx);
+        break;
+    }
 
     // The sender reverts to the operational state at acceptance.
     sender.clock_ = t;
@@ -251,7 +267,13 @@ void Machine::handle_delivery(ProcId dst_id, Time t, const Message& msg) {
   dst.in_transit -= 1;
   BSPLOGP_ASSERT(dst.in_transit >= 0);
   if (reference_scheduler()) {
-    dst.slots_ref.erase(t);
+    // Delivery times within a destination are unique (one message per
+    // slot), so this erases exactly the one entry; swap-with-back keeps
+    // the erase O(1) and order is irrelevant to a membership set.
+    const auto it = std::find(dst.slots_ref.begin(), dst.slots_ref.end(), t);
+    BSPLOGP_ASSERT(it != dst.slots_ref.end());
+    *it = dst.slots_ref.back();
+    dst.slots_ref.pop_back();
   } else {
     dst.slots.clear(t);
   }
@@ -300,17 +322,28 @@ void Machine::do_acquire(EngineProc& p, Time t) {
   resume(p);
 }
 
-RunStats Machine::run_impl(std::span<const ProgramFn> programs, bool shared) {
+// flatten: inline the whole handler tree (queue pop/push, accept/submit/
+// delivery, slot bitmaps) into the event loop — the engine's entire hot
+// path is this one function, and the cross-handler inlining is worth ~15%
+// on the hotspot series.
+[[gnu::flatten]] const RunStats& Machine::run_impl(
+    std::span<const ProgramFn> programs, bool shared) {
   if (options_.sink != nullptr)
     options_.sink->run_begin(trace::RunInfo{"logp", nprocs_, params_.L,
                                             params_.o, params_.G,
                                             params_.capacity(), 0, 0});
 
+  // All coroutine frames created below — root program frames and any
+  // collective sub-task frames spawned while the loop runs — recycle
+  // through this machine's arena for the extent of the run.
+  core::FrameArena::Scope frame_scope(&frame_arena_);
+
   // Reset per-run state so a Machine can be reused. Every container below
   // is reset in place — capacities (destination rings, slot-bitmap words,
-  // the proc arena) survive across runs, so a machine re-run in a timing
-  // loop or a sweep performs no steady-state reallocation.
-  destroy_procs();
+  // inbox rings, the event queue's lanes and payload pool, the stats
+  // vectors, the frame arena's free lists) survive across runs, so a
+  // machine re-run in a timing loop or a sweep performs zero steady-state
+  // allocations.
   if (dsts_.size() != static_cast<std::size_t>(nprocs_))
     dsts_.resize(static_cast<std::size_t>(nprocs_));
   for (DstState& dst : dsts_) {
@@ -320,35 +353,55 @@ RunStats Machine::run_impl(std::span<const ProgramFn> programs, bool shared) {
     if (!reference_scheduler()) dst.slots.init(params_.L);
   }
   events_.reset(!reference_scheduler());
-  next_seq_ = 0;
   rng_ = core::Rng(options_.seed);
-  stats_ = RunStats{};
+  stats_.finish_time = 0;
   stats_.proc_finish.assign(static_cast<std::size_t>(nprocs_), 0);
+  stats_.blocked_procs.clear();
+  stats_.messages = 0;
+  stats_.deadlock = false;
+  stats_.timed_out = false;
+  stats_.messages_submitted = 0;
+  stats_.messages_acquired = 0;
+  stats_.events_processed = 0;
+  stats_.stall_events = 0;
+  stats_.stall_time_total = 0;
+  stats_.stall_time_max = 0;
+  stats_.max_in_transit = 0;
+  stats_.max_inbox = 0;
   done_count_ = 0;
 
   if (proc_capacity_ < static_cast<std::size_t>(nprocs_)) {
+    destroy_procs();
     ::operator delete(static_cast<void*>(procs_));
     procs_ = static_cast<EngineProc*>(
         ::operator new(sizeof(EngineProc) * static_cast<std::size_t>(nprocs_)));
     proc_capacity_ = static_cast<std::size_t>(nprocs_);
   }
   for (ProcId i = 0; i < nprocs_; ++i) {
-    EngineProc& p = *new (&procs_[static_cast<std::size_t>(i)])
-        EngineProc(*this, i);
-    live_procs_ = i + 1;  // destroy_procs cleans up if the program throws
+    // Reuse processors surviving from the previous run (their inbox rings
+    // keep their capacity); construct any the arena hasn't seen yet.
+    EngineProc& p = proc(i);
+    if (i < live_procs_) {
+      p.reset_for_run();
+    } else {
+      new (&p) EngineProc(*this, i);
+      live_procs_ = i + 1;  // destroy_procs cleans up if a factory throws
+    }
     p.root_ = programs[shared ? 0 : static_cast<std::size_t>(i)](p);
     BSPLOGP_EXPECTS(p.root_.valid());
     p.frame_ = p.root_.handle();
     push(0, Phase::Processor, EventKind::Start, i);
   }
 
+  std::int64_t processed = 0;  // hot counter, spilled to stats_ after
+  try {
   while (!events_.empty()) {
     const Event ev = events_.pop();
     if (ev.t > options_.max_time) {
       stats_.timed_out = true;
       break;
     }
-    stats_.events_processed += 1;
+    processed += 1;
     EngineProc& p = proc(ev.proc);
     switch (ev.kind) {
       case EventKind::Start:
@@ -359,7 +412,11 @@ RunStats Machine::run_impl(std::span<const ProgramFn> programs, bool shared) {
         resume(p);
         break;
       case EventKind::Delivery:
-        handle_delivery(ev.proc, ev.t, ev.msg);
+        // The pooled payload stays valid through the handler: deliveries
+        // push only payload-free events (Accept/Acquire), so the pool
+        // cannot grow or recycle this slot before it is consumed.
+        handle_delivery(ev.proc, ev.t, events_.payload(ev.payload));
+        events_.release(ev.payload);
         break;
       case EventKind::Submit:
         handle_submit(p, ev.t);
@@ -376,6 +433,13 @@ RunStats Machine::run_impl(std::span<const ProgramFn> programs, bool shared) {
         break;
     }
   }
+  } catch (...) {
+    // A program threw: keep the failure-state contract of
+    // last_run_stats() — the count covers events up to the throw.
+    stats_.events_processed = processed;
+    throw;
+  }
+  stats_.events_processed = processed;
 
   Time finish = 0;
   for (ProcId i = 0; i < nprocs_; ++i) {

@@ -32,10 +32,11 @@
 // tests/logp/scheduler_equivalence_test.cpp enforces this.
 #pragma once
 
-#include <set>
+#include <algorithm>
 #include <span>
 #include <vector>
 
+#include "src/core/frame_arena.h"
 #include "src/core/ring_buffer.h"
 #include "src/core/rng.h"
 #include "src/core/types.h"
@@ -88,6 +89,20 @@ class EngineProc final : public Proc {
 
   EngineProc(Machine& machine, ProcId id) : Proc(id), machine_(machine) {}
 
+  /// Back to the just-constructed state for reuse across runs. Destroys
+  /// the previous run's root frame (call under the machine's arena scope
+  /// so the frame parks in the recycler); keeps the inbox ring's storage.
+  void reset_for_run() {
+    reset_base_state();
+    status_ = Status::Running;
+    root_ = Task<>{};
+    frame_ = {};
+    out_ = Message{};
+    submit_time_ = 0;
+    recv_earliest_ = 0;
+    stall_time_ = 0;
+  }
+
   void issue_send(Message m, std::coroutine_handle<> frame) override;
   void issue_recv(std::coroutine_handle<> frame) override;
   void issue_wait(Time target, std::coroutine_handle<> frame) override;
@@ -130,11 +145,13 @@ class Machine {
   Machine& operator=(const Machine&) = delete;
 
   /// Runs `program` on every processor (SPMD) until all complete; returns
-  /// exact model-time statistics. Throws whatever a program throws. The
-  /// one functor is shared across processors, never copied per proc.
-  RunStats run(const ProgramFn& program);
+  /// exact model-time statistics (a reference to the machine's own record,
+  /// valid until the next run — copy to keep). Throws whatever a program
+  /// throws. The one functor is shared across processors, never copied per
+  /// proc.
+  const RunStats& run(const ProgramFn& program);
   /// Runs a distinct program per processor.
-  RunStats run(std::span<const ProgramFn> programs);
+  const RunStats& run(std::span<const ProgramFn> programs);
 
   [[nodiscard]] ProcId nprocs() const { return nprocs_; }
   [[nodiscard]] const Params& params() const { return params_; }
@@ -155,7 +172,6 @@ class Machine {
   struct PendingSubmission {
     Message msg;
     Time submit_time = 0;
-    std::int64_t seq = 0;
     /// A StallBegin was emitted for this submission (trace bookkeeping
     /// only; never affects scheduling or RunStats).
     bool stall_traced = false;
@@ -168,13 +184,20 @@ class Machine {
     // index — all supported on the ring).
     core::RingBuffer<PendingSubmission> pending;  // submitted, not accepted
     Time in_transit = 0;                          // accepted, not delivered
-    detail::SlotBitmap slots;     // scheduled delivery times (Bucket)
-    std::set<Time> slots_ref;     // scheduled delivery times (ReferenceHeap)
+    detail::SlotBitmap slots;  // scheduled delivery times (Bucket)
+    // Scheduled delivery times (ReferenceHeap): a flat unsorted vector,
+    // membership by linear scan over <= capacity() <= L live entries.
+    // Was std::set, whose node churn cost one allocation per accepted
+    // message; the vector recycles its storage, so the reference
+    // scheduler is as steady-state allocation-free as the bucket one
+    // (the alloc test pins both).
+    std::vector<Time> slots_ref;
   };
 
-  void push(Time t, Phase phase, EventKind kind, ProcId proc,
-            Message msg = {});
-  RunStats run_impl(std::span<const ProgramFn> programs, bool shared);
+  void push(Time t, Phase phase, EventKind kind, ProcId proc) {
+    events_.push(t, phase, kind, proc);
+  }
+  const RunStats& run_impl(std::span<const ProgramFn> programs, bool shared);
   void handle_submit(EngineProc& p, Time t);
   void handle_accept(ProcId dst, Time t);
   void handle_delivery(ProcId dst, Time t, const Message& msg);
@@ -194,21 +217,28 @@ class Machine {
 
   ProcId nprocs_;
   Params params_;
+  Time capacity_ = 0;  // params_.capacity(), cached: ceil(L/G) divides
   Options options_;
 
   // Per-run state (reset by run()). The processors live in one contiguous
-  // arena sized at the first run and reused afterwards: constructing a
-  // p-processor machine run costs one allocation, not p unique_ptr news,
-  // and the event loop indexes procs without a pointer chase per event.
+  // arena sized at the first run and reused afterwards — reset in place
+  // between runs, not destroyed, so inbox ring capacities survive and the
+  // event loop indexes procs without a pointer chase per event.
   EngineProc* procs_ = nullptr;  // arena; live_procs_ constructed
   std::size_t proc_capacity_ = 0;
   ProcId live_procs_ = 0;
   std::vector<DstState> dsts_;
   detail::EventQueue events_;
-  std::int64_t next_seq_ = 0;
   core::Rng rng_{0};
   RunStats stats_;
   ProcId done_count_ = 0;
+  // Coroutine-frame recycler, scoped as the thread's current arena for the
+  // extent of run_impl: program root frames and collective sub-task frames
+  // allocate from here and are returned on destruction, so steady-state
+  // re-runs never touch the global heap for frames. Freed storage lives
+  // until the Machine dies (destroy_procs() in ~Machine runs first, so
+  // every frame is parked back before the arena releases its blocks).
+  core::FrameArena frame_arena_;
   // Scratch for the ReferenceHeap UniformRandom free-slot fallback;
   // cleared per use, capacity kept (the Bucket path ranks into the slot
   // bitmap word-at-a-time instead and needs no materialized list).

@@ -19,10 +19,10 @@
 
 #include <algorithm>
 #include <coroutine>
-#include <functional>
 
 #include "src/core/contracts.h"
 #include "src/core/ring_buffer.h"
+#include "src/core/small_fn.h"
 #include "src/core/types.h"
 #include "src/logp/params.h"
 #include "src/logp/task.h"
@@ -84,6 +84,20 @@ class Proc {
  protected:
   explicit Proc(ProcId id) : id_(id) {}
 
+  /// Restores the model-defined state to its just-constructed values so an
+  /// executor can reuse a processor across runs without destroying it —
+  /// container capacities (the inbox ring) survive, which is what keeps
+  /// re-runs allocation-free.
+  void reset_base_state() {
+    clock_ = 0;
+    last_submit_ = 0;
+    last_acquire_ = 0;
+    has_submitted_ = false;
+    has_acquired_ = false;
+    inbox_.clear();  // keeps capacity
+    acquired_ = Message{};
+  }
+
   /// Executor hooks: called from the operation awaiters with the coroutine
   /// frame to resume when the operation resolves.
   virtual void issue_send(Message m, std::coroutine_handle<> frame) = 0;
@@ -105,8 +119,10 @@ class Proc {
 
 /// A per-processor program: receives its Proc handle and runs to
 /// completion. Captures of external state (result arrays, parameters) are
-/// how programs produce output.
-using ProgramFn = std::function<Task<>(Proc&)>;
+/// how programs produce output. A SmallFn, not std::function: workload
+/// factories bind p of these, and engine-sized captures (a few pointers +
+/// parameters) stay inline instead of costing a heap allocation each.
+using ProgramFn = core::SmallFn<Task<>(Proc&)>;
 
 // ---- Operation awaiters ----------------------------------------------------
 
@@ -161,7 +177,10 @@ inline auto Proc::recv() {
     Proc& p;
     bool await_ready() const { return false; }
     void await_suspend(std::coroutine_handle<> frame) { p.issue_recv(frame); }
-    Message await_resume() { return p.acquired_; }
+    // A reference, valid until the processor's next acquisition: programs
+    // that only read a field skip a Message copy per receive; programs
+    // that keep the message bind it to a value as before.
+    const Message& await_resume() { return p.acquired_; }
   };
   return Awaiter{*this};
 }

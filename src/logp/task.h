@@ -14,11 +14,13 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <optional>
 #include <utility>
 
 #include "src/core/contracts.h"
+#include "src/core/frame_arena.h"
 
 namespace bsplogp::logp {
 
@@ -28,6 +30,25 @@ class Task;
 namespace detail {
 
 struct PromiseBase {
+  /// Frame recycling: coroutine frames allocate through the thread's
+  /// current core::FrameArena when one is scoped (the engine scopes its
+  /// per-machine arena around run(); the native backend scopes one per
+  /// processor thread), so steady-state program re-runs reuse frames
+  /// instead of hitting the global heap. With no arena scoped, frames use
+  /// the global heap via a headed block — Tasks created outside any
+  /// machine keep working unchanged. Deallocation routes by the block
+  /// header, never by thread state, so a frame may be destroyed under a
+  /// different (or no) scope than it was created under.
+  static void* operator new(std::size_t size) {
+    return core::FrameArena::allocate_frame(size);
+  }
+  static void operator delete(void* p) noexcept {
+    core::FrameArena::deallocate(p);
+  }
+  static void operator delete(void* p, std::size_t) noexcept {
+    core::FrameArena::deallocate(p);
+  }
+
   /// Parent coroutine to resume when this one finishes (nullptr for roots).
   std::coroutine_handle<> continuation;
   std::exception_ptr exception;

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "src/core/contracts.h"
+#include "src/core/frame_arena.h"
 #include "src/logp/task.h"
 #include "src/native/spmd.h"
 #include "src/trace/event.h"
@@ -165,6 +166,12 @@ void NativeProc::resolve_recv() {
 }
 
 void NativeProc::drive(const logp::ProgramFn& program) {
+  // Frame recycling per processor thread: the root frame and any sub-task
+  // frames a program spawns allocate from (and return to) this arena. The
+  // arena outlives `root` (declared before it), and every frame dies on
+  // this thread before drive() returns — the DESIGN.md §15 lifetime rule.
+  core::FrameArena arena;
+  const core::FrameArena::Scope frame_scope(&arena);
   logp::Task<> root = program(*this);
   BSPLOGP_EXPECTS(root.valid());
   std::coroutine_handle<> next = root.handle();

@@ -146,6 +146,44 @@ TEST(ReporterDeathTest, BadJobsValuesDieWithExitCode2) {
   }
 }
 
+TEST(Reporter, ParsesRepeatAndRecordsItInTheDocument) {
+  Argv args({"--repeat", "5"});
+  Reporter rep(args.argc(), args.argv(), "unit");
+  EXPECT_EQ(rep.repeat(), 5);
+
+  std::ostringstream os;
+  rep.write_json(os);
+  JsonValue v;
+  ASSERT_TRUE(JsonParser(os.str()).parse(v)) << os.str();
+  EXPECT_EQ(v.find("repeat")->number, 5);
+
+  Argv none({});
+  EXPECT_EQ(Reporter(none.argc(), none.argv(), "unit").repeat(), 1);
+}
+
+TEST(ReporterDeathTest, BadRepeatValuesDieWithExitCode2) {
+  {
+    Argv args({"--repeat", "0"});
+    EXPECT_EXIT(Reporter(args.argc(), args.argv(), "unit"),
+                ::testing::ExitedWithCode(2), "bad --repeat value");
+  }
+  {
+    Argv args({"--repeat", "1001"});
+    EXPECT_EXIT(Reporter(args.argc(), args.argv(), "unit"),
+                ::testing::ExitedWithCode(2), "bad --repeat value");
+  }
+  {
+    Argv args({"--repeat", "twice"});
+    EXPECT_EXIT(Reporter(args.argc(), args.argv(), "unit"),
+                ::testing::ExitedWithCode(2), "bad --repeat value");
+  }
+  {
+    Argv args({"--repeat"});
+    EXPECT_EXIT(Reporter(args.argc(), args.argv(), "unit"),
+                ::testing::ExitedWithCode(2), "--repeat needs a count");
+  }
+}
+
 TEST(ReporterDeathTest, UnregisteredWorkloadNameDiesWithExitCode2) {
   Argv args({});
   EXPECT_EXIT(
@@ -382,6 +420,66 @@ TEST(SweepRunner, DocumentIsByteIdenticalAcrossJobCounts) {
   JsonValue v;
   ASSERT_TRUE(JsonParser(serial).parse(v));  // and it is valid JSON
   EXPECT_GT(v.find("metrics")->find("total_model_time")->number, 0);
+}
+
+TEST(SweepRunner, RepeatReVerifiesEveryPointWithoutChangingTheDocument) {
+  // --repeat 3 evaluates every live point three times, asserts the
+  // encodings byte-identical, and must not change a byte of the document
+  // relative to a single-evaluation sweep — on any jobs count.
+  const std::string baseline = sweep_document(SweepRunner(1));
+  EXPECT_EQ(sweep_document(SweepRunner(1, nullptr, nullptr, 3)), baseline);
+  EXPECT_EQ(sweep_document(SweepRunner(4, nullptr, nullptr, 3)), baseline);
+
+  std::atomic<int> computed{0};
+  const auto out = SweepRunner(2, nullptr, nullptr, 3).map<std::size_t>(
+      10, [&](std::size_t i) {
+        computed.fetch_add(1);
+        return i * 7;
+      });
+  EXPECT_EQ(computed.load(), 30);  // every point computed repeat times
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * 7);
+}
+
+TEST(SweepRunner, RepeatSkipsCacheReplaysAndCommitsOneResult) {
+  // Replayed points never re-compute (there is nothing to verify against
+  // the wire payload), and a repeated live point commits exactly one
+  // cache entry.
+  const std::string dir = ::testing::TempDir() + "/bsplogp_harness_repeat";
+  std::filesystem::remove_all(dir);
+  const auto key_fn = [](std::size_t i) {
+    return cache::PointKey{"rp=" + std::to_string(i)};
+  };
+  std::atomic<int> computed{0};
+  const auto compute = [&](std::size_t i) {
+    computed.fetch_add(1);
+    return CachedSweepResult{static_cast<Time>(i * 3), 0.5};
+  };
+  cache::PointCache cold(cache::Mode::kOn, dir, "unit", "repeat", "b1");
+  const auto first = SweepRunner(1, &cold, nullptr, 2)
+                         .map<CachedSweepResult>(4, key_fn, compute);
+  EXPECT_EQ(computed.load(), 8);  // 4 points x repeat 2
+  cache::PointCache warm(cache::Mode::kOn, dir, "unit", "repeat", "b1");
+  const auto second = SweepRunner(1, &warm, nullptr, 2)
+                          .map<CachedSweepResult>(4, key_fn, compute);
+  EXPECT_EQ(computed.load(), 8);  // all replayed, none re-verified
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(warm.stats().hits, 4);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SweepRunnerDeathTest, NondeterministicPointDiesUnderRepeat) {
+  // A point whose result differs between evaluations is a determinism bug
+  // (wall-clock or global state leaking into a model result); under
+  // --repeat it must die loudly, not poison the trajectory.
+  EXPECT_DEATH(
+      {
+        int calls = 0;
+        (void)SweepRunner(1, nullptr, nullptr, 2)
+            .map<std::size_t>(1, [&](std::size_t) {
+              return static_cast<std::size_t>(calls++);
+            });
+      },
+      "nondeterministic across --repeat");
 }
 
 }  // namespace
